@@ -1,0 +1,58 @@
+// Shared setup for the figure-reproduction harnesses.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// on the calibrated synthetic fleet. The default scale (functions, days,
+// seed) is shared so figures are cross-consistent, and can be overridden
+// with SPES_BENCH_FUNCTIONS / SPES_BENCH_DAYS / SPES_BENCH_SEED.
+
+#ifndef SPES_BENCH_BENCH_COMMON_H_
+#define SPES_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace bench {
+
+/// \brief Scale knobs resolved from the environment.
+inline GeneratorConfig DefaultGeneratorConfig() {
+  GeneratorConfig config;
+  config.num_functions =
+      static_cast<int>(GetEnvInt("SPES_BENCH_FUNCTIONS", 4000));
+  config.days = static_cast<int>(GetEnvInt("SPES_BENCH_DAYS", 14));
+  config.seed = static_cast<uint64_t>(GetEnvInt("SPES_BENCH_SEED", 20240317));
+  return config;
+}
+
+/// \brief Paper split: the last two days are simulated, the rest trains.
+inline SimOptions DefaultSimOptions(const GeneratorConfig& config) {
+  SimOptions options;
+  options.train_minutes = (config.days - 2) * kMinutesPerDay;
+  return options;
+}
+
+/// \brief Generates the shared fleet (aborts on configuration errors).
+inline GeneratedTrace MakeFleet(const GeneratorConfig& config) {
+  Result<GeneratedTrace> generated = GenerateTrace(config);
+  generated.status().CheckOK();
+  return std::move(generated).ValueOrDie();
+}
+
+/// \brief Prints the standard bench banner.
+inline void Banner(const char* experiment, const char* paper_ref,
+                   const GeneratorConfig& config) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("fleet: %d functions, %d days (train %d + simulate 2), seed %llu\n\n",
+              config.num_functions, config.days, config.days - 2,
+              static_cast<unsigned long long>(config.seed));
+}
+
+}  // namespace bench
+}  // namespace spes
+
+#endif  // SPES_BENCH_BENCH_COMMON_H_

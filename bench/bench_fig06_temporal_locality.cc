@@ -1,0 +1,53 @@
+// Fig. 6: temporal locality — five infrequently invoked functions whose
+// invocations concentrate into a few short windows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/series_features.h"
+#include "trace/summary.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_fig06_temporal_locality",
+                "Fig. 6 — temporal locality of infrequent functions",
+                config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+
+  const std::vector<size_t> examples = FindTemporalLocalityExamples(
+      fleet.trace, 5, /*min_total=*/20, /*max_total=*/400);
+  if (examples.empty()) {
+    std::printf("no temporally-local function found\n");
+    return 1;
+  }
+  Table table({"function", "ground truth", "invocations", "active slots",
+               "waves", "min AT", "min AN", "active share"});
+  for (size_t f : examples) {
+    const FunctionTrace& function = fleet.trace.function(f);
+    const SeriesFeatures features = ExtractSeriesFeatures(function.counts);
+    int64_t min_at = 0, min_an = 0;
+    if (!features.ats.empty()) {
+      min_at = *std::min_element(features.ats.begin(), features.ats.end());
+      min_an = *std::min_element(features.ans.begin(), features.ans.end());
+    }
+    table.AddRow(
+        {function.meta.name.substr(0, 12),
+         PatternKindToString(fleet.truth[f].kind),
+         std::to_string(features.total_invocations),
+         std::to_string(features.active_slots),
+         std::to_string(features.ats.size()), std::to_string(min_at),
+         std::to_string(min_an),
+         FormatPercent(static_cast<double>(features.active_slots) /
+                           static_cast<double>(fleet.trace.num_minutes()),
+                       3)});
+  }
+  table.Print();
+  std::printf("\nexpected shape (paper): invocations of these functions are"
+              "\nconsecutive and concentrated in a handful of short periods;"
+              "\nkeeping them loaded briefly after a wave cuts cold starts"
+              "\nwith minimal memory overhead.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9 (RQ1): (a) memory usage normalized to SPES's average and
+// (b) the percentage of always-cold functions (CSR == 1.0).
+// Paper: SPES uses only ~8% more memory than the fixed keep-alive policy
+// and 36-56% less than the other baselines; its always-cold share is
+// under 8%, with HA the closest baseline and Defuse/HF the worst.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/bench_policies.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_fig09_memory_alwayscold",
+                "Fig. 9 — normalized memory usage and always-cold share",
+                config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const SimOptions options = bench::DefaultSimOptions(config);
+  const bench::SuiteResult suite = bench::RunPolicySuite(fleet.trace, options);
+  const std::vector<FleetMetrics> metrics = bench::SuiteMetrics(suite);
+
+  const double spes_memory = metrics[0].average_memory;
+  Table table({"policy", "avg memory", "norm memory (a)", "peak memory",
+               "always-cold (b)"});
+  for (const FleetMetrics& m : metrics) {
+    table.AddRow({m.policy_name, FormatDouble(m.average_memory, 1),
+                  FormatDouble(m.average_memory / spes_memory, 3),
+                  std::to_string(m.max_memory),
+                  FormatPercent(m.always_cold_fraction, 2)});
+  }
+  table.Print();
+
+  std::printf("\nexpected shape (paper): SPES's memory within ~10%% of the"
+              "\nmost frugal policy (Fixed) and well below Defuse/HA;"
+              "\nSPES's always-cold share the lowest of the function-"
+              "\ngranular policies, HA the closest baseline.\n");
+  return 0;
+}

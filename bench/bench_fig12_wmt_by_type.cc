@@ -1,0 +1,44 @@
+// Fig. 12 (RQ2): the ratio of wasted memory time (WMT divided by the
+// number of invocations) per SPES function type. Paper: "possible"
+// functions generate the most WMT per invocation — SPES deliberately
+// predicts them aggressively — while wave-riding types are cheap.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/bench_policies.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_fig12_wmt_by_type",
+                "Fig. 12 — ratio of WMT of each function type", config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const SimOptions options = bench::DefaultSimOptions(config);
+
+  SpesPolicy policy;
+  const SimulationOutcome outcome =
+      Simulate(fleet.trace, &policy, options).ValueOrDie();
+  const auto rows = BreakdownByType(policy, outcome.accounts);
+
+  double max_ratio = 0.0;
+  for (const TypeBreakdownRow& row : rows) {
+    max_ratio = std::max(max_ratio, row.wmt_per_invocation);
+  }
+  Table table({"type", "functions", "WMT/invocation", "bar"});
+  for (const TypeBreakdownRow& row : rows) {
+    if (row.num_functions == 0) continue;
+    table.AddRow(
+        {FunctionTypeToString(row.type), std::to_string(row.num_functions),
+         FormatDouble(row.wmt_per_invocation, 3),
+         AsciiBar(max_ratio > 0 ? row.wmt_per_invocation / max_ratio : 0.0,
+                  40)});
+  }
+  table.Print();
+  std::printf("\nexpected shape (paper): rare-but-predicted types (possible,"
+              "\ncorrelated) pay the highest WMT per invocation; always-warm,"
+              "\nsuccessive and dense are nearly free.\n");
+  return 0;
+}

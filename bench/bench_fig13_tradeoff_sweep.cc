@@ -1,0 +1,98 @@
+// Fig. 13 (RQ3): the resource/latency trade-off under (a) theta_prewarm in
+// {1, 2, 3, 5, 10} and (b) the theta_givenup scaler in {1..5}. The paper
+// observes an approximately linear relation between normalized memory and
+// Q3-CSR for theta_prewarm (fit y = -0.1845x + 0.3163 on their data), and
+// diminishing returns for larger theta_givenup (y = -0.0427x + 0.1686).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/spes_policy.h"
+#include "metrics/report.h"
+
+namespace {
+
+struct SweepPoint {
+  int parameter;
+  double norm_memory;
+  double q3_csr;
+};
+
+void PrintSweep(const char* title, const std::vector<SweepPoint>& points,
+                const char* paper_fit) {
+  using namespace spes;
+  std::printf("%s\n\n", title);
+  Table table({"value", "norm memory", "Q3-CSR"});
+  std::vector<double> xs, ys;
+  for (const SweepPoint& p : points) {
+    table.AddRow({std::to_string(p.parameter), FormatDouble(p.norm_memory, 4),
+                  FormatDouble(p.q3_csr, 4)});
+    xs.push_back(p.norm_memory);
+    ys.push_back(p.q3_csr);
+  }
+  table.Print();
+  const LinearFit fit = FitLine(xs, ys);
+  std::printf("\nlinear fit: y = %.4f x + %.4f (R^2 = %.3f)\n", fit.slope,
+              fit.intercept, fit.r_squared);
+  std::printf("paper fit : %s\n\n", paper_fit);
+}
+
+}  // namespace
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_fig13_tradeoff_sweep",
+                "Fig. 13 — trading off resources and latency (RQ3)", config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const SimOptions options = bench::DefaultSimOptions(config);
+
+  // Reference run: the paper's default setting (star marker in Fig. 13).
+  SpesConfig base_config;
+  SpesPolicy base(base_config);
+  const SimulationOutcome base_outcome =
+      Simulate(fleet.trace, &base, options).ValueOrDie();
+  const double base_memory = base_outcome.metrics.average_memory;
+  std::printf("reference (theta_prewarm=2, scaler=1): memory %.1f, "
+              "Q3-CSR %.4f\n\n",
+              base_memory, base_outcome.metrics.q3_csr);
+
+  // (a) theta_prewarm sweep.
+  std::vector<SweepPoint> prewarm_points;
+  for (int theta : {1, 2, 3, 5, 10}) {
+    SpesConfig c;
+    c.theta_prewarm = theta;
+    SpesPolicy policy(c);
+    const SimulationOutcome outcome =
+        Simulate(fleet.trace, &policy, options).ValueOrDie();
+    prewarm_points.push_back({theta,
+                              outcome.metrics.average_memory / base_memory,
+                              outcome.metrics.q3_csr});
+  }
+  PrintSweep("(a) theta_prewarm in {1, 2, 3, 5, 10}:", prewarm_points,
+             "y = -0.1845 x + 0.3163");
+
+  // (b) theta_givenup scaler sweep.
+  std::vector<SweepPoint> givenup_points;
+  for (int scaler : {1, 2, 3, 4, 5}) {
+    SpesConfig c;
+    c.givenup_scaler = scaler;
+    SpesPolicy policy(c);
+    const SimulationOutcome outcome =
+        Simulate(fleet.trace, &policy, options).ValueOrDie();
+    givenup_points.push_back({scaler,
+                              outcome.metrics.average_memory / base_memory,
+                              outcome.metrics.q3_csr});
+  }
+  PrintSweep("(b) theta_givenup scaler in {1..5}:", givenup_points,
+             "y = -0.0427 x + 0.1686");
+
+  std::printf("expected shape (paper): memory and Q3-CSR roughly linear in"
+              "\ntheta_prewarm; growing theta_givenup buys much less cold-"
+              "\nstart reduction per unit of memory (idle functions should"
+              "\nbe evicted promptly).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 14 (RQ4): ablation of the inter-function correlation designs.
+//   w/o Corr        — no training-time "correlated" assignment (those
+//                     functions fall back to pulsed/possible/unknown);
+//                     online correlation for unseen functions kept.
+//   w/o Online-Corr — unseen functions treated as unknown; training-time
+//                     correlated links kept.
+// Paper: removing Corr raises Q3-CSR substantially (4.71% of functions are
+// correlated); removing Online-Corr has a slighter effect (1.89% unseen).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/spes_policy.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_fig14_ablation_correlation",
+                "Fig. 14 — impact of inter-function correlation (RQ4)",
+                config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const SimOptions options = bench::DefaultSimOptions(config);
+
+  struct Variant {
+    const char* label;
+    SpesConfig config;
+  };
+  std::vector<Variant> variants(3);
+  variants[0].label = "SPES (full)";
+  variants[1].label = "w/o Corr";
+  variants[1].config.enable_correlated = false;
+  variants[2].label = "w/o Online-Corr";
+  variants[2].config.enable_online_corr = false;
+
+  Table table({"variant", "Q3-CSR", "total colds", "norm memory",
+               "norm WMT", "correlated fns"});
+  double base_memory = 0.0, base_wmt = 0.0;
+  for (size_t i = 0; i < variants.size(); ++i) {
+    SpesPolicy policy(variants[i].config);
+    const SimulationOutcome outcome =
+        Simulate(fleet.trace, &policy, options).ValueOrDie();
+    if (i == 0) {
+      base_memory = outcome.metrics.average_memory;
+      base_wmt = static_cast<double>(outcome.metrics.wasted_memory_minutes);
+    }
+    const auto types = policy.CountByType();
+    table.AddRow(
+        {variants[i].label, FormatDouble(outcome.metrics.q3_csr, 4),
+         std::to_string(outcome.metrics.total_cold_starts),
+         FormatDouble(outcome.metrics.average_memory / base_memory, 3),
+         FormatDouble(base_wmt > 0
+                          ? static_cast<double>(
+                                outcome.metrics.wasted_memory_minutes) /
+                                base_wmt
+                          : 0.0,
+                      3),
+         std::to_string(
+             types[static_cast<size_t>(FunctionType::kCorrelated)])});
+  }
+  table.Print();
+  std::printf("\nexpected shape (paper): both ablations raise Q3-CSR;"
+              "\nremoving the training-time correlation hurts more than"
+              "\nremoving the online variant (it touches more functions).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Micro-benchmarks (google-benchmark) for SPES's hot paths: WT extraction,
+// deterministic categorization, the per-minute provision step and the IAT
+// histogram update. These back the RQ2 overhead discussion: every per-
+// invocation operation must be O(1)-ish for the unbillable scheduling
+// window.
+
+#include <benchmark/benchmark.h>
+
+#include "core/categorizer.h"
+#include "core/series_features.h"
+#include "core/spes_policy.h"
+#include "policies/iat_histogram.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+std::vector<uint32_t> PeriodicCounts(int n, int period) {
+  std::vector<uint32_t> counts(static_cast<size_t>(n), 0);
+  for (int t = 0; t < n; t += period) counts[static_cast<size_t>(t)] = 1;
+  return counts;
+}
+
+void BM_ExtractSeriesFeatures(benchmark::State& state) {
+  const auto counts =
+      PeriodicCounts(static_cast<int>(state.range(0)), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExtractSeriesFeatures(counts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractSeriesFeatures)->Arg(1440)->Arg(20160);
+
+void BM_CategorizeDeterministic(benchmark::State& state) {
+  const auto counts =
+      PeriodicCounts(static_cast<int>(state.range(0)), 31);
+  const SpesConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CategorizeDeterministic(counts, config));
+  }
+}
+BENCHMARK(BM_CategorizeDeterministic)->Arg(1440)->Arg(20160);
+
+void BM_IatHistogramRecordAndQuery(benchmark::State& state) {
+  IatHistogram hist(240);
+  int iat = 1;
+  for (auto _ : state) {
+    hist.Record(iat);
+    iat = iat % 240 + 1;
+    benchmark::DoNotOptimize(hist.PercentileMinute(99.0));
+  }
+}
+BENCHMARK(BM_IatHistogramRecordAndQuery);
+
+void BM_SpesProvisionMinute(benchmark::State& state) {
+  GeneratorConfig config;
+  config.num_functions = static_cast<int>(state.range(0));
+  config.days = 3;
+  config.seed = 7;
+  const GeneratedTrace fleet = GenerateTrace(config).ValueOrDie();
+  SpesPolicy policy;
+  const int train = 2 * kMinutesPerDay;
+  policy.Train(fleet.trace, train);
+  MemSet mem(fleet.trace.num_functions());
+  std::vector<Invocation> arrivals;
+  int t = train;
+  for (auto _ : state) {
+    arrivals.clear();
+    for (size_t f = 0; f < fleet.trace.num_functions(); ++f) {
+      const uint32_t c = fleet.trace.function(f).counts[
+          static_cast<size_t>(t)];
+      if (c > 0) arrivals.push_back({static_cast<uint32_t>(f), c});
+    }
+    policy.OnMinute(t, arrivals, &mem);
+    t = train + (t + 1 - train) % (fleet.trace.num_minutes() - train);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpesProvisionMinute)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace spes
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Helper running SPES plus the five baselines of §V-A1 on a fleet.
+
+#ifndef SPES_BENCH_BENCH_POLICIES_H_
+#define SPES_BENCH_BENCH_POLICIES_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/spes_policy.h"
+#include "policies/defuse.h"
+#include "policies/faascache.h"
+#include "policies/fixed_keepalive.h"
+#include "policies/hybrid_histogram.h"
+
+namespace spes {
+namespace bench {
+
+/// \brief Outcome of running the full policy suite.
+struct SuiteResult {
+  /// SPES first, then Defuse, HF, HA, Fixed-10min, FaasCache (the paper's
+  /// baseline set); FaasCache's capacity is SPES's peak memory, as in §V-A1.
+  std::vector<SimulationOutcome> outcomes;
+  /// The trained SPES policy (for per-type breakdowns).
+  std::unique_ptr<SpesPolicy> spes;
+};
+
+inline SuiteResult RunPolicySuite(const Trace& trace,
+                                  const SimOptions& options,
+                                  const SpesConfig& spes_config = {}) {
+  SuiteResult result;
+  result.spes = std::make_unique<SpesPolicy>(spes_config);
+  result.outcomes.push_back(
+      Simulate(trace, result.spes.get(), options).ValueOrDie());
+  const uint64_t spes_peak = result.outcomes[0].metrics.max_memory;
+
+  DefusePolicy defuse;
+  result.outcomes.push_back(Simulate(trace, &defuse, options).ValueOrDie());
+  HybridHistogramPolicy hf(HybridGranularity::kFunction);
+  result.outcomes.push_back(Simulate(trace, &hf, options).ValueOrDie());
+  HybridHistogramPolicy ha(HybridGranularity::kApplication);
+  result.outcomes.push_back(Simulate(trace, &ha, options).ValueOrDie());
+  FixedKeepAlivePolicy fixed(10);
+  result.outcomes.push_back(Simulate(trace, &fixed, options).ValueOrDie());
+  FaasCachePolicy faascache(spes_peak);
+  result.outcomes.push_back(
+      Simulate(trace, &faascache, options).ValueOrDie());
+  return result;
+}
+
+inline std::vector<FleetMetrics> SuiteMetrics(const SuiteResult& suite) {
+  std::vector<FleetMetrics> metrics;
+  metrics.reserve(suite.outcomes.size());
+  for (const SimulationOutcome& outcome : suite.outcomes) {
+    metrics.push_back(outcome.metrics);
+  }
+  return metrics;
+}
+
+}  // namespace bench
+}  // namespace spes
+
+#endif  // SPES_BENCH_BENCH_POLICIES_H_

@@ -1,0 +1,43 @@
+// RQ2-2: scheduling overhead — wall-clock seconds each policy spends
+// deciding provision per simulated minute. Paper: the fixed keep-alive is
+// fastest (0.024 s/min on their workstation at 83k functions); SPES adds
+// 0.44 s/min, ~6.8% below FaasCache; histogram policies are the slowest.
+// Absolute values depend on fleet size and hardware; compare ordering.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "bench/bench_policies.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_rq2_overhead",
+                "RQ2 — provisioning overhead per simulated minute", config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const SimOptions options = bench::DefaultSimOptions(config);
+  const bench::SuiteResult suite = bench::RunPolicySuite(fleet.trace, options);
+
+  Table table({"policy", "total overhead (s)", "overhead (s/sim-minute)",
+               "complexity per minute"});
+  const char* complexity[] = {
+      "O(n) rule lookups",          // SPES
+      "O(n) + histogram updates",   // Defuse
+      "O(n) histogram windows",     // HF
+      "O(apps) histogram windows",  // HA
+      "O(n) timer scan",            // Fixed
+      "O(n) GDSF scan on pressure"  // FaasCache
+  };
+  for (size_t i = 0; i < suite.outcomes.size(); ++i) {
+    const FleetMetrics& m = suite.outcomes[i].metrics;
+    table.AddRow({m.policy_name, FormatDouble(m.overhead_seconds, 3),
+                  FormatDouble(m.overhead_seconds_per_minute, 6),
+                  complexity[i]});
+  }
+  table.Print();
+  std::printf("\nexpected shape (paper): fixed keep-alive cheapest; SPES's"
+              "\nrule-based overhead is inconsequential relative to typical"
+              "\nserverless platform latencies.\n");
+  return 0;
+}

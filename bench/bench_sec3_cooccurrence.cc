@@ -1,0 +1,97 @@
+// §III-B2 statistics: co-occurrence rates. Paper: candidate functions
+// (sharing an app/user) average COR 0.2312 vs 0.0504 for negative samples
+// (~4.6x); same-trigger candidates average 0.2710 vs 0.1307 for
+// different-trigger candidates.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/correlation.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_sec3_cooccurrence",
+                "Sec. III-B2 — co-occurrence rate (COR) statistics", config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+  const Trace& trace = fleet.trace;
+  Rng rng(config.seed ^ 0xc0ffee);
+
+  std::vector<double> candidate_cors, negative_cors;
+  std::vector<double> same_trigger_cors, diff_trigger_cors;
+
+  const auto by_app = trace.GroupByApp();
+  const auto by_owner = trace.GroupByOwner();
+
+  for (size_t f = 0; f < trace.num_functions(); ++f) {
+    const FunctionTrace& target = trace.function(f);
+    if (target.InvokedMinutes() < 5) continue;
+
+    // Candidate functions: share the app or owner.
+    std::vector<size_t> candidates;
+    auto app_it = by_app.find(target.meta.app);
+    if (app_it != by_app.end()) {
+      for (size_t c : app_it->second) {
+        if (c != f) candidates.push_back(c);
+      }
+    }
+    auto owner_it = by_owner.find(target.meta.owner);
+    if (owner_it != by_owner.end()) {
+      for (size_t c : owner_it->second) {
+        if (c != f && trace.function(c).meta.app != target.meta.app) {
+          candidates.push_back(c);
+        }
+      }
+    }
+    if (candidates.empty()) continue;
+
+    for (size_t c : candidates) {
+      const double cor =
+          CoOccurrenceRate(target.counts, trace.function(c).counts);
+      candidate_cors.push_back(cor);
+      if (trace.function(c).meta.trigger == target.meta.trigger) {
+        same_trigger_cors.push_back(cor);
+      } else {
+        diff_trigger_cors.push_back(cor);
+      }
+    }
+    // Negative samples: functions with no app/owner overlap (paper uses 50
+    // per target; a handful suffices at our fleet size).
+    for (int k = 0; k < 10; ++k) {
+      const size_t c = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(trace.num_functions()) - 1));
+      if (c == f || trace.function(c).meta.app == target.meta.app ||
+          trace.function(c).meta.owner == target.meta.owner) {
+        continue;
+      }
+      negative_cors.push_back(
+          CoOccurrenceRate(target.counts, trace.function(c).counts));
+    }
+  }
+
+  const double cand = Mean(candidate_cors);
+  const double neg = Mean(negative_cors);
+  Table table({"population", "samples", "mean COR", "paper"});
+  table.AddRow({"candidates (shared app/owner)",
+                std::to_string(candidate_cors.size()), FormatDouble(cand, 4),
+                "0.2312"});
+  table.AddRow({"negative samples", std::to_string(negative_cors.size()),
+                FormatDouble(neg, 4), "0.0504"});
+  table.AddRow({"same-trigger candidates",
+                std::to_string(same_trigger_cors.size()),
+                FormatDouble(Mean(same_trigger_cors), 4), "0.2710"});
+  table.AddRow({"different-trigger candidates",
+                std::to_string(diff_trigger_cors.size()),
+                FormatDouble(Mean(diff_trigger_cors), 4), "0.1307"});
+  table.Print();
+  if (neg > 0.0) {
+    std::printf("\ncandidate/negative ratio: %.2fx (paper: ~4.6x)\n",
+                cand / neg);
+  }
+  std::printf("\nexpected shape (paper): candidates co-occur several times"
+              "\nmore than negatives; same-trigger candidates the most.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// §III-B1 statistics: Kolmogorov-Smirnov regularity of invocations by
+// trigger. Paper: 68.12% of timer-triggered functions (with > 10 samples)
+// are (quasi-)periodic; 45.02% of HTTP-triggered functions follow a
+// Poisson arrival process (exponential gaps).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/ks_test.h"
+#include "common/table.h"
+#include "core/series_features.h"
+
+int main() {
+  using namespace spes;
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  bench::Banner("bench_sec3_trigger_regularity",
+                "Sec. III-B1 — KS-test regularity by trigger type", config);
+  const GeneratedTrace fleet = bench::MakeFleet(config);
+
+  int64_t timer_total = 0, timer_periodic = 0, timer_skipped = 0;
+  int64_t http_total = 0, http_poisson = 0, http_skipped = 0;
+
+  for (size_t f = 0; f < fleet.trace.num_functions(); ++f) {
+    const FunctionTrace& function = fleet.trace.function(f);
+    const SeriesFeatures features = ExtractSeriesFeatures(function.counts);
+    // Gaps between consecutive arrival minutes (WT + 1 per §IV).
+    std::vector<int64_t> gaps;
+    gaps.reserve(features.wts.size());
+    for (int64_t wt : features.wts) gaps.push_back(wt + 1);
+
+    if (function.meta.trigger == TriggerType::kTimer) {
+      if (features.total_invocations <= 10 || gaps.size() < 10) {
+        ++timer_skipped;
+        continue;
+      }
+      ++timer_total;
+      if (KsTestPeriodic(gaps).consistent) ++timer_periodic;
+    } else if (function.meta.trigger == TriggerType::kHttp) {
+      if (features.total_invocations <= 10 || gaps.size() < 10) {
+        ++http_skipped;
+        continue;
+      }
+      ++http_total;
+      if (KsTestExponential(gaps).consistent) ++http_poisson;
+    }
+  }
+
+  Table table({"population", "tested", "consistent", "measured", "paper"});
+  table.AddRow({"timer: (quasi-)periodic", std::to_string(timer_total),
+                std::to_string(timer_periodic),
+                FormatPercent(timer_total == 0
+                                  ? 0.0
+                                  : static_cast<double>(timer_periodic) /
+                                        static_cast<double>(timer_total),
+                              2),
+                "68.12%"});
+  table.AddRow({"http: Poisson arrivals", std::to_string(http_total),
+                std::to_string(http_poisson),
+                FormatPercent(http_total == 0
+                                  ? 0.0
+                                  : static_cast<double>(http_poisson) /
+                                        static_cast<double>(http_total),
+                              2),
+                "45.02%"});
+  table.Print();
+  std::printf("\n(skipped for insufficient samples: %lld timer, %lld http;"
+              "\n paper similarly excludes 6.65%% / 36.20%%)\n",
+              static_cast<long long>(timer_skipped),
+              static_cast<long long>(http_skipped));
+  std::printf("\nexpected shape (paper): a majority of timers are periodic;"
+              "\nroughly half of HTTP functions look Poisson.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scenario from the paper's introduction: an e-commerce site on FaaS that
+// sees a 10x holiday traffic spike. The provisioning method must scale its
+// decisions with the burst and keep latency low while the workload is hot,
+// without pinning memory once traffic subsides.
+//
+// This example builds the scenario trace by hand — a storefront HTTP
+// function, a checkout chain (cart -> payment -> receipt), and a nightly
+// reconciliation timer — injects a 10x spike on the final day, and shows
+// how SPES's categorization serves the spike warm while evicting promptly
+// afterwards.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/spes_policy.h"
+#include "metrics/report.h"
+#include "policies/fixed_keepalive.h"
+#include "sim/engine.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace spes;
+
+constexpr int kDays = 6;
+constexpr int kHorizon = kDays * kMinutesPerDay;
+constexpr int kSpikeStart = (kDays - 1) * kMinutesPerDay;  // final day
+
+FunctionTrace MakeFunction(const char* name, TriggerType trigger) {
+  FunctionTrace f;
+  f.meta.owner = "shop-owner";
+  f.meta.app = "shop-app";
+  f.meta.name = name;
+  f.meta.trigger = trigger;
+  f.counts.assign(kHorizon, 0);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+
+  // Storefront: Poisson browsing traffic, 10x during the spike.
+  FunctionTrace storefront = MakeFunction("storefront", TriggerType::kHttp);
+  for (int t = 0; t < kHorizon; ++t) {
+    const double base = t >= kSpikeStart ? 30.0 : 3.0;
+    storefront.counts[static_cast<size_t>(t)] =
+        static_cast<uint32_t>(rng.Poisson(base));
+  }
+
+  // Checkout chain: cart fires on ~5% of storefront minutes; payment and
+  // receipt follow 1 and 2 minutes later.
+  FunctionTrace cart = MakeFunction("cart", TriggerType::kHttp);
+  FunctionTrace payment = MakeFunction("payment", TriggerType::kQueue);
+  FunctionTrace receipt = MakeFunction("receipt", TriggerType::kQueue);
+  for (int t = 0; t + 2 < kHorizon; ++t) {
+    if (storefront.counts[static_cast<size_t>(t)] == 0) continue;
+    const double p = t >= kSpikeStart ? 0.5 : 0.05;
+    if (rng.Bernoulli(p)) {
+      cart.counts[static_cast<size_t>(t)] += 1;
+      payment.counts[static_cast<size_t>(t + 1)] += 1;
+      receipt.counts[static_cast<size_t>(t + 2)] += 1;
+    }
+  }
+
+  // Nightly reconciliation: a timer at 03:00 every day.
+  FunctionTrace nightly = MakeFunction("nightly-recon", TriggerType::kTimer);
+  for (int d = 0; d < kDays; ++d) {
+    nightly.counts[static_cast<size_t>(d * kMinutesPerDay + 180)] = 1;
+  }
+
+  Trace trace(kHorizon);
+  trace.Add(std::move(storefront)).CheckOK();
+  trace.Add(std::move(cart)).CheckOK();
+  trace.Add(std::move(payment)).CheckOK();
+  trace.Add(std::move(receipt)).CheckOK();
+  trace.Add(std::move(nightly)).CheckOK();
+
+  SimOptions options;
+  options.train_minutes = 4 * kMinutesPerDay;  // spike is NOT in training
+
+  SpesPolicy spes;
+  const SimulationOutcome outcome =
+      Simulate(trace, &spes, options).ValueOrDie();
+
+  std::printf("e-commerce app under a 10x final-day spike\n");
+  std::printf("==========================================\n\n");
+  std::printf("%-15s %-14s %12s %12s %8s\n", "function", "SPES type",
+              "invocations", "cold starts", "CSR");
+  for (size_t f = 0; f < trace.num_functions(); ++f) {
+    const FunctionAccount& acc = outcome.accounts[f];
+    std::printf("%-15s %-14s %12llu %12llu %8.4f\n",
+                trace.function(f).meta.name.c_str(),
+                FunctionTypeToString(spes.TypeOf(f)),
+                static_cast<unsigned long long>(acc.invocations),
+                static_cast<unsigned long long>(acc.cold_starts),
+                acc.ColdStartRate());
+  }
+
+  FixedKeepAlivePolicy fixed(10);
+  const SimulationOutcome fixed_outcome =
+      Simulate(trace, &fixed, options).ValueOrDie();
+
+  std::printf("\naggregate (simulated window, incl. spike):\n");
+  BuildComparisonTable({outcome.metrics, fixed_outcome.metrics}, "SPES")
+      .Print();
+  std::printf(
+      "\nSPES rides the spike warm (dense/correlated categorization) and"
+      "\npre-warms the nightly timer right before 03:00, while the fixed"
+      "\npolicy pays a cold start per checkout lull and keeps idle"
+      "\ninstances loaded for 10 minutes each.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Multi-stage processing workflow (paper §I / §III-B2): functions within
+// an application are invoked in turn, so an upstream function's arrival
+// predicts its successors. This example builds a 4-stage pipeline whose
+// tail stages fire only for a fraction of events — too rarely for interval
+// rules, but perfectly predictable through SPES's T-lagged co-occurrence.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/correlation.h"
+#include "core/spes_policy.h"
+#include "policies/defuse.h"
+#include "sim/engine.h"
+#include "trace/trace.h"
+
+namespace {
+
+using namespace spes;
+
+constexpr int kDays = 8;
+constexpr int kHorizon = kDays * kMinutesPerDay;
+
+FunctionTrace MakeFunction(const char* name, TriggerType trigger) {
+  FunctionTrace f;
+  f.meta.owner = "etl-owner";
+  f.meta.app = "etl-pipeline";
+  f.meta.name = name;
+  f.meta.trigger = trigger;
+  f.counts.assign(kHorizon, 0);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(11);
+
+  // Stage 1 — ingest: a new data batch lands every ~45 minutes (queue).
+  FunctionTrace ingest = MakeFunction("ingest", TriggerType::kQueue);
+  // Stage 2 — transform: runs 2 minutes after every ingest.
+  FunctionTrace transform = MakeFunction("transform", TriggerType::kQueue);
+  // Stage 3 — enrich: runs 4 minutes after ingest for ~40% of batches.
+  FunctionTrace enrich = MakeFunction("enrich", TriggerType::kQueue);
+  // Stage 4 — alert: runs 5 minutes after ingest for ~10% of batches
+  // (anomalous ones), at unpredictable batch positions.
+  FunctionTrace alert = MakeFunction("alert", TriggerType::kQueue);
+
+  int t = 5;
+  while (t + 5 < kHorizon) {
+    ingest.counts[static_cast<size_t>(t)] += 1;
+    transform.counts[static_cast<size_t>(t + 2)] += 1;
+    if (rng.Bernoulli(0.4)) enrich.counts[static_cast<size_t>(t + 4)] += 1;
+    if (rng.Bernoulli(0.1)) alert.counts[static_cast<size_t>(t + 5)] += 1;
+    t += 40 + static_cast<int>(rng.UniformInt(0, 10));
+  }
+
+  Trace trace(kHorizon);
+  trace.Add(std::move(ingest)).CheckOK();
+  trace.Add(std::move(transform)).CheckOK();
+  trace.Add(std::move(enrich)).CheckOK();
+  trace.Add(std::move(alert)).CheckOK();
+
+  // Show the raw signal SPES mines: the T-lagged co-occurrence of each
+  // downstream stage with the ingest function.
+  std::printf("T-lagged co-occurrence with 'ingest' (training window):\n");
+  for (size_t f = 1; f < trace.num_functions(); ++f) {
+    const BestLag best =
+        BestLaggedCor(trace.function(f).counts, trace.function(0).counts,
+                      /*max_lag=*/10);
+    std::printf("  %-10s best lag %2d, T-COR %.3f\n",
+                trace.function(f).meta.name.c_str(), best.lag, best.cor);
+  }
+
+  SimOptions options;
+  options.train_minutes = 6 * kMinutesPerDay;
+
+  SpesPolicy spes;
+  const SimulationOutcome spes_outcome =
+      Simulate(trace, &spes, options).ValueOrDie();
+  DefusePolicy defuse;
+  const SimulationOutcome defuse_outcome =
+      Simulate(trace, &defuse, options).ValueOrDie();
+
+  std::printf("\nper-stage results over the simulated window:\n");
+  std::printf("%-10s %-14s | %18s | %18s\n", "stage", "SPES type",
+              "SPES cold/invoked", "Defuse cold/invoked");
+  for (size_t f = 0; f < trace.num_functions(); ++f) {
+    const FunctionAccount& s = spes_outcome.accounts[f];
+    const FunctionAccount& d = defuse_outcome.accounts[f];
+    std::printf("%-10s %-14s | %8llu / %7llu | %8llu / %7llu\n",
+                trace.function(f).meta.name.c_str(),
+                FunctionTypeToString(spes.TypeOf(f)),
+                static_cast<unsigned long long>(s.cold_starts),
+                static_cast<unsigned long long>(s.invocations),
+                static_cast<unsigned long long>(d.cold_starts),
+                static_cast<unsigned long long>(d.invocations));
+  }
+  std::printf(
+      "\nwasted memory (instance-minutes): SPES %llu vs Defuse %llu\n",
+      static_cast<unsigned long long>(
+          spes_outcome.metrics.wasted_memory_minutes),
+      static_cast<unsigned long long>(
+          defuse_outcome.metrics.wasted_memory_minutes));
+  std::printf(
+      "\nthe rare tail stages ride the ingest signal: SPES links them via"
+      "\nT-COR and pre-warms only when a batch is actually in flight.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "common/ks_test.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace spes {
+
+double KolmogorovSurvival(double x) {
+  if (x <= 0.0) return 1.0;
+  // The series converges very fast for x >~ 0.3; below that the survival
+  // probability is essentially 1.
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term =
+        std::exp(-2.0 * k * k * x * x) * (k % 2 == 1 ? 1.0 : -1.0);
+    sum += term;
+    if (std::abs(term) < 1e-12) break;
+  }
+  const double q = 2.0 * sum;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+KsResult KsTest(const std::vector<double>& samples,
+                const std::function<double(double)>& cdf) {
+  KsResult result;
+  if (samples.empty()) return result;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    const double ecdf_hi = static_cast<double>(i + 1) / n;
+    const double ecdf_lo = static_cast<double>(i) / n;
+    d = std::max(d, std::max(std::abs(ecdf_hi - f), std::abs(f - ecdf_lo)));
+  }
+  result.statistic = d;
+  const double sqrt_n = std::sqrt(n);
+  // Asymptotic correction per Stephens (1970).
+  const double arg = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  result.p_value = KolmogorovSurvival(arg);
+  result.consistent = result.p_value >= 0.05;
+  return result;
+}
+
+KsResult KsTestPeriodic(const std::vector<int64_t>& gaps) {
+  if (gaps.empty()) return {};
+  const double mu = Mean(gaps);
+  double sigma = StdDev(gaps);
+  // A strictly periodic signal has sigma == 0; treat a tight cluster around
+  // the mean as periodic by flooring the dispersion at half a slot. With
+  // this floor, a perfectly periodic sample yields D ~ 0.5 relative to the
+  // smoothed reference, so test against a tolerance band instead: the gaps
+  // are "periodic" when nearly all mass is within one slot of the mean.
+  if (sigma < 0.5) sigma = 0.5;
+  std::vector<double> xs(gaps.begin(), gaps.end());
+  const double kInvSqrt2 = 0.7071067811865476;
+  auto normal_cdf = [mu, sigma, kInvSqrt2](double x) {
+    return 0.5 * std::erfc(-(x - mu) / sigma * kInvSqrt2);
+  };
+  KsResult ks = KsTest(xs, normal_cdf);
+  // Quasi-periodicity escape hatch: if >= 95% of gaps are within 1 slot of
+  // the mode, call the sample periodic regardless of the smoothed KS result.
+  std::vector<ModeEntry> modes = TopModes(gaps, 1);
+  if (!modes.empty()) {
+    int64_t near = 0;
+    for (int64_t g : gaps) {
+      if (std::llabs(g - modes[0].value) <= 1) ++near;
+    }
+    if (static_cast<double>(near) >=
+        0.95 * static_cast<double>(gaps.size())) {
+      ks.consistent = true;
+      if (ks.p_value < 0.05) ks.p_value = 0.05;
+    }
+  }
+  return ks;
+}
+
+KsResult KsTestExponential(const std::vector<int64_t>& gaps) {
+  if (gaps.empty()) return {};
+  const double mu = Mean(gaps);
+  if (mu <= 0.0) return {};
+  const double rate = 1.0 / mu;
+  std::vector<double> xs;
+  xs.reserve(gaps.size());
+  // Jitter-free continuity correction: a gap recorded as k slots represents
+  // a continuous delay in [k, k+1); evaluate the CDF at the interval middle.
+  for (int64_t g : gaps) xs.push_back(static_cast<double>(g) + 0.5);
+  auto exp_cdf = [rate](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-rate * x);
+  };
+  return KsTest(xs, exp_cdf);
+}
+
+}  // namespace spes

@@ -1,0 +1,133 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace spes {
+
+namespace {
+
+template <typename T>
+double MeanImpl(const std::vector<T>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (T x : xs) sum += static_cast<double>(x);
+  return sum / static_cast<double>(xs.size());
+}
+
+template <typename T>
+double StdDevImpl(const std::vector<T>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = MeanImpl(xs);
+  double acc = 0.0;
+  for (T x : xs) {
+    const double d = static_cast<double>(x) - mu;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+}  // namespace
+
+double Mean(const std::vector<double>& xs) { return MeanImpl(xs); }
+double Mean(const std::vector<int64_t>& xs) { return MeanImpl(xs); }
+double StdDev(const std::vector<double>& xs) { return StdDevImpl(xs); }
+double StdDev(const std::vector<int64_t>& xs) { return StdDevImpl(xs); }
+
+double CoefficientOfVariation(const std::vector<int64_t>& xs) {
+  const double mu = Mean(xs);
+  if (mu == 0.0) return 0.0;
+  return StdDev(xs) / mu;
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  return PercentileSorted(xs, p);
+}
+
+double Percentile(std::vector<int64_t> xs, double p) {
+  std::vector<double> ds(xs.begin(), xs.end());
+  std::sort(ds.begin(), ds.end());
+  return PercentileSorted(ds, p);
+}
+
+double Median(const std::vector<int64_t>& xs) { return Percentile(xs, 50.0); }
+
+std::vector<ModeEntry> TopModes(const std::vector<int64_t>& xs, int n) {
+  if (n <= 0 || xs.empty()) return {};
+  std::map<int64_t, int64_t> counts;
+  for (int64_t x : xs) ++counts[x];
+  std::vector<ModeEntry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [value, count] : counts) entries.push_back({value, count});
+  std::sort(entries.begin(), entries.end(),
+            [](const ModeEntry& a, const ModeEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (entries.size() > static_cast<size_t>(n)) entries.resize(n);
+  return entries;
+}
+
+std::vector<ModeEntry> RepeatedValues(const std::vector<int64_t>& xs) {
+  std::vector<ModeEntry> modes =
+      TopModes(xs, static_cast<int>(xs.size()));
+  std::vector<ModeEntry> repeated;
+  for (const ModeEntry& m : modes) {
+    if (m.count > 1) repeated.push_back(m);
+  }
+  return repeated;
+}
+
+std::vector<CdfPoint> EmpiricalCdf(const std::vector<double>& xs) {
+  if (xs.empty()) return {};
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const double n = static_cast<double>(sorted.size());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    // Collapse runs of equal values into a single step.
+    if (!cdf.empty() && cdf.back().value == sorted[i]) {
+      cdf.back().fraction = static_cast<double>(i + 1) / n;
+    } else {
+      cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+    }
+  }
+  return cdf;
+}
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  LinearFit fit;
+  if (xs.size() != ys.size() || xs.size() < 2) return fit;
+  const double n = static_cast<double>(xs.size());
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy > 0.0) fit.r_squared = (sxy * sxy) / (sxx * syy);
+  (void)n;
+  return fit;
+}
+
+}  // namespace spes

@@ -1,0 +1,78 @@
+// Descriptive statistics used throughout SPES's categorization rules:
+// percentiles, modes, coefficient of variation, medians, CDFs and a simple
+// least-squares linear fit (for the Fig. 13 trade-off analysis).
+
+#ifndef SPES_COMMON_STATS_H_
+#define SPES_COMMON_STATS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spes {
+
+/// \brief Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+double Mean(const std::vector<int64_t>& xs);
+
+/// \brief Population standard deviation; 0 for fewer than 2 samples.
+double StdDev(const std::vector<double>& xs);
+double StdDev(const std::vector<int64_t>& xs);
+
+/// \brief Coefficient of variation: stddev / mean; 0 when the mean is 0.
+///
+/// SPES's "regular" rule declares a function periodic when the CV of its
+/// waiting times is <= 0.01.
+double CoefficientOfVariation(const std::vector<int64_t>& xs);
+
+/// \brief p-th percentile (p in [0,100]) with linear interpolation.
+///
+/// Matches numpy.percentile's default ("linear") so that thresholds such as
+/// P95({WT}) - P5({WT}) <= 1 behave as in the paper's reference tooling.
+/// Returns 0 for an empty input.
+double Percentile(std::vector<double> xs, double p);
+double Percentile(std::vector<int64_t> xs, double p);
+
+/// \brief Median; 0 for an empty input.
+double Median(const std::vector<int64_t>& xs);
+
+/// \brief A value and how many times it occurs.
+struct ModeEntry {
+  int64_t value = 0;
+  int64_t count = 0;
+  bool operator==(const ModeEntry&) const = default;
+};
+
+/// \brief The n most frequent values, ordered by descending count
+/// (ties broken by ascending value for determinism).
+std::vector<ModeEntry> TopModes(const std::vector<int64_t>& xs, int n);
+
+/// \brief Values that occur strictly more than once, most frequent first.
+///
+/// This is the predictive-value rule for SPES's "possible" type.
+std::vector<ModeEntry> RepeatedValues(const std::vector<int64_t>& xs);
+
+/// \brief Empirical CDF point: (value, fraction of samples <= value).
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// \brief Builds an empirical CDF over the samples (sorted by value).
+std::vector<CdfPoint> EmpiricalCdf(const std::vector<double>& xs);
+
+/// \brief Least-squares fit y = slope * x + intercept.
+///
+/// Used by the Fig. 13 harness to report the linear memory-vs-CSR
+/// relationship the paper observes. Requires xs.size() == ys.size() >= 2.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace spes
+
+#endif  // SPES_COMMON_STATS_H_

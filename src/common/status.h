@@ -1,0 +1,165 @@
+// Status / Result error-handling primitives in the Arrow/RocksDB idiom.
+//
+// The library does not throw exceptions across public API boundaries.
+// Fallible operations return a Status (or a Result<T> carrying a value),
+// and callers are expected to check them. See the SPES_RETURN_NOT_OK and
+// SPES_ASSIGN_OR_RETURN convenience macros at the bottom of this header.
+
+#ifndef SPES_COMMON_STATUS_H_
+#define SPES_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spes {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kIOError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation. Non-OK statuses carry a message
+/// describing the failure. Status is cheap to move and copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// \name Factory helpers, one per StatusCode.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process with the status message if not OK.
+  ///
+  /// Intended for examples and benches where failure is unrecoverable.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// Result<T> is the value-carrying companion of Status. Accessing the value
+/// of an errored Result aborts, so callers must test ok() (or use
+/// SPES_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, enables `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit, enables `return status;`).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status, or OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Borrow the value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(repr_);
+  }
+  /// \brief Move the value out; aborts if this Result holds an error.
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// \brief Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace spes
+
+/// Propagates a non-OK Status to the caller.
+#define SPES_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::spes::Status _spes_status = (expr);          \
+    if (!_spes_status.ok()) return _spes_status;   \
+  } while (false)
+
+#define SPES_CONCAT_IMPL(a, b) a##b
+#define SPES_CONCAT(a, b) SPES_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define SPES_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto SPES_CONCAT(_spes_result_, __LINE__) = (rexpr);           \
+  if (!SPES_CONCAT(_spes_result_, __LINE__).ok())                \
+    return SPES_CONCAT(_spes_result_, __LINE__).status();        \
+  lhs = std::move(SPES_CONCAT(_spes_result_, __LINE__)).ValueOrDie()
+
+#endif  // SPES_COMMON_STATUS_H_

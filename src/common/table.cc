@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spes {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) std::abort();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) out += "  ";
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(headers_);
+  std::string sep;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep.append(widths[c], '-');
+    if (c + 1 < widths.size()) sep += "  ";
+  }
+  out += sep + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string AsciiBar(double fraction, int width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string bar(filled, '#');
+  bar.append(static_cast<size_t>(width - filled), ' ');
+  return bar;
+}
+
+}  // namespace spes

@@ -1,0 +1,47 @@
+// Fixed-width ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of its paper figure with this
+// printer so outputs are uniform and diffable across runs.
+
+#ifndef SPES_COMMON_TABLE_H_
+#define SPES_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spes {
+
+/// \brief A simple left-aligned ASCII table builder.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// \brief Appends a pre-formatted row; must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders the table with a header separator line.
+  std::string ToString() const;
+
+  /// \brief Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with the given number of decimals.
+std::string FormatDouble(double value, int decimals);
+
+/// \brief Formats a fraction (0..1) as a percentage string, e.g. "49.77%".
+std::string FormatPercent(double fraction, int decimals);
+
+/// \brief Renders a horizontal ASCII bar of proportional width.
+std::string AsciiBar(double fraction, int width);
+
+}  // namespace spes
+
+#endif  // SPES_COMMON_TABLE_H_

@@ -1,0 +1,61 @@
+#include "core/correlation.h"
+
+namespace spes {
+
+double CoOccurrenceRate(std::span<const uint32_t> target,
+                        std::span<const uint32_t> candidate) {
+  return LaggedCoOccurrenceRate(target, candidate, 0);
+}
+
+double LaggedCoOccurrenceRate(std::span<const uint32_t> target,
+                              std::span<const uint32_t> candidate, int lag) {
+  if (lag < 0) lag = 0;
+  int64_t invoked = 0, co = 0;
+  const size_t n = std::min(target.size(), candidate.size());
+  for (size_t t = 0; t < n; ++t) {
+    if (target[t] == 0) continue;
+    ++invoked;
+    if (t >= static_cast<size_t>(lag) && candidate[t - lag] > 0) ++co;
+  }
+  if (invoked == 0) return 0.0;
+  return static_cast<double>(co) / static_cast<double>(invoked);
+}
+
+BestLag BestLaggedCor(std::span<const uint32_t> target,
+                      std::span<const uint32_t> candidate, int max_lag) {
+  BestLag best;
+  for (int lag = 0; lag <= max_lag; ++lag) {
+    const double cor = LaggedCoOccurrenceRate(target, candidate, lag);
+    if (cor > best.cor) {
+      best.cor = cor;
+      best.lag = lag;
+    }
+  }
+  return best;
+}
+
+BestLag BestLaggedCorFromSlots(const std::vector<int>& target_slots,
+                               std::span<const uint32_t> candidate,
+                               int max_lag) {
+  BestLag best;
+  if (target_slots.empty()) return best;
+  const double denom = static_cast<double>(target_slots.size());
+  for (int lag = 0; lag <= max_lag; ++lag) {
+    int64_t co = 0;
+    for (int t : target_slots) {
+      const int s = t - lag;
+      if (s >= 0 && s < static_cast<int>(candidate.size()) &&
+          candidate[static_cast<size_t>(s)] > 0) {
+        ++co;
+      }
+    }
+    const double cor = static_cast<double>(co) / denom;
+    if (cor > best.cor) {
+      best.cor = cor;
+      best.lag = lag;
+    }
+  }
+  return best;
+}
+
+}  // namespace spes

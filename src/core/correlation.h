@@ -1,0 +1,56 @@
+// Co-occurrence rate (COR) and T-lagged COR (§III-B2, §IV-B D2).
+//
+// COR of a target with respect to a candidate is the fraction of the
+// target's invoked slots at which the candidate is also invoked. The
+// T-lagged variant shifts the candidate forward by T slots, so a high
+// T-COR means "the candidate firing at time s predicts the target at
+// s + T" — exactly the structure of chained/fan-out workflows. Functions
+// whose best T-COR (T <= 10) reaches a threshold are linked; the candidate
+// then serves as a pre-warm indicator for the target.
+
+#ifndef SPES_CORE_CORRELATION_H_
+#define SPES_CORE_CORRELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spes {
+
+/// \brief Plain (lag-0) co-occurrence rate of `target` w.r.t. `candidate`:
+/// |{t : target[t]>0 and candidate[t]>0}| / |{t : target[t]>0}|.
+/// Returns 0 when the target never fires.
+double CoOccurrenceRate(std::span<const uint32_t> target,
+                        std::span<const uint32_t> candidate);
+
+/// \brief T-lagged COR: candidate shifted forward by `lag` slots, i.e.
+/// |{t : target[t]>0 and candidate[t-lag]>0}| / |{t : target[t]>0}|.
+double LaggedCoOccurrenceRate(std::span<const uint32_t> target,
+                              std::span<const uint32_t> candidate, int lag);
+
+/// \brief Best lag in [0, max_lag] and its T-COR value.
+struct BestLag {
+  int lag = 0;
+  double cor = 0.0;
+};
+BestLag BestLaggedCor(std::span<const uint32_t> target,
+                      std::span<const uint32_t> candidate, int max_lag);
+
+/// \brief A mined predictive link: candidate -> target with a fixed lag.
+struct CorrelationLink {
+  uint32_t target = 0;
+  uint32_t candidate = 0;
+  int lag = 0;
+  double cor = 0.0;
+};
+
+/// \brief BestLaggedCor computed from the target's pre-extracted arrival
+/// slots: O(max_lag * |target arrivals|) instead of scanning the horizon
+/// per lag. Equivalent to BestLaggedCor on the corresponding series.
+BestLag BestLaggedCorFromSlots(const std::vector<int>& target_slots,
+                               std::span<const uint32_t> candidate,
+                               int max_lag);
+
+}  // namespace spes
+
+#endif  // SPES_CORE_CORRELATION_H_

@@ -1,0 +1,62 @@
+#include "core/slacking.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace spes {
+
+std::vector<int64_t> TrimBoundaryWts(const std::vector<int64_t>& wts) {
+  if (wts.size() < 3) return {};
+  return std::vector<int64_t>(wts.begin() + 1, wts.end() - 1);
+}
+
+int64_t MergeAnchorMode(const std::vector<int64_t>& wts) {
+  if (wts.empty()) return 0;
+  std::map<int64_t, int64_t> counts;
+  for (int64_t w : wts) ++counts[w];
+  int64_t best_value = 0, best_count = 0;
+  for (const auto& [value, count] : counts) {
+    // >= prefers the larger value on count ties: the structural period,
+    // not its small fragments.
+    if (count >= best_count) {
+      best_count = count;
+      best_value = value;
+    }
+  }
+  return best_value;
+}
+
+std::vector<int64_t> MergeAdjacentSmallWts(const std::vector<int64_t>& wts,
+                                           int64_t tolerance) {
+  if (wts.size() < 2) return wts;
+  const int64_t mode = MergeAnchorMode(wts);
+  if (mode <= 0) return wts;
+  if (tolerance < 0) tolerance = std::max<int64_t>(1, mode / 100);
+
+  // Greedy accumulation with one-step lookahead: adjacent WTs merge while
+  // the running sum stays at or below mode + tolerance AND absorbing the
+  // next WT moves the sum closer to the mode. An accumulated gap is
+  // emitted once it lands within tolerance of the mode (or once the next
+  // WT would overshoot). This realises the paper's rule — mode-like WTs
+  // gradually swallow their adjacent small fragments — and turns
+  // (1439, 1438, 1, 1439, 1438, 1) into (1439, 1439, 1439, 1439).
+  std::vector<int64_t> merged;
+  merged.reserve(wts.size());
+  size_t i = 0;
+  while (i < wts.size()) {
+    int64_t acc = wts[i];
+    while (i + 1 < wts.size()) {
+      const int64_t next = acc + wts[i + 1];
+      if (next > mode + tolerance) break;
+      if (std::llabs(next - mode) > std::llabs(acc - mode)) break;
+      acc = next;
+      ++i;
+    }
+    merged.push_back(acc);
+    ++i;
+  }
+  return merged;
+}
+
+}  // namespace spes

@@ -1,0 +1,42 @@
+// WT slacking rules used by the "regular" categorization (§IV-A2).
+//
+// Real timers jitter: the first/last WTs of an observation window are
+// truncated, and periodic events occasionally split one nominal gap into a
+// large WT plus small fragments (blocked deliveries, stray extra events).
+// SPES therefore re-tests regularity after (a) trimming the boundary WTs
+// and (b) merging adjacent small WTs back into mode-sized gaps, turning
+// e.g. (1439, 1438, 1, 1439, 1438, 1) into (1439, 1439, 1439, 1439).
+
+#ifndef SPES_CORE_SLACKING_H_
+#define SPES_CORE_SLACKING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spes {
+
+/// \brief Returns the sequence without its first and last elements
+/// (empty when fewer than 3 elements).
+std::vector<int64_t> TrimBoundaryWts(const std::vector<int64_t>& wts);
+
+/// \brief Merges runs of adjacent small WTs into mode-valued WTs.
+///
+/// The reference value is the WT mode (most frequent value; ties broken
+/// toward the LARGEST value, since the structural gap dominates fragments).
+/// Scanning left to right, consecutive WTs are accumulated until the sum
+/// lands within `tolerance` of the mode, at which point the accumulated
+/// value is emitted; accumulation also flushes when it would overshoot
+/// (mode + tolerance), so no mass is lost. A sequence already matching the
+/// mode everywhere is returned unchanged.
+///
+/// \param tolerance closeness to the mode; defaults to max(1, mode/100).
+std::vector<int64_t> MergeAdjacentSmallWts(const std::vector<int64_t>& wts,
+                                           int64_t tolerance = -1);
+
+/// \brief The mode value the merge rule anchors on (ties -> largest value).
+/// Returns 0 for an empty sequence.
+int64_t MergeAnchorMode(const std::vector<int64_t>& wts);
+
+}  // namespace spes
+
+#endif  // SPES_CORE_SLACKING_H_

@@ -1,0 +1,486 @@
+#include "core/spes_policy.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "core/validation.h"
+
+namespace spes {
+
+SpesPolicy::SpesPolicy(SpesConfig config) : config_(config) {}
+
+int SpesPolicy::GivenUpThreshold(FunctionType type) const {
+  int base = config_.theta_givenup_default;
+  if (type == FunctionType::kDense) base = config_.theta_givenup_dense;
+  if (type == FunctionType::kPulsed) base = config_.theta_givenup_pulsed;
+  return base * std::max(1, config_.givenup_scaler);
+}
+
+bool SpesPolicy::PredictNearInvocation(const FunctionState& state,
+                                       int t) const {
+  const PredictiveModel& model = state.model;
+  if (model.type == FunctionType::kAlwaysWarm) return true;
+  if (state.last_arrival < 0) return false;
+  const int theta = config_.theta_prewarm;
+  if (model.type == FunctionType::kRegular && state.next_predicted >= 0) {
+    // Lattice prediction (advanced in OnMinute when an event is dropped).
+    return std::llabs(state.next_predicted - static_cast<int64_t>(t)) <=
+           theta;
+  }
+  if (model.continuous) {
+    // Dense (and narrow-possible): any time inside last + [lo, hi].
+    return t + theta >= state.last_arrival + model.range_lo &&
+           t - theta <= state.last_arrival + model.range_hi;
+  }
+  for (int64_t v : model.values) {
+    const int64_t predicted = state.last_arrival + v;
+    if (std::llabs(predicted - static_cast<int64_t>(t)) <= theta) return true;
+  }
+  return false;
+}
+
+void SpesPolicy::Train(const Trace& trace, int train_minutes) {
+  const size_t n = trace.num_functions();
+  states_.assign(n, FunctionState{});
+  links_by_candidate_.assign(n, {});
+  online_corr_.clear();
+  invoked_now_.assign(n, 0);
+  forgetting_recategorized_ = 0;
+  online_recategorized_ = 0;
+
+  const int validation_begin =
+      std::max(0, train_minutes - config_.validation_minutes);
+
+  // --- Pass 1: features + deterministic categorization. --------------------
+  std::vector<std::vector<int64_t>> training_wts(n);
+  std::vector<size_t> indeterminate;
+  for (size_t f = 0; f < n; ++f) {
+    const auto counts = trace.Slice(f, 0, train_minutes);
+    const SeriesFeatures features = ExtractSeriesFeatures(counts);
+    FunctionState& st = states_[f];
+    st.seen_in_training = features.total_invocations > 0;
+    if (features.last_invoked >= 0) {
+      st.last_arrival = static_cast<int>(features.last_invoked);
+      st.current_wt = train_minutes - 1 - st.last_arrival;
+    }
+    training_wts[f] = features.wts;
+    if (!st.seen_in_training) continue;  // unseen: handled by online corr
+
+    st.model = CategorizeDeterministic(counts, config_);
+    if (st.model.type == FunctionType::kUnknown && config_.enable_forgetting) {
+      PredictiveModel recovered = CategorizeWithForgetting(counts, config_);
+      if (recovered.type != FunctionType::kUnknown) {
+        st.model = recovered;
+        ++forgetting_recategorized_;
+      }
+    }
+    // Near-empty histories (a couple of invoked minutes) carry no signal
+    // for the supplementary strategies either: leave them unknown.
+    if (st.model.type == FunctionType::kUnknown &&
+        features.active_slots >= config_.indeterminate_min_invoked_minutes) {
+      indeterminate.push_back(f);
+    }
+  }
+
+  // --- Pass 2: indeterminate assignment by validation replay. --------------
+  const auto by_app = trace.GroupByApp();
+  const auto by_owner = trace.GroupByOwner();
+  for (size_t f : indeterminate) {
+    FunctionState& st = states_[f];
+    const auto validation = trace.Slice(f, validation_begin, train_minutes);
+
+    // Candidate functions: share the application or owner (§IV-B D2).
+    std::vector<CorrelationLink> links;
+    if (config_.enable_correlated) {
+      const std::vector<int> target_slots_vec = [&] {
+        std::vector<int> slots;
+        const auto train_slice = trace.Slice(f, 0, train_minutes);
+        for (size_t t = 0; t < train_slice.size(); ++t) {
+          if (train_slice[t] > 0) slots.push_back(static_cast<int>(t));
+        }
+        return slots;
+      }();
+      if (static_cast<int>(target_slots_vec.size()) >=
+          config_.tcor_min_target_arrivals) {
+        std::vector<size_t> candidates;
+        auto app_it = by_app.find(trace.function(f).meta.app);
+        if (app_it != by_app.end()) {
+          candidates.insert(candidates.end(), app_it->second.begin(),
+                            app_it->second.end());
+        }
+        auto owner_it = by_owner.find(trace.function(f).meta.owner);
+        if (owner_it != by_owner.end()) {
+          candidates.insert(candidates.end(), owner_it->second.begin(),
+                            owner_it->second.end());
+        }
+        std::sort(candidates.begin(), candidates.end());
+        candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                         candidates.end());
+        for (size_t c : candidates) {
+          if (c == f || !states_[c].seen_in_training) continue;
+          const auto candidate_slice = trace.Slice(c, 0, train_minutes);
+          const BestLag best = BestLaggedCorFromSlots(
+              target_slots_vec, candidate_slice, config_.tcor_max_lag);
+          if (best.cor < config_.tcor_threshold) continue;
+          // Precision check: how often does a candidate firing actually
+          // precede a target invocation? (Guards against hyperactive
+          // candidates that would pre-warm the target non-stop.)
+          int64_t cand_fires = 0, followed = 0;
+          const auto target_slice = trace.Slice(f, 0, train_minutes);
+          for (size_t s = 0; s < candidate_slice.size(); ++s) {
+            if (candidate_slice[s] == 0) continue;
+            ++cand_fires;
+            const size_t lo = s + static_cast<size_t>(std::max(
+                                      0, best.lag - config_.theta_prewarm));
+            const size_t hi =
+                s + static_cast<size_t>(best.lag + config_.theta_prewarm);
+            for (size_t u = lo; u <= hi && u < target_slice.size(); ++u) {
+              if (target_slice[u] > 0) {
+                ++followed;
+                break;
+              }
+            }
+          }
+          const double precision =
+              cand_fires == 0 ? 0.0
+                              : static_cast<double>(followed) /
+                                    static_cast<double>(cand_fires);
+          if (precision < config_.tcor_min_precision) continue;
+          links.push_back({static_cast<uint32_t>(f),
+                           static_cast<uint32_t>(c), best.lag, best.cor});
+        }
+      }
+    }
+
+    // D1: pulsed replay.
+    const StrategyCost pulsed = ReplayPulsed(
+        validation,
+        config_.theta_givenup_pulsed * std::max(1, config_.givenup_scaler));
+    // D2: correlated replay over the validation slices of linked functions.
+    std::vector<std::span<const uint32_t>> cand_validation;
+    std::vector<int> lags;
+    for (const CorrelationLink& link : links) {
+      cand_validation.push_back(
+          trace.Slice(link.candidate, validation_begin, train_minutes));
+      lags.push_back(link.lag);
+    }
+    const StrategyCost correlated =
+        ReplayCorrelated(validation, cand_validation, lags,
+                         config_.corr_prewarm_hold, config_.theta_prewarm);
+    // D3: possible replay from repeated training WTs.
+    const PredictiveModel possible_model =
+        FitPossibleModel(training_wts[f], config_);
+    const StrategyCost possible =
+        ReplayPossible(validation, possible_model, config_);
+
+    const AssignmentDecision decision =
+        ChooseAssignment(pulsed, correlated, possible, config_.alpha);
+    switch (decision.type) {
+      case FunctionType::kPulsed:
+        st.model = PredictiveModel{};
+        st.model.type = FunctionType::kPulsed;
+        st.model.offline_wt_stddev = StdDev(training_wts[f]);
+        break;
+      case FunctionType::kCorrelated:
+        st.model = PredictiveModel{};
+        st.model.type = FunctionType::kCorrelated;
+        for (const CorrelationLink& link : links) {
+          links_by_candidate_[link.candidate].push_back(link);
+        }
+        break;
+      case FunctionType::kPossible:
+        st.model = possible_model;
+        break;
+      default:
+        break;  // stays kUnknown: cold starts tolerated
+    }
+  }
+
+  // Seed lattice predictions so regular functions are covered from the
+  // first simulated minute.
+  for (FunctionState& st : states_) {
+    if (st.model.type == FunctionType::kRegular && !st.model.values.empty() &&
+        st.model.values[0] > 0 && st.last_arrival >= 0) {
+      st.next_predicted = st.last_arrival + st.model.values[0];
+    }
+  }
+
+  // --- Pass 3: online-correlation setup for unseen functions (§IV-C2). -----
+  if (config_.enable_online_corr) {
+    for (size_t f = 0; f < n; ++f) {
+      if (states_[f].seen_in_training) {
+        continue;
+      }
+      OnlineCorrState corr;
+      corr.target = static_cast<uint32_t>(f);
+      const TriggerType trigger = trace.function(f).meta.trigger;
+      // Prefer same-app, then same-owner, then any same-trigger function.
+      auto consider = [&](size_t c) {
+        if (c == f || !states_[c].seen_in_training) return;
+        if (trace.function(c).meta.trigger != trigger) return;
+        if (static_cast<int>(corr.candidates.size()) >=
+            config_.online_corr_max_candidates) {
+          return;
+        }
+        const uint32_t cand = static_cast<uint32_t>(c);
+        if (std::find(corr.candidates.begin(), corr.candidates.end(), cand) ==
+            corr.candidates.end()) {
+          corr.candidates.push_back(cand);
+        }
+      };
+      auto app_it = by_app.find(trace.function(f).meta.app);
+      if (app_it != by_app.end()) {
+        for (size_t c : app_it->second) consider(c);
+      }
+      auto owner_it = by_owner.find(trace.function(f).meta.owner);
+      if (owner_it != by_owner.end()) {
+        for (size_t c : owner_it->second) consider(c);
+      }
+      for (size_t c = 0;
+           c < n && static_cast<int>(corr.candidates.size()) <
+                        config_.online_corr_max_candidates;
+           ++c) {
+        consider(c);
+      }
+      if (!corr.candidates.empty()) {
+        corr.active.assign(corr.candidates.size(), 1);
+        corr.co_count.assign(corr.candidates.size(), 0);
+        online_corr_.push_back(std::move(corr));
+      }
+    }
+  }
+}
+
+void SpesPolicy::MaybeAdjustPredictiveValues(FunctionState* state) {
+  if (!config_.enable_adjusting) return;
+  PredictiveModel& model = state->model;
+  const int samples = static_cast<int>(state->online_wts.size());
+  // S1: only act with enough fresh WTs since the last adjustment.
+  if (samples < config_.adjust_min_samples ||
+      samples - state->adjust_cursor < config_.adjust_min_samples) {
+    return;
+  }
+  state->adjust_cursor = samples;
+  const double gate = std::max(model.offline_wt_stddev, 1.0);
+
+  switch (model.type) {
+    case FunctionType::kRegular: {
+      // S2: replace the median predictive value by the old/new mean when
+      // the online median drifts beyond the offline dispersion.
+      const double online_median = Median(state->online_wts);
+      if (!model.values.empty() &&
+          std::abs(online_median - static_cast<double>(model.values[0])) >
+              gate) {
+        model.values[0] = static_cast<int64_t>(
+            (static_cast<double>(model.values[0]) + online_median) / 2.0 +
+            0.5);
+      }
+      return;
+    }
+    case FunctionType::kApproRegular: {
+      // Pair each predictive value with its NEAREST online mode (the rank
+      // order of tightly clustered quasi-period modes is unstable between
+      // the offline and online windows) and average only on genuine drift.
+      const std::vector<ModeEntry> online_modes =
+          TopModes(state->online_wts, config_.appro_num_modes);
+      if (online_modes.empty()) return;
+      for (int64_t& value : model.values) {
+        int64_t nearest = online_modes.front().value;
+        for (const ModeEntry& m : online_modes) {
+          if (std::llabs(m.value - value) < std::llabs(nearest - value)) {
+            nearest = m.value;
+          }
+        }
+        if (std::abs(static_cast<double>(nearest) -
+                     static_cast<double>(value)) > gate) {
+          value = (value + nearest) / 2;
+        }
+      }
+      return;
+    }
+    case FunctionType::kDense: {
+      const std::vector<ModeEntry> online_modes =
+          TopModes(state->online_wts, config_.dense_num_modes);
+      if (online_modes.empty()) return;
+      int64_t lo = online_modes.front().value, hi = lo;
+      for (const ModeEntry& m : online_modes) {
+        lo = std::min(lo, m.value);
+        hi = std::max(hi, m.value);
+      }
+      const double old_mid =
+          static_cast<double>(model.range_lo + model.range_hi) / 2.0;
+      const double new_mid = static_cast<double>(lo + hi) / 2.0;
+      if (std::abs(new_mid - old_mid) > gate) {
+        model.range_lo = (model.range_lo + lo) / 2;
+        model.range_hi = (model.range_hi + hi + 1) / 2;
+      }
+      return;
+    }
+    case FunctionType::kPossible:
+    case FunctionType::kNewlyPossible: {
+      // Merge newly repeated online WTs into the predictive set.
+      for (const ModeEntry& m : RepeatedValues(state->online_wts)) {
+        if (static_cast<int>(model.values.size()) >=
+            config_.possible_max_values) {
+          break;
+        }
+        if (std::find(model.values.begin(), model.values.end(), m.value) ==
+            model.values.end()) {
+          model.values.push_back(m.value);
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SpesPolicy::MaybeLateCategorize(FunctionState* state) {
+  if (!config_.enable_adjusting) return;
+  if (state->model.type != FunctionType::kUnknown) return;
+  if (static_cast<int>(state->online_wts.size()) <
+      config_.newly_possible_min_wts) {
+    return;
+  }
+  // S3: an unknown/unseen function whose online WTs develop repeated modes
+  // becomes "newly possible" and gains predictive values.
+  PredictiveModel fitted = FitPossibleModel(state->online_wts, config_);
+  if (fitted.type == FunctionType::kPossible) {
+    fitted.type = FunctionType::kNewlyPossible;
+    state->model = fitted;
+    ++online_recategorized_;
+  }
+}
+
+void SpesPolicy::UpdateOnlineCorrelations(int t, MemSet* mem) {
+  for (OnlineCorrState& corr : online_corr_) {
+    FunctionState& target_state = states_[corr.target];
+    const bool target_fired = invoked_now_[corr.target] != 0;
+    if (target_fired) {
+      ++corr.target_arrivals;
+      corr.grants_since_arrival = 0;
+    }
+
+    double max_cor = 0.0;
+    for (size_t k = 0; k < corr.candidates.size(); ++k) {
+      const FunctionState& cand = states_[corr.candidates[k]];
+      const bool cand_recent =
+          cand.last_arrival >= 0 &&
+          t - cand.last_arrival <= config_.tcor_max_lag;
+      if (target_fired && cand_recent) ++corr.co_count[k];
+      if (corr.target_arrivals > 0) {
+        max_cor = std::max(
+            max_cor, static_cast<double>(corr.co_count[k]) /
+                         static_cast<double>(corr.target_arrivals));
+      }
+    }
+    // Keep/expel candidates relative to the running maximum (§IV-C2): a
+    // candidate far below the best is dropped, and readmitted if its COR
+    // climbs back near the maximum.
+    if (corr.target_arrivals >= 3) {
+      for (size_t k = 0; k < corr.candidates.size(); ++k) {
+        const double cor = static_cast<double>(corr.co_count[k]) /
+                           static_cast<double>(corr.target_arrivals);
+        if (max_cor - cor > config_.online_corr_drop_gap) {
+          corr.active[k] = 0;
+        } else if (max_cor - cor < config_.online_corr_drop_gap / 3.0) {
+          corr.active[k] = 1;
+        }
+      }
+    }
+    // Pre-warm the target whenever an active candidate fires (the paper's
+    // aggressive initial phase; candidates are pruned by COR over time).
+    for (size_t k = 0; k < corr.candidates.size(); ++k) {
+      if (!corr.active[k] || !invoked_now_[corr.candidates[k]]) continue;
+      mem->Add(corr.target);
+      const int new_hold = t + config_.corr_prewarm_hold;
+      if (new_hold > target_state.corr_hold_until) {
+        target_state.corr_hold_until = new_hold;
+        ++corr.grants_since_arrival;
+      }
+      break;
+    }
+  }
+}
+
+void SpesPolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
+                          MemSet* mem) {
+  std::fill(invoked_now_.begin(), invoked_now_.end(), 0);
+
+  // --- Arrival handling (Algorithm 1 lines 3-12). ---------------------------
+  for (const Invocation& inv : arrivals) {
+    const size_t f = inv.function;
+    invoked_now_[f] = 1;
+    FunctionState& st = states_[f];
+    if (st.last_arrival >= 0 && st.current_wt > 0) {
+      st.online_wts.push_back(st.current_wt);  // a completed WT (S1)
+      MaybeAdjustPredictiveValues(&st);
+      MaybeLateCategorize(&st);
+    }
+    st.last_arrival = t;
+    st.current_wt = 0;
+    if (st.model.type == FunctionType::kRegular && !st.model.values.empty() &&
+        st.model.values[0] > 0) {
+      st.next_predicted = t + st.model.values[0];
+    }
+    // Correlated pre-warm: this arrival predicts linked targets at t + lag;
+    // load them now (lag <= theta_max) and hold through the window.
+    for (const CorrelationLink& link : links_by_candidate_[f]) {
+      mem->Add(link.target);
+      states_[link.target].corr_hold_until =
+          std::max(states_[link.target].corr_hold_until,
+                   t + link.lag + config_.theta_prewarm);
+    }
+  }
+
+  // --- Adaptive handling of unseen functions (§IV-C2). ---------------------
+  UpdateOnlineCorrelations(t, mem);
+
+  // --- Idle handling: pre-load or give up (Algorithm 1 lines 13-20). -------
+  const std::vector<uint8_t>& loaded = mem->raw();
+  for (size_t f = 0; f < states_.size(); ++f) {
+    if (invoked_now_[f]) continue;
+    FunctionState& st = states_[f];
+    if (st.last_arrival >= 0) ++st.current_wt;
+
+    // Lattice advance for regular functions: a prediction that passed
+    // without an arrival was a dropped event; keep the phase and predict
+    // one period later.
+    if (st.model.type == FunctionType::kRegular && !st.model.values.empty() &&
+        st.model.values[0] > 0 && st.last_arrival >= 0) {
+      if (st.next_predicted < 0) {
+        st.next_predicted = st.last_arrival + st.model.values[0];
+      }
+      while (st.next_predicted + config_.theta_prewarm <
+             static_cast<int64_t>(t)) {
+        st.next_predicted += st.model.values[0];
+      }
+    }
+
+    const bool held = t <= st.corr_hold_until;
+    const bool preload = held || PredictNearInvocation(st, t);
+    if (preload) {
+      mem->Add(f);
+      continue;
+    }
+    if (!loaded[f] && !mem->Contains(f)) continue;
+    if (st.last_arrival < 0) {
+      // Pre-warmed by correlation but never invoked: drop once the hold
+      // expires.
+      mem->Remove(f);
+      continue;
+    }
+    if (st.current_wt >= GivenUpThreshold(st.model.type)) mem->Remove(f);
+  }
+}
+
+std::array<int64_t, kNumFunctionTypes> SpesPolicy::CountByType() const {
+  std::array<int64_t, kNumFunctionTypes> counts{};
+  for (const FunctionState& st : states_) {
+    ++counts[static_cast<size_t>(st.model.type)];
+  }
+  return counts;
+}
+
+}  // namespace spes

@@ -1,0 +1,58 @@
+// SPES function taxonomy (Table I + §IV-B): five deterministic types,
+// three indeterminate assignments, the online-only "newly possible" type,
+// and "unknown" for functions with no usable history.
+
+#ifndef SPES_CORE_TYPES_H_
+#define SPES_CORE_TYPES_H_
+
+#include <cstdint>
+
+namespace spes {
+
+/// \brief SPES's function categories, in categorization priority order for
+/// the deterministic types (an earlier match excludes later ones).
+enum class FunctionType : uint8_t {
+  kUnknown = 0,      ///< no meaningful history; cold starts tolerated
+  kAlwaysWarm,       ///< active virtually every slot; never evicted
+  kRegular,          ///< periodic WTs (after slacking); predict by median WT
+  kApproRegular,     ///< quasi-periodic; predict by the first n WT modes
+  kDense,            ///< frequent, short gaps; stay loaded unless idle long
+  kSuccessive,       ///< strong temporal locality; ride out each wave
+  kPulsed,           ///< weak temporal locality; tolerate first cold start
+  kCorrelated,       ///< predicted by linked functions' invocations
+  kPossible,         ///< rare but with repeated WTs as predictive values
+  kNewlyPossible,    ///< "possible" discovered online (adaptive S3)
+};
+
+inline constexpr int kNumFunctionTypes = 10;
+
+/// \brief Stable display name (matches the paper's figure labels).
+inline const char* FunctionTypeToString(FunctionType type) {
+  switch (type) {
+    case FunctionType::kUnknown:
+      return "unknown";
+    case FunctionType::kAlwaysWarm:
+      return "always-warm";
+    case FunctionType::kRegular:
+      return "regular";
+    case FunctionType::kApproRegular:
+      return "appro-regular";
+    case FunctionType::kDense:
+      return "dense";
+    case FunctionType::kSuccessive:
+      return "successive";
+    case FunctionType::kPulsed:
+      return "pulsed";
+    case FunctionType::kCorrelated:
+      return "correlated";
+    case FunctionType::kPossible:
+      return "possible";
+    case FunctionType::kNewlyPossible:
+      return "newly-possible";
+  }
+  return "?";
+}
+
+}  // namespace spes
+
+#endif  // SPES_CORE_TYPES_H_

@@ -1,0 +1,183 @@
+#include "core/validation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spes {
+
+StrategyCost ReplayPulsed(std::span<const uint32_t> validation, int theta) {
+  StrategyCost cost;
+  cost.feasible = true;
+  bool loaded = false;
+  int idle = 0;
+  for (uint32_t c : validation) {
+    if (c > 0) {
+      if (!loaded) ++cost.cold_starts;
+      loaded = true;
+      idle = 0;
+    } else if (loaded) {
+      ++idle;
+      if (idle >= theta) {
+        loaded = false;
+      } else {
+        ++cost.wasted_minutes;
+      }
+    }
+  }
+  return cost;
+}
+
+StrategyCost ReplayCorrelated(
+    std::span<const uint32_t> validation,
+    const std::vector<std::span<const uint32_t>>& candidate_validation,
+    const std::vector<int>& lags, int hold, int theta_prewarm) {
+  StrategyCost cost;
+  if (candidate_validation.empty()) return cost;  // infeasible
+  cost.feasible = true;
+  bool loaded = false;
+  int hold_until = -1;
+  const int n = static_cast<int>(validation.size());
+  for (int t = 0; t < n; ++t) {
+    // A candidate firing at t - lag signals an imminent target invocation;
+    // pre-warm slightly early (theta_prewarm) and hold briefly.
+    for (size_t k = 0; k < candidate_validation.size(); ++k) {
+      const int lag = lags[k];
+      const int fire_from = t - lag - theta_prewarm;
+      for (int s = std::max(0, fire_from); s <= t; ++s) {
+        if (s < static_cast<int>(candidate_validation[k].size()) &&
+            candidate_validation[k][static_cast<size_t>(s)] > 0 &&
+            t - s <= lag + theta_prewarm) {
+          hold_until = std::max(hold_until, s + lag + hold);
+          break;
+        }
+      }
+    }
+    const bool invoked = validation[static_cast<size_t>(t)] > 0;
+    const bool prewarmed = t <= hold_until;
+    if (invoked) {
+      if (!loaded && !prewarmed) ++cost.cold_starts;
+      loaded = true;
+    } else {
+      if (prewarmed) {
+        ++cost.wasted_minutes;
+        loaded = true;
+      } else {
+        loaded = false;
+      }
+    }
+  }
+  return cost;
+}
+
+StrategyCost ReplayPossible(std::span<const uint32_t> validation,
+                            const PredictiveModel& possible_model,
+                            const SpesConfig& config) {
+  StrategyCost cost;
+  if (possible_model.type != FunctionType::kPossible) return cost;
+  cost.feasible = true;
+  const int theta_p = config.theta_prewarm;
+  const int theta_g = config.theta_givenup_default * config.givenup_scaler;
+  int last_arrival = -1;
+  bool loaded = false;
+  int idle = 0;
+  const int n = static_cast<int>(validation.size());
+  for (int t = 0; t < n; ++t) {
+    const bool invoked = validation[static_cast<size_t>(t)] > 0;
+    // Prediction: next invocation at last_arrival + v for each value v
+    // (or anywhere inside the continuous range).
+    bool predicted_near = false;
+    if (last_arrival >= 0) {
+      if (possible_model.continuous) {
+        predicted_near =
+            t + theta_p >= last_arrival + possible_model.range_lo &&
+            t - theta_p <= last_arrival + possible_model.range_hi;
+      } else {
+        for (int64_t v : possible_model.values) {
+          const int64_t predicted = last_arrival + v;
+          if (std::llabs(predicted - t) <= theta_p) {
+            predicted_near = true;
+            break;
+          }
+        }
+      }
+    }
+    if (invoked) {
+      if (!loaded && !predicted_near) ++cost.cold_starts;
+      loaded = true;
+      idle = 0;
+      last_arrival = t;
+    } else {
+      ++idle;
+      if (predicted_near) {
+        loaded = true;
+        ++cost.wasted_minutes;
+      } else if (loaded) {
+        if (idle >= theta_g) {
+          loaded = false;
+        } else {
+          ++cost.wasted_minutes;
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+constexpr int64_t kInfeasibleCost = std::numeric_limits<int64_t>::max() / 4;
+
+int64_t CsOf(const StrategyCost& c) {
+  return c.feasible ? c.cold_starts : kInfeasibleCost;
+}
+int64_t WmOf(const StrategyCost& c) {
+  return c.feasible ? c.wasted_minutes : kInfeasibleCost;
+}
+
+}  // namespace
+
+AssignmentDecision ChooseAssignment(const StrategyCost& pulsed,
+                                    const StrategyCost& correlated,
+                                    const StrategyCost& possible,
+                                    double alpha) {
+  AssignmentDecision decision;
+  decision.pulsed = pulsed;
+  decision.correlated = correlated;
+  decision.possible = possible;
+  if (!pulsed.feasible && !correlated.feasible && !possible.feasible) {
+    return decision;  // kUnknown
+  }
+
+  const FunctionType types[3] = {FunctionType::kPulsed,
+                                 FunctionType::kCorrelated,
+                                 FunctionType::kPossible};
+  const StrategyCost* costs[3] = {&pulsed, &correlated, &possible};
+
+  int cs_winner = 0, wm_winner = 0;
+  for (int i = 1; i < 3; ++i) {
+    if (CsOf(*costs[i]) < CsOf(*costs[cs_winner])) cs_winner = i;
+    if (WmOf(*costs[i]) < WmOf(*costs[wm_winner])) wm_winner = i;
+  }
+  if (cs_winner == wm_winner) {
+    decision.type = types[cs_winner];  // dominant winner
+    return decision;
+  }
+  // Rise-rate rule: dcs is the relative cold-start penalty of taking the
+  // wm-winner; dwm the relative memory penalty of taking the cs-winner.
+  // The cs-winner prevails when its cold-start advantage outweighs the
+  // alpha-scaled memory penalty (dcs >= alpha * dwm) — smaller alpha puts
+  // more importance on cold starts, per §IV-B2. (The paper's formula as
+  // printed compares dcs*alpha <= dwm, which inverts as the cs-winner's
+  // advantage grows; this reading matches the stated role of alpha and
+  // the paper's observed aggressive assignment of "possible" functions.)
+  const double cs_i = static_cast<double>(CsOf(*costs[cs_winner]));
+  const double cs_j = static_cast<double>(CsOf(*costs[wm_winner]));
+  const double wm_i = static_cast<double>(WmOf(*costs[cs_winner]));
+  const double wm_j = static_cast<double>(WmOf(*costs[wm_winner]));
+  const double dcs = (cs_j - cs_i) / std::max(cs_i, 1.0);
+  const double dwm = (wm_i - wm_j) / std::max(wm_j, 1.0);
+  decision.type = dcs >= alpha * dwm ? types[cs_winner] : types[wm_winner];
+  return decision;
+}
+
+}  // namespace spes

@@ -1,0 +1,106 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace spes {
+
+double RelativeReduction(double baseline, double improved) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - improved) / baseline;
+}
+
+Table BuildComparisonTable(const std::vector<FleetMetrics>& metrics,
+                           const std::string& reference_policy) {
+  const FleetMetrics* ref = nullptr;
+  for (const FleetMetrics& m : metrics) {
+    if (m.policy_name == reference_policy) ref = &m;
+  }
+  Table table({"policy", "Q3-CSR", "P90-CSR", "always-cold", "zero-cold",
+               "norm-mem", "norm-WMT", "EMCR", "overhead-s/min"});
+  for (const FleetMetrics& m : metrics) {
+    const double norm_mem =
+        (ref != nullptr && ref->average_memory > 0.0)
+            ? m.average_memory / ref->average_memory
+            : m.average_memory;
+    const double norm_wmt =
+        (ref != nullptr && ref->wasted_memory_minutes > 0)
+            ? static_cast<double>(m.wasted_memory_minutes) /
+                  static_cast<double>(ref->wasted_memory_minutes)
+            : static_cast<double>(m.wasted_memory_minutes);
+    table.AddRow({m.policy_name, FormatDouble(m.q3_csr, 4),
+                  FormatDouble(m.p90_csr, 4),
+                  FormatPercent(m.always_cold_fraction, 2),
+                  FormatPercent(m.zero_cold_fraction, 2),
+                  FormatDouble(norm_mem, 3), FormatDouble(norm_wmt, 3),
+                  FormatPercent(m.emcr, 2),
+                  FormatDouble(m.overhead_seconds_per_minute, 5)});
+  }
+  return table;
+}
+
+Table BuildCsrCdfTable(const std::vector<FleetMetrics>& metrics) {
+  static const double kFractions[] = {0.10, 0.25, 0.50, 0.75,
+                                      0.90, 0.95, 0.99};
+  std::vector<std::string> headers = {"policy", "P(CSR=0)"};
+  for (double f : kFractions) {
+    headers.push_back("CSR@" + FormatPercent(f, 0));
+  }
+  Table table(headers);
+  for (const FleetMetrics& m : metrics) {
+    std::vector<std::string> row = {m.policy_name,
+                                    FormatPercent(m.zero_cold_fraction, 2)};
+    for (double f : kFractions) {
+      row.push_back(FormatDouble(Percentile(m.csr, f * 100.0), 4));
+    }
+    table.AddRow(row);
+  }
+  return table;
+}
+
+std::vector<TypeBreakdownRow> BreakdownByType(
+    const SpesPolicy& policy, const std::vector<FunctionAccount>& accounts) {
+  std::vector<TypeBreakdownRow> rows(kNumFunctionTypes);
+  std::vector<std::vector<double>> csr_samples(kNumFunctionTypes);
+  for (int k = 0; k < kNumFunctionTypes; ++k) {
+    rows[static_cast<size_t>(k)].type = static_cast<FunctionType>(k);
+  }
+  for (size_t f = 0; f < accounts.size(); ++f) {
+    const size_t k = static_cast<size_t>(policy.TypeOf(f));
+    TypeBreakdownRow& row = rows[k];
+    ++row.num_functions;
+    row.invocations += accounts[f].invocations;
+    row.cold_starts += accounts[f].cold_starts;
+    row.wasted_minutes += accounts[f].wasted_minutes;
+    if (accounts[f].invocations > 0) {
+      csr_samples[k].push_back(accounts[f].ColdStartRate());
+    }
+  }
+  for (size_t k = 0; k < rows.size(); ++k) {
+    rows[k].mean_csr = Mean(csr_samples[k]);
+    if (rows[k].invocations > 0) {
+      rows[k].wmt_per_invocation =
+          static_cast<double>(rows[k].wasted_minutes) /
+          static_cast<double>(rows[k].invocations);
+    }
+  }
+  return rows;
+}
+
+Table BuildTypeBreakdownTable(const std::vector<TypeBreakdownRow>& rows) {
+  Table table({"type", "functions", "invocations", "cold-starts", "mean-CSR",
+               "WMT/invocation"});
+  for (const TypeBreakdownRow& row : rows) {
+    if (row.num_functions == 0) continue;
+    table.AddRow({FunctionTypeToString(row.type),
+                  std::to_string(row.num_functions),
+                  std::to_string(row.invocations),
+                  std::to_string(row.cold_starts),
+                  FormatDouble(row.mean_csr, 4),
+                  FormatDouble(row.wmt_per_invocation, 3)});
+  }
+  return table;
+}
+
+}  // namespace spes

@@ -1,0 +1,48 @@
+// Cross-policy reporting: the comparison rows, CDF tables and per-type
+// breakdowns that the bench harnesses print for each paper figure.
+
+#ifndef SPES_METRICS_REPORT_H_
+#define SPES_METRICS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/spes_policy.h"
+#include "sim/accounting.h"
+
+namespace spes {
+
+/// \brief One comparison row per policy: CSR percentiles, memory, WMT,
+/// EMCR, always-cold — normalized against a reference policy (SPES).
+Table BuildComparisonTable(const std::vector<FleetMetrics>& metrics,
+                           const std::string& reference_policy);
+
+/// \brief Fig. 8-style table: for each policy, the CSR value at a ladder of
+/// CDF fractions, plus the CDF value at CSR == 0 (fully-warm share).
+Table BuildCsrCdfTable(const std::vector<FleetMetrics>& metrics);
+
+/// \brief Per-type aggregation over a SPES run (Figs. 10 and 12).
+struct TypeBreakdownRow {
+  FunctionType type = FunctionType::kUnknown;
+  int64_t num_functions = 0;
+  uint64_t invocations = 0;
+  uint64_t cold_starts = 0;
+  uint64_t wasted_minutes = 0;
+  double mean_csr = 0.0;        ///< mean per-function CSR within the type
+  double wmt_per_invocation = 0.0;  ///< "ratio of WMT" of §V-C1
+};
+
+/// \brief Aggregates per-function accounts by the SPES type of each
+/// function. `policy` must be the SpesPolicy the outcome was produced with.
+std::vector<TypeBreakdownRow> BreakdownByType(
+    const SpesPolicy& policy, const std::vector<FunctionAccount>& accounts);
+
+Table BuildTypeBreakdownTable(const std::vector<TypeBreakdownRow>& rows);
+
+/// \brief Relative improvement (a - b) / a, e.g. CSR reduction vs baseline.
+double RelativeReduction(double baseline, double improved);
+
+}  // namespace spes
+
+#endif  // SPES_METRICS_REPORT_H_

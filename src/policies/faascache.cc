@@ -1,0 +1,51 @@
+#include "policies/faascache.h"
+
+#include <algorithm>
+
+namespace spes {
+
+FaasCachePolicy::FaasCachePolicy(size_t capacity_instances)
+    : capacity_(capacity_instances == 0 ? 1 : capacity_instances) {}
+
+std::string FaasCachePolicy::name() const { return "FaasCache"; }
+
+void FaasCachePolicy::Train(const Trace& trace, int train_minutes) {
+  (void)train_minutes;  // FaasCache is purely online.
+  frequency_.assign(trace.num_functions(), 0.0);
+  priority_.assign(trace.num_functions(), 0.0);
+  pinned_.assign(trace.num_functions(), 0);
+  clock_ = 0.0;
+}
+
+void FaasCachePolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
+                               MemSet* mem) {
+  (void)t;
+  std::fill(pinned_.begin(), pinned_.end(), 0);
+  for (const Invocation& inv : arrivals) {
+    const size_t f = inv.function;
+    frequency_[f] += static_cast<double>(inv.count);
+    // Uniform cost/size: priority = clock + frequency.
+    priority_[f] = clock_ + frequency_[f];
+    pinned_[f] = 1;
+  }
+
+  // Enforce the capacity by evicting the minimum-priority resident victim;
+  // executing functions are unevictable this minute.
+  while (mem->Count() > capacity_) {
+    const std::vector<uint8_t>& loaded = mem->raw();
+    double best = 0.0;
+    int64_t victim = -1;
+    for (size_t f = 0; f < loaded.size(); ++f) {
+      if (!loaded[f] || pinned_[f]) continue;
+      if (victim < 0 || priority_[f] < best) {
+        best = priority_[f];
+        victim = static_cast<int64_t>(f);
+      }
+    }
+    if (victim < 0) break;  // everything resident is executing
+    mem->Remove(static_cast<size_t>(victim));
+    clock_ = best;  // GDSF aging
+  }
+}
+
+}  // namespace spes

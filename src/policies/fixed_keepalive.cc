@@ -1,0 +1,29 @@
+#include "policies/fixed_keepalive.h"
+
+namespace spes {
+
+FixedKeepAlivePolicy::FixedKeepAlivePolicy(int keepalive_minutes)
+    : keepalive_minutes_(keepalive_minutes < 1 ? 1 : keepalive_minutes) {}
+
+std::string FixedKeepAlivePolicy::name() const {
+  return "Fixed-" + std::to_string(keepalive_minutes_) + "min";
+}
+
+void FixedKeepAlivePolicy::Train(const Trace& trace, int train_minutes) {
+  (void)train_minutes;  // No offline modelling: purely reactive.
+  last_arrival_.assign(trace.num_functions(), -1);
+}
+
+void FixedKeepAlivePolicy::OnMinute(int t,
+                                    const std::vector<Invocation>& arrivals,
+                                    MemSet* mem) {
+  for (const Invocation& inv : arrivals) last_arrival_[inv.function] = t;
+  const std::vector<uint8_t>& loaded = mem->raw();
+  for (size_t f = 0; f < loaded.size(); ++f) {
+    if (!loaded[f]) continue;
+    const int last = last_arrival_[f];
+    if (last < 0 || t - last >= keepalive_minutes_) mem->Remove(f);
+  }
+}
+
+}  // namespace spes

@@ -1,0 +1,138 @@
+#include "policies/hybrid_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace spes {
+
+HybridHistogramPolicy::HybridHistogramPolicy(HybridGranularity granularity,
+                                             HybridOptions options)
+    : granularity_(granularity), options_(options) {}
+
+std::string HybridHistogramPolicy::name() const {
+  return granularity_ == HybridGranularity::kApplication
+             ? "Hybrid-Application"
+             : "Hybrid-Function";
+}
+
+void HybridHistogramPolicy::RefreshWindow(UnitState* unit) const {
+  unit->use_histogram = unit->histogram.Representative(
+      options_.min_samples, options_.max_oob_fraction);
+  if (!unit->use_histogram) {
+    unit->prewarm_after = 0;  // stay loaded from the arrival on
+    unit->unload_after = options_.fallback_keepalive_minutes;
+    return;
+  }
+  const int head = unit->histogram.PercentileMinute(options_.head_percentile);
+  const int tail = unit->histogram.PercentileMinute(options_.tail_percentile);
+  // 10% margin: pre-warm earlier, keep alive longer.
+  int prewarm = static_cast<int>(
+      std::floor(head * (1.0 - options_.margin_fraction)));
+  int unload = static_cast<int>(
+      std::ceil(tail * (1.0 + options_.margin_fraction)));
+  if (prewarm < 0) prewarm = 0;
+  if (unload <= prewarm) unload = prewarm + 1;
+  // A head at/below one minute means the unit re-fires immediately: keep it
+  // loaded from the arrival instead of evict-then-reload.
+  if (prewarm <= 1) prewarm = 0;
+  unit->prewarm_after = prewarm;
+  unit->unload_after = unload;
+}
+
+void HybridHistogramPolicy::Train(const Trace& trace, int train_minutes) {
+  const size_t n = trace.num_functions();
+  unit_of_function_.assign(n, 0);
+  functions_of_unit_.clear();
+  units_.clear();
+
+  if (granularity_ == HybridGranularity::kFunction) {
+    functions_of_unit_.resize(n);
+    units_.reserve(n);
+    for (size_t f = 0; f < n; ++f) {
+      unit_of_function_[f] = static_cast<uint32_t>(f);
+      functions_of_unit_[f] = {static_cast<uint32_t>(f)};
+      units_.emplace_back(options_.histogram_range_minutes);
+    }
+  } else {
+    std::unordered_map<std::string, uint32_t> app_unit;
+    for (size_t f = 0; f < n; ++f) {
+      const std::string& app = trace.function(f).meta.app;
+      auto [it, inserted] =
+          app_unit.emplace(app, static_cast<uint32_t>(units_.size()));
+      if (inserted) {
+        units_.emplace_back(options_.histogram_range_minutes);
+        functions_of_unit_.emplace_back();
+      }
+      unit_of_function_[f] = it->second;
+      functions_of_unit_[it->second].push_back(static_cast<uint32_t>(f));
+    }
+  }
+  unit_arrived_.assign(units_.size(), 0);
+
+  // Offline pass: accumulate unit-level IATs over the training window.
+  std::vector<int> last(units_.size(), -1);
+  for (int t = 0; t < train_minutes; ++t) {
+    for (size_t u = 0; u < units_.size(); ++u) {
+      bool arrived = false;
+      for (uint32_t f : functions_of_unit_[u]) {
+        if (trace.function(f).counts[static_cast<size_t>(t)] > 0) {
+          arrived = true;
+          break;
+        }
+      }
+      if (!arrived) continue;
+      if (last[u] >= 0) units_[u].histogram.Record(t - last[u]);
+      last[u] = t;
+    }
+  }
+  for (UnitState& unit : units_) RefreshWindow(&unit);
+}
+
+void HybridHistogramPolicy::ApplyUnitSchedule(int t, size_t unit_index,
+                                              MemSet* mem) {
+  UnitState& unit = units_[unit_index];
+  if (unit.last_arrival < 0) {
+    // Never seen: evict anything resident (nothing should be).
+    for (uint32_t f : functions_of_unit_[unit_index]) mem->Remove(f);
+    return;
+  }
+  const int since = t - unit.last_arrival;
+  const bool resident =
+      since >= unit.prewarm_after && since < unit.unload_after;
+  for (uint32_t f : functions_of_unit_[unit_index]) {
+    if (resident) {
+      mem->Add(f);
+    } else {
+      mem->Remove(f);
+    }
+  }
+}
+
+void HybridHistogramPolicy::OnMinute(int t,
+                                     const std::vector<Invocation>& arrivals,
+                                     MemSet* mem) {
+  std::fill(unit_arrived_.begin(), unit_arrived_.end(), 0);
+  for (const Invocation& inv : arrivals) {
+    unit_arrived_[unit_of_function_[inv.function]] = 1;
+  }
+  for (size_t u = 0; u < units_.size(); ++u) {
+    UnitState& unit = units_[u];
+    if (unit_arrived_[u]) {
+      // Online histogram update + window refresh on every arrival.
+      if (unit.last_arrival >= 0) {
+        unit.histogram.Record(t - unit.last_arrival);
+      }
+      unit.last_arrival = t;
+      RefreshWindow(&unit);
+    }
+    ApplyUnitSchedule(t, u, mem);
+  }
+}
+
+int64_t HybridHistogramPolicy::CountFallbackUnits() const {
+  return std::count_if(units_.begin(), units_.end(),
+                       [](const UnitState& u) { return !u.use_histogram; });
+}
+
+}  // namespace spes

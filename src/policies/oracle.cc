@@ -1,0 +1,27 @@
+#include "policies/oracle.h"
+
+namespace spes {
+
+void OraclePolicy::Train(const Trace& trace, int train_minutes) {
+  (void)train_minutes;
+  trace_ = &trace;
+}
+
+void OraclePolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
+                            MemSet* mem) {
+  (void)arrivals;
+  const int next = t + 1;
+  const bool has_next = next < trace_->num_minutes();
+  for (size_t f = 0; f < trace_->num_functions(); ++f) {
+    const bool needed_next =
+        has_next &&
+        trace_->function(f).counts[static_cast<size_t>(next)] > 0;
+    if (needed_next) {
+      mem->Add(f);
+    } else {
+      mem->Remove(f);
+    }
+  }
+}
+
+}  // namespace spes

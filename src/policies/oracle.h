@@ -1,0 +1,34 @@
+// Clairvoyant upper bound: loads a function exactly one minute before each
+// invocation and evicts it as soon as no invocation is imminent. With a
+// one-minute prediction horizon it achieves zero cold starts (after the
+// first simulated minute) and zero wasted memory — the ideal scheduler the
+// paper's introduction describes. Used by tests as a bound and by benches
+// as a sanity row; not a baseline from the paper.
+
+#ifndef SPES_POLICIES_ORACLE_H_
+#define SPES_POLICIES_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/policy.h"
+
+namespace spes {
+
+/// \brief Perfect-future scheduler (lower-bounds both CSR and WMT).
+class OraclePolicy : public Policy {
+ public:
+  OraclePolicy() = default;
+
+  std::string name() const override { return "Oracle"; }
+  void Train(const Trace& trace, int train_minutes) override;
+  void OnMinute(int t, const std::vector<Invocation>& arrivals,
+                MemSet* mem) override;
+
+ private:
+  const Trace* trace_ = nullptr;
+};
+
+}  // namespace spes
+
+#endif  // SPES_POLICIES_ORACLE_H_

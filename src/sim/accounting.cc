@@ -1,0 +1,61 @@
+#include "sim/accounting.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace spes {
+
+FleetMetrics ComputeFleetMetrics(const std::string& policy_name,
+                                 const std::vector<FunctionAccount>& accounts,
+                                 const std::vector<uint32_t>& memory_series,
+                                 double overhead_seconds) {
+  FleetMetrics m;
+  m.policy_name = policy_name;
+  m.overhead_seconds = overhead_seconds;
+
+  uint64_t invoked_loaded_minutes = 0;
+  int64_t always_cold = 0, zero_cold = 0;
+  for (const FunctionAccount& acc : accounts) {
+    m.wasted_memory_minutes += acc.wasted_minutes;
+    m.loaded_instance_minutes += acc.loaded_minutes;
+    invoked_loaded_minutes += acc.loaded_minutes - acc.wasted_minutes;
+    if (acc.invocations == 0) continue;
+    const double csr = acc.ColdStartRate();
+    m.csr.push_back(csr);
+    m.total_cold_starts += acc.cold_starts;
+    m.total_invocations += acc.invocations;
+    if (csr >= 1.0) ++always_cold;
+    if (csr <= 0.0) ++zero_cold;
+  }
+
+  if (!m.csr.empty()) {
+    m.q3_csr = Percentile(m.csr, 75.0);
+    m.p90_csr = Percentile(m.csr, 90.0);
+    m.median_csr = Percentile(m.csr, 50.0);
+    m.always_cold_fraction =
+        static_cast<double>(always_cold) / static_cast<double>(m.csr.size());
+    m.zero_cold_fraction =
+        static_cast<double>(zero_cold) / static_cast<double>(m.csr.size());
+  }
+
+  if (!memory_series.empty()) {
+    uint64_t sum = 0;
+    for (uint32_t v : memory_series) {
+      sum += v;
+      m.max_memory = std::max<uint64_t>(m.max_memory, v);
+    }
+    m.average_memory =
+        static_cast<double>(sum) / static_cast<double>(memory_series.size());
+    m.overhead_seconds_per_minute =
+        overhead_seconds / static_cast<double>(memory_series.size());
+  }
+
+  if (m.loaded_instance_minutes > 0) {
+    m.emcr = static_cast<double>(invoked_loaded_minutes) /
+             static_cast<double>(m.loaded_instance_minutes);
+  }
+  return m;
+}
+
+}  // namespace spes

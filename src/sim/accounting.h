@@ -1,0 +1,95 @@
+// Per-function accounting and fleet-level metrics produced by a simulation:
+// cold-start rate (CSR) distribution, wasted memory time (WMT), memory
+// usage, effective memory consumption ratio (EMCR), always-cold ratio, and
+// scheduler overhead — the quantities of RQ1-RQ3.
+
+#ifndef SPES_SIM_ACCOUNTING_H_
+#define SPES_SIM_ACCOUNTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spes {
+
+/// \brief Counters kept by the engine for one function over the simulation
+/// window.
+struct FunctionAccount {
+  /// Total arrivals (sum of per-minute counts).
+  uint64_t invocations = 0;
+  /// Minutes with at least one arrival.
+  uint64_t invoked_minutes = 0;
+  /// Arrival minutes at which the function was not loaded.
+  uint64_t cold_starts = 0;
+  /// Minutes the instance was resident in memory.
+  uint64_t loaded_minutes = 0;
+  /// Resident minutes with no arrival = wasted memory time contribution.
+  uint64_t wasted_minutes = 0;
+
+  /// \brief Function-wise cold-start rate: cold starts / invocations.
+  ///
+  /// Cold starts are counted per arrival-minute (at most one per minute —
+  /// concurrent arrivals within a minute share the freshly started
+  /// instance, per the paper's one-minute-execution simulation principle),
+  /// while the denominator is total arrivals, matching §V-A2.
+  double ColdStartRate() const {
+    return invocations == 0
+               ? 0.0
+               : static_cast<double>(cold_starts) /
+                     static_cast<double>(invocations);
+  }
+};
+
+/// \brief Aggregate metrics for one policy run.
+struct FleetMetrics {
+  std::string policy_name;
+
+  /// CSR per function with >= 1 invocation in the simulation window.
+  std::vector<double> csr;
+
+  double q3_csr = 0.0;     ///< 75th-percentile CSR (the paper's headline)
+  double p90_csr = 0.0;    ///< 90th-percentile CSR
+  double median_csr = 0.0;
+
+  /// Fraction of invoked functions with CSR == 1.0 ("always cold").
+  double always_cold_fraction = 0.0;
+  /// Fraction of invoked functions with CSR == 0.0 (fully warm).
+  double zero_cold_fraction = 0.0;
+
+  uint64_t total_cold_starts = 0;
+  uint64_t total_invocations = 0;
+
+  /// Sum over minutes of idle loaded instances (WMT, in instance-minutes).
+  uint64_t wasted_memory_minutes = 0;
+  /// Sum over minutes of loaded instances (instance-minutes).
+  uint64_t loaded_instance_minutes = 0;
+
+  double average_memory = 0.0;  ///< mean loaded instances per minute
+  uint64_t max_memory = 0;      ///< peak loaded instances in any minute
+
+  /// EMCR: invoked loaded instance-minutes / loaded instance-minutes.
+  double emcr = 0.0;
+
+  /// Wall-clock seconds spent inside Policy::OnMinute, total and per
+  /// simulated minute (the RQ2 overhead measurement).
+  double overhead_seconds = 0.0;
+  double overhead_seconds_per_minute = 0.0;
+};
+
+/// \brief Full outcome: per-function accounts + fleet metrics + the memory
+/// time series (loaded instances at each simulated minute).
+struct SimulationOutcome {
+  std::vector<FunctionAccount> accounts;
+  std::vector<uint32_t> memory_series;
+  FleetMetrics metrics;
+};
+
+/// \brief Derives FleetMetrics from raw accounts and the memory series.
+FleetMetrics ComputeFleetMetrics(const std::string& policy_name,
+                                 const std::vector<FunctionAccount>& accounts,
+                                 const std::vector<uint32_t>& memory_series,
+                                 double overhead_seconds);
+
+}  // namespace spes
+
+#endif  // SPES_SIM_ACCOUNTING_H_

@@ -1,0 +1,82 @@
+#include "sim/engine.h"
+
+#include <chrono>
+
+namespace spes {
+
+Result<SimulationOutcome> Simulate(const Trace& trace, Policy* policy,
+                                   const SimOptions& options) {
+  if (policy == nullptr) {
+    return Status::InvalidArgument("policy must not be null");
+  }
+  const int horizon = trace.num_minutes();
+  const int end =
+      options.end_minute > 0 ? options.end_minute : horizon;
+  if (options.train_minutes < 0 || options.train_minutes > horizon ||
+      end > horizon || end < options.train_minutes) {
+    return Status::InvalidArgument("invalid train/end window");
+  }
+  const size_t n = trace.num_functions();
+
+  policy->Train(trace, options.train_minutes);
+
+  SimulationOutcome outcome;
+  outcome.accounts.assign(n, FunctionAccount{});
+  outcome.memory_series.reserve(
+      static_cast<size_t>(end - options.train_minutes));
+
+  MemSet mem(n);
+  std::vector<Invocation> arrivals;
+  std::vector<uint8_t> invoked_now(n, 0);
+  double overhead_seconds = 0.0;
+
+  for (int t = options.train_minutes; t < end; ++t) {
+    // Gather this minute's arrivals.
+    arrivals.clear();
+    for (size_t f = 0; f < n; ++f) {
+      const uint32_t c = trace.function(f).counts[static_cast<size_t>(t)];
+      invoked_now[f] = c > 0 ? 1 : 0;
+      if (c > 0) {
+        arrivals.push_back(
+            {static_cast<uint32_t>(f), c});
+      }
+    }
+
+    // 1-2. Cold-start accounting, then execution pins the instance.
+    for (const Invocation& inv : arrivals) {
+      FunctionAccount& acc = outcome.accounts[inv.function];
+      acc.invocations += inv.count;
+      acc.invoked_minutes += 1;
+      if (!mem.Contains(inv.function)) acc.cold_starts += 1;
+      mem.Add(inv.function);
+    }
+
+    // 3. Policy step (timed).
+    const auto start = std::chrono::steady_clock::now();
+    policy->OnMinute(t, arrivals, &mem);
+    const auto stop = std::chrono::steady_clock::now();
+    overhead_seconds +=
+        std::chrono::duration<double>(stop - start).count();
+
+    if (options.pin_executing_functions) {
+      for (const Invocation& inv : arrivals) mem.Add(inv.function);
+    }
+
+    // 4. Residency accounting.
+    const std::vector<uint8_t>& loaded = mem.raw();
+    for (size_t f = 0; f < n; ++f) {
+      if (!loaded[f]) continue;
+      FunctionAccount& acc = outcome.accounts[f];
+      acc.loaded_minutes += 1;
+      if (!invoked_now[f]) acc.wasted_minutes += 1;
+    }
+    outcome.memory_series.push_back(static_cast<uint32_t>(mem.Count()));
+  }
+
+  outcome.metrics = ComputeFleetMetrics(policy->name(), outcome.accounts,
+                                        outcome.memory_series,
+                                        overhead_seconds);
+  return outcome;
+}
+
+}  // namespace spes

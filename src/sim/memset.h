@@ -1,0 +1,55 @@
+// MemSet: the set of function instances currently loaded in memory.
+//
+// This mirrors the `MemSet` of the paper's Algorithm 1: policies add
+// (pre-load) and remove (evict) function ids; the simulation engine reads
+// membership to account cold starts, wasted-memory time and memory usage.
+
+#ifndef SPES_SIM_MEMSET_H_
+#define SPES_SIM_MEMSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spes {
+
+/// \brief Dense membership set over function indices [0, n).
+class MemSet {
+ public:
+  explicit MemSet(size_t num_functions)
+      : loaded_(num_functions, 0), count_(0) {}
+
+  /// \brief Loads function `f`; no-op if already loaded.
+  void Add(size_t f) {
+    if (!loaded_[f]) {
+      loaded_[f] = 1;
+      ++count_;
+    }
+  }
+
+  /// \brief Evicts function `f`; no-op if not loaded.
+  void Remove(size_t f) {
+    if (loaded_[f]) {
+      loaded_[f] = 0;
+      --count_;
+    }
+  }
+
+  bool Contains(size_t f) const { return loaded_[f] != 0; }
+
+  /// \brief Number of loaded instances.
+  size_t Count() const { return count_; }
+
+  size_t Capacity() const { return loaded_.size(); }
+
+  /// \brief Raw membership bytes (1 = loaded), for fast scans.
+  const std::vector<uint8_t>& raw() const { return loaded_; }
+
+ private:
+  std::vector<uint8_t> loaded_;
+  size_t count_;
+};
+
+}  // namespace spes
+
+#endif  // SPES_SIM_MEMSET_H_

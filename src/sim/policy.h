@@ -1,0 +1,51 @@
+// Provisioning policy interface shared by SPES and all baselines.
+//
+// A policy is trained offline on the first `train_minutes` of a trace and
+// then stepped once per simulated minute. Within a step it sees the minute's
+// arrivals and mutates the MemSet (pre-loads and evictions). The engine —
+// not the policy — accounts cold starts, so all policies are measured
+// identically.
+
+#ifndef SPES_SIM_POLICY_H_
+#define SPES_SIM_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/memset.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief One function's arrivals within a single minute.
+struct Invocation {
+  uint32_t function = 0;  ///< index into the trace's function list
+  uint32_t count = 0;     ///< number of arrivals in this minute (>= 1)
+};
+
+/// \brief Interface implemented by every provisioning strategy.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// \brief Human-readable policy name used in reports.
+  virtual std::string name() const = 0;
+
+  /// \brief Offline phase: observe `trace` restricted to minutes
+  /// [0, train_minutes). Called exactly once before any OnMinute().
+  virtual void Train(const Trace& trace, int train_minutes) = 0;
+
+  /// \brief Online step for minute `t` (absolute trace minute).
+  ///
+  /// The engine has already loaded every arriving function into `mem`
+  /// (executions occupy memory regardless of policy); the policy applies
+  /// its keep-alive / pre-warm / eviction logic. `arrivals` lists this
+  /// minute's invoked functions with counts.
+  virtual void OnMinute(int t, const std::vector<Invocation>& arrivals,
+                        MemSet* mem) = 0;
+};
+
+}  // namespace spes
+
+#endif  // SPES_SIM_POLICY_H_

@@ -1,0 +1,186 @@
+#include "trace/azure_csv.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+namespace spes {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kFilePrefix[] = "invocations_per_function_md.anon.d";
+
+std::string DayFileName(int day) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%s%02d.csv", kFilePrefix, day);
+  return buf;
+}
+
+bool AllZero(const uint32_t* counts, int n) {
+  return std::all_of(counts, counts + n, [](uint32_t c) { return c == 0; });
+}
+
+}  // namespace
+
+std::string FormatAzureCsvLine(const FunctionMeta& meta,
+                               const uint32_t* counts, int num_slots) {
+  std::string line;
+  line.reserve(static_cast<size_t>(num_slots) * 2 + 64);
+  line += meta.owner;
+  line += ',';
+  line += meta.app;
+  line += ',';
+  line += meta.name;
+  line += ',';
+  line += TriggerTypeToString(meta.trigger);
+  char buf[16];
+  for (int i = 0; i < num_slots; ++i) {
+    const int len = std::snprintf(buf, sizeof(buf), ",%u", counts[i]);
+    line.append(buf, static_cast<size_t>(len));
+  }
+  return line;
+}
+
+Result<FunctionTrace> ParseAzureCsvLine(const std::string& line,
+                                        int expected_slots) {
+  FunctionTrace out;
+  out.counts.reserve(static_cast<size_t>(expected_slots));
+  size_t pos = 0;
+  int field = 0;
+  while (pos <= line.size()) {
+    size_t comma = line.find(',', pos);
+    if (comma == std::string::npos) comma = line.size();
+    const std::string_view cell(line.data() + pos, comma - pos);
+    switch (field) {
+      case 0:
+        out.meta.owner = std::string(cell);
+        break;
+      case 1:
+        out.meta.app = std::string(cell);
+        break;
+      case 2:
+        out.meta.name = std::string(cell);
+        break;
+      case 3:
+        out.meta.trigger = TriggerTypeFromString(std::string(cell));
+        break;
+      default: {
+        uint32_t value = 0;
+        if (!cell.empty()) {
+          auto [ptr, ec] =
+              std::from_chars(cell.data(), cell.data() + cell.size(), value);
+          if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+            return Status::IOError("bad count '" + std::string(cell) +
+                                   "' in CSV line");
+          }
+        }
+        out.counts.push_back(value);
+        break;
+      }
+    }
+    ++field;
+    pos = comma + 1;
+    if (comma == line.size()) break;
+  }
+  if (static_cast<int>(out.counts.size()) != expected_slots) {
+    return Status::IOError("expected " + std::to_string(expected_slots) +
+                           " slots, got " + std::to_string(out.counts.size()));
+  }
+  return out;
+}
+
+Status WriteAzureTraceDir(const Trace& trace, const std::string& dir) {
+  if (trace.num_minutes() % kMinutesPerDay != 0) {
+    return Status::InvalidArgument("trace horizon is not whole days");
+  }
+  const int days = trace.num_minutes() / kMinutesPerDay;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create " + dir + ": " + ec.message());
+
+  for (int day = 1; day <= days; ++day) {
+    const std::string path = dir + "/" + DayFileName(day);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + path);
+    out << "HashOwner,HashApp,HashFunction,Trigger";
+    for (int i = 1; i <= kMinutesPerDay; ++i) out << ',' << i;
+    out << '\n';
+    const int begin = (day - 1) * kMinutesPerDay;
+    for (const FunctionTrace& f : trace.functions()) {
+      const uint32_t* slice = f.counts.data() + begin;
+      const bool zero_day = AllZero(slice, kMinutesPerDay);
+      // Keep never-invoked functions visible via a day-1 row.
+      if (zero_day && !(day == 1 && f.TotalInvocations() == 0)) continue;
+      out << FormatAzureCsvLine(f.meta, slice, kMinutesPerDay) << '\n';
+    }
+    if (!out) return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<Trace> ReadAzureTraceDir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("no such trace directory: " + dir);
+  }
+  // Collect day files in order.
+  std::map<int, std::string> day_files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kFilePrefix, 0) != 0) continue;
+    const size_t digits = std::strlen(kFilePrefix);
+    const int day = std::atoi(name.c_str() + digits);
+    if (day > 0) day_files[day] = entry.path().string();
+  }
+  if (day_files.empty()) {
+    return Status::NotFound("no Azure trace CSVs under " + dir);
+  }
+  const int days = day_files.rbegin()->first;
+  const int horizon = days * kMinutesPerDay;
+
+  struct Accum {
+    FunctionMeta meta;
+    std::vector<uint32_t> counts;
+  };
+  std::map<std::string, Accum> by_name;  // ordered => deterministic output
+
+  for (const auto& [day, path] : day_files) {
+    std::ifstream in(path);
+    if (!in) return Status::IOError("cannot open " + path);
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::IOError("empty trace file " + path);
+    }
+    const int offset = (day - 1) * kMinutesPerDay;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      SPES_ASSIGN_OR_RETURN(FunctionTrace row,
+                            ParseAzureCsvLine(line, kMinutesPerDay));
+      Accum& acc = by_name[row.meta.name];
+      if (acc.counts.empty()) {
+        acc.meta = row.meta;
+        acc.counts.assign(static_cast<size_t>(horizon), 0);
+      }
+      std::copy(row.counts.begin(), row.counts.end(),
+                acc.counts.begin() + offset);
+    }
+  }
+
+  Trace trace(horizon);
+  for (auto& [name, acc] : by_name) {
+    FunctionTrace f;
+    f.meta = std::move(acc.meta);
+    f.counts = std::move(acc.counts);
+    SPES_RETURN_NOT_OK(trace.Add(std::move(f)));
+  }
+  return trace;
+}
+
+}  // namespace spes

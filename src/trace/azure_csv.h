@@ -1,0 +1,50 @@
+// Reader/writer for the Azure Functions 2019 invocation-trace CSV schema.
+//
+// The public dataset ships one file per day named
+//   invocations_per_function_md.anon.d{NN}.csv
+// with the header
+//   HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440
+// and one row per (function, day) giving per-minute invocation counts.
+//
+// ReadAzureTraceDir() stitches the daily files into a single Trace with a
+// common horizon; functions missing on a day contribute zeros for that day,
+// matching how the paper's simulation treats the dataset. WriteAzureTraceDir()
+// emits the same schema so synthetic traces round-trip and real trace files
+// can be dropped in unchanged.
+
+#ifndef SPES_TRACE_AZURE_CSV_H_
+#define SPES_TRACE_AZURE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief Writes `trace` as one Azure-schema CSV per day under `dir`.
+///
+/// The trace horizon must be a whole number of days. Creates `dir` if
+/// missing. Rows whose day slice is all zero are skipped for that day,
+/// mirroring the real dataset (a function only has a row on days it ran,
+/// except functions never invoked at all, which appear on day 1 so their
+/// metadata is preserved).
+Status WriteAzureTraceDir(const Trace& trace, const std::string& dir);
+
+/// \brief Reads every `invocations_per_function_md.anon.d*.csv` in `dir`.
+Result<Trace> ReadAzureTraceDir(const std::string& dir);
+
+/// \brief Parses one CSV line of the Azure schema into (meta, counts).
+///
+/// Exposed for testing; `expected_slots` is normally kMinutesPerDay.
+Result<FunctionTrace> ParseAzureCsvLine(const std::string& line,
+                                        int expected_slots);
+
+/// \brief Serializes one function-day row in the Azure schema.
+std::string FormatAzureCsvLine(const FunctionMeta& meta,
+                               const uint32_t* counts, int num_slots);
+
+}  // namespace spes
+
+#endif  // SPES_TRACE_AZURE_CSV_H_

@@ -1,0 +1,125 @@
+#include "trace/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spes {
+
+InvocationHistogram ComputeInvocationHistogram(const Trace& trace) {
+  InvocationHistogram hist;
+  hist.total_functions = static_cast<int64_t>(trace.num_functions());
+  for (const FunctionTrace& f : trace.functions()) {
+    const uint64_t total = f.TotalInvocations();
+    hist.total_invocations += total;
+    if (total == 0) {
+      ++hist.zero_functions;
+      continue;
+    }
+    const int bucket =
+        static_cast<int>(std::floor(std::log10(static_cast<double>(total))));
+    if (bucket >= static_cast<int>(hist.buckets.size())) {
+      hist.buckets.resize(static_cast<size_t>(bucket) + 1, 0);
+    }
+    ++hist.buckets[static_cast<size_t>(bucket)];
+  }
+  return hist;
+}
+
+std::array<double, kNumTriggerTypes> ComputeTriggerMix(const Trace& trace) {
+  std::array<double, kNumTriggerTypes> mix{};
+  if (trace.num_functions() == 0) return mix;
+  for (const FunctionTrace& f : trace.functions()) {
+    mix[static_cast<size_t>(f.meta.trigger)] += 1.0;
+  }
+  for (double& m : mix) m /= static_cast<double>(trace.num_functions());
+  return mix;
+}
+
+std::vector<size_t> FindConceptShiftExamples(const Trace& trace, int k) {
+  struct Scored {
+    size_t index;
+    double score;
+  };
+  std::vector<Scored> scored;
+  const int half = trace.num_minutes() / 2;
+  for (size_t i = 0; i < trace.num_functions(); ++i) {
+    const auto& counts = trace.function(i).counts;
+    uint64_t first = 0, second = 0;
+    for (int t = 0; t < half; ++t) first += counts[static_cast<size_t>(t)];
+    for (int t = half; t < trace.num_minutes(); ++t) {
+      second += counts[static_cast<size_t>(t)];
+    }
+    const uint64_t total = first + second;
+    if (total < 200) continue;  // need visible activity in both panes
+    const double a = static_cast<double>(first) + 1.0;
+    const double b = static_cast<double>(second) + 1.0;
+    const double ratio = a > b ? a / b : b / a;
+    scored.push_back({i, ratio});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.index < b.index;
+  });
+  std::vector<size_t> out;
+  for (const Scored& s : scored) {
+    if (static_cast<int>(out.size()) >= k) break;
+    out.push_back(s.index);
+  }
+  return out;
+}
+
+std::vector<size_t> FindTemporalLocalityExamples(const Trace& trace, int k,
+                                                 int min_total,
+                                                 int max_total) {
+  std::vector<size_t> out;
+  const double horizon = static_cast<double>(trace.num_minutes());
+  for (size_t i = 0; i < trace.num_functions(); ++i) {
+    if (static_cast<int>(out.size()) >= k) break;
+    const auto& counts = trace.function(i).counts;
+    const uint64_t total = trace.function(i).TotalInvocations();
+    if (total < static_cast<uint64_t>(min_total) ||
+        total > static_cast<uint64_t>(max_total)) {
+      continue;
+    }
+    // Measure concentration: active slots vs. horizon, and run structure.
+    int64_t active = 0;
+    int64_t runs = 0;
+    bool in_run = false;
+    for (uint32_t c : counts) {
+      if (c > 0) {
+        ++active;
+        if (!in_run) {
+          ++runs;
+          in_run = true;
+        }
+      } else {
+        in_run = false;
+      }
+    }
+    if (active == 0) continue;
+    const double active_fraction = static_cast<double>(active) / horizon;
+    const double slots_per_run =
+        static_cast<double>(active) / static_cast<double>(runs);
+    // Few, multi-slot runs occupying a tiny share of the horizon.
+    if (active_fraction < 0.02 && runs <= 24 && slots_per_run >= 2.0) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> BinSeries(const std::vector<uint32_t>& counts,
+                                int num_bins) {
+  std::vector<uint64_t> bins(static_cast<size_t>(std::max(num_bins, 1)), 0);
+  if (counts.empty()) return bins;
+  const double per_bin =
+      static_cast<double>(counts.size()) / static_cast<double>(bins.size());
+  for (size_t t = 0; t < counts.size(); ++t) {
+    size_t b = static_cast<size_t>(static_cast<double>(t) / per_bin);
+    if (b >= bins.size()) b = bins.size() - 1;
+    bins[b] += counts[t];
+  }
+  return bins;
+}
+
+}  // namespace spes

@@ -1,0 +1,54 @@
+// Population summaries of a trace: the statistics behind Figures 3-6 of the
+// paper (invocation-count histogram, trigger mix, concept-shift and
+// temporal-locality series selection).
+
+#ifndef SPES_TRACE_SUMMARY_H_
+#define SPES_TRACE_SUMMARY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief Fig. 3: histogram of per-function invocation totals in decades.
+///
+/// bucket[k] counts functions whose total invocations fall in
+/// [10^k, 10^(k+1)); bucket 0 additionally includes totals of exactly 1.
+struct InvocationHistogram {
+  std::vector<int64_t> buckets;   // decade buckets
+  int64_t zero_functions = 0;     // never invoked
+  int64_t total_functions = 0;
+  uint64_t total_invocations = 0;
+};
+InvocationHistogram ComputeInvocationHistogram(const Trace& trace);
+
+/// \brief Fig. 5: fraction of functions per trigger type.
+std::array<double, kNumTriggerTypes> ComputeTriggerMix(const Trace& trace);
+
+/// \brief Picks up to `k` indices of functions with a visible mid-trace
+/// behaviour change, ranked by the relative rate change between halves
+/// (Fig. 4 selects three such functions).
+std::vector<size_t> FindConceptShiftExamples(const Trace& trace, int k);
+
+/// \brief Picks up to `k` infrequently invoked functions whose invocations
+/// concentrate into few short windows (Fig. 6 temporal locality).
+///
+/// A function qualifies when it has between `min_total` and `max_total`
+/// invocations and at least 80% of them land inside active runs spanning
+/// under 2% of the horizon.
+std::vector<size_t> FindTemporalLocalityExamples(const Trace& trace, int k,
+                                                 int min_total,
+                                                 int max_total);
+
+/// \brief Downsamples a count series into `num_bins` sums (for plotting
+/// rows in bench output).
+std::vector<uint64_t> BinSeries(const std::vector<uint32_t>& counts,
+                                int num_bins);
+
+}  // namespace spes
+
+#endif  // SPES_TRACE_SUMMARY_H_

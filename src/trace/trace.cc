@@ -1,0 +1,108 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace spes {
+
+const char* TriggerTypeToString(TriggerType trigger) {
+  switch (trigger) {
+    case TriggerType::kHttp:
+      return "http";
+    case TriggerType::kTimer:
+      return "timer";
+    case TriggerType::kQueue:
+      return "queue";
+    case TriggerType::kStorage:
+      return "storage";
+    case TriggerType::kEvent:
+      return "event";
+    case TriggerType::kOrchestration:
+      return "orchestration";
+    case TriggerType::kOthers:
+      return "others";
+  }
+  return "others";
+}
+
+TriggerType TriggerTypeFromString(const std::string& name) {
+  if (name == "http") return TriggerType::kHttp;
+  if (name == "timer") return TriggerType::kTimer;
+  if (name == "queue") return TriggerType::kQueue;
+  if (name == "storage") return TriggerType::kStorage;
+  if (name == "event") return TriggerType::kEvent;
+  if (name == "orchestration") return TriggerType::kOrchestration;
+  return TriggerType::kOthers;
+}
+
+uint64_t FunctionTrace::TotalInvocations() const {
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += c;
+  return total;
+}
+
+int64_t FunctionTrace::InvokedMinutes() const {
+  return std::count_if(counts.begin(), counts.end(),
+                       [](uint32_t c) { return c > 0; });
+}
+
+Status Trace::Add(FunctionTrace function) {
+  if (static_cast<int>(function.counts.size()) != num_minutes_) {
+    return Status::InvalidArgument(
+        "function '" + function.meta.name + "' has " +
+        std::to_string(function.counts.size()) + " slots, trace expects " +
+        std::to_string(num_minutes_));
+  }
+  if (by_name_.contains(function.meta.name)) {
+    return Status::AlreadyExists("duplicate function '" + function.meta.name +
+                                 "'");
+  }
+  by_name_.emplace(function.meta.name, functions_.size());
+  functions_.push_back(std::move(function));
+  return Status::OK();
+}
+
+int64_t Trace::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+std::unordered_map<std::string, std::vector<size_t>> Trace::GroupByApp()
+    const {
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    groups[functions_[i].meta.app].push_back(i);
+  }
+  return groups;
+}
+
+std::unordered_map<std::string, std::vector<size_t>> Trace::GroupByOwner()
+    const {
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  for (size_t i = 0; i < functions_.size(); ++i) {
+    groups[functions_[i].meta.owner].push_back(i);
+  }
+  return groups;
+}
+
+std::span<const uint32_t> Trace::Slice(size_t function_index, int begin,
+                                       int end) const {
+  begin = std::clamp(begin, 0, num_minutes_);
+  end = std::clamp(end, begin, num_minutes_);
+  const auto& counts = functions_[function_index].counts;
+  return std::span<const uint32_t>(counts.data() + begin,
+                                   static_cast<size_t>(end - begin));
+}
+
+size_t Trace::CountOwners() const {
+  std::unordered_map<std::string, int> seen;
+  for (const auto& f : functions_) seen.emplace(f.meta.owner, 0);
+  return seen.size();
+}
+
+size_t Trace::CountApps() const {
+  std::unordered_map<std::string, int> seen;
+  for (const auto& f : functions_) seen.emplace(f.meta.app, 0);
+  return seen.size();
+}
+
+}  // namespace spes

@@ -1,0 +1,103 @@
+// Core trace model: per-minute invocation counts for a fleet of serverless
+// functions, in the shape of the Microsoft Azure Functions 2019 dataset the
+// paper evaluates on (14 days of per-minute counts; each function carries
+// hashed owner/app identifiers and a trigger type).
+
+#ifndef SPES_TRACE_TRACE_H_
+#define SPES_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spes {
+
+/// Number of sampling slots (minutes) per trace day.
+inline constexpr int kMinutesPerDay = 1440;
+
+/// \brief Trigger type bound to a function (Fig. 5 taxonomy).
+enum class TriggerType : uint8_t {
+  kHttp = 0,
+  kTimer,
+  kQueue,
+  kStorage,
+  kEvent,
+  kOrchestration,
+  kOthers,
+};
+
+inline constexpr int kNumTriggerTypes = 7;
+
+/// \brief Stable lowercase name, matching the Azure dataset's vocabulary.
+const char* TriggerTypeToString(TriggerType trigger);
+
+/// \brief Parses a trigger name; unknown names map to kOthers.
+TriggerType TriggerTypeFromString(const std::string& name);
+
+/// \brief Identity and static metadata of one function.
+struct FunctionMeta {
+  /// Hashed owner (user/subscription) id.
+  std::string owner;
+  /// Hashed application id; functions of one app form a logical workflow.
+  std::string app;
+  /// Hashed function id, unique within the trace.
+  std::string name;
+  TriggerType trigger = TriggerType::kOthers;
+};
+
+/// \brief One function's metadata plus its per-minute invocation counts.
+struct FunctionTrace {
+  FunctionMeta meta;
+  /// counts[t] = number of invocations in minute t; same length fleet-wide.
+  std::vector<uint32_t> counts;
+
+  /// \brief Total invocations over the whole horizon.
+  uint64_t TotalInvocations() const;
+  /// \brief Number of minutes with at least one invocation.
+  int64_t InvokedMinutes() const;
+};
+
+/// \brief A fleet of function traces over a common time horizon.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(int num_minutes) : num_minutes_(num_minutes) {}
+
+  /// \brief Appends a function; its counts must span num_minutes().
+  Status Add(FunctionTrace function);
+
+  int num_minutes() const { return num_minutes_; }
+  size_t num_functions() const { return functions_.size(); }
+  const std::vector<FunctionTrace>& functions() const { return functions_; }
+  const FunctionTrace& function(size_t i) const { return functions_[i]; }
+
+  /// \brief Index of the function with the given hashed name, or -1.
+  int64_t FindByName(const std::string& name) const;
+
+  /// \brief Function indices grouped by application id.
+  std::unordered_map<std::string, std::vector<size_t>> GroupByApp() const;
+
+  /// \brief Function indices grouped by owner id.
+  std::unordered_map<std::string, std::vector<size_t>> GroupByOwner() const;
+
+  /// \brief Counts of `function_index` restricted to [begin, end).
+  std::span<const uint32_t> Slice(size_t function_index, int begin,
+                                  int end) const;
+
+  /// \brief Number of distinct owners / apps in the fleet.
+  size_t CountOwners() const;
+  size_t CountApps() const;
+
+ private:
+  int num_minutes_ = 0;
+  std::vector<FunctionTrace> functions_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace spes
+
+#endif  // SPES_TRACE_TRACE_H_

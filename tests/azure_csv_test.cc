@@ -1,0 +1,103 @@
+#include "trace/azure_csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const char* tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / (std::string("spes_csv_") + tag);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(ParseAzureCsvLineTest, ParsesMetadataAndCounts) {
+  const std::string line = "own1,app1,fn1,timer,0,3,0,1";
+  const Result<FunctionTrace> parsed = ParseAzureCsvLine(line, 4);
+  ASSERT_TRUE(parsed.ok());
+  const FunctionTrace& f = parsed.ValueOrDie();
+  EXPECT_EQ(f.meta.owner, "own1");
+  EXPECT_EQ(f.meta.app, "app1");
+  EXPECT_EQ(f.meta.name, "fn1");
+  EXPECT_EQ(f.meta.trigger, TriggerType::kTimer);
+  EXPECT_EQ(f.counts, (std::vector<uint32_t>{0, 3, 0, 1}));
+}
+
+TEST(ParseAzureCsvLineTest, RejectsWrongSlotCount) {
+  EXPECT_FALSE(ParseAzureCsvLine("o,a,f,http,1,2", 4).ok());
+}
+
+TEST(ParseAzureCsvLineTest, RejectsGarbageCounts) {
+  EXPECT_FALSE(ParseAzureCsvLine("o,a,f,http,1,x,3,4", 4).ok());
+}
+
+TEST(FormatAzureCsvLineTest, RoundTripsThroughParse) {
+  const FunctionMeta meta{"oo", "aa", "ff", TriggerType::kQueue};
+  const uint32_t counts[4] = {7, 0, 0, 9};
+  const std::string line = FormatAzureCsvLine(meta, counts, 4);
+  const Result<FunctionTrace> parsed = ParseAzureCsvLine(line, 4);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.ValueOrDie().meta.trigger, TriggerType::kQueue);
+  EXPECT_EQ(parsed.ValueOrDie().counts[3], 9u);
+}
+
+TEST(AzureTraceDirTest, WriteThenReadRoundTrips) {
+  GeneratorConfig config;
+  config.num_functions = 60;
+  config.days = 2;
+  config.seed = 7;
+  const Result<GeneratedTrace> generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+  const Trace& original = generated.ValueOrDie().trace;
+
+  const std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(WriteAzureTraceDir(original, dir).ok());
+
+  const Result<Trace> reread = ReadAzureTraceDir(dir);
+  ASSERT_TRUE(reread.ok());
+  const Trace& copy = reread.ValueOrDie();
+
+  ASSERT_EQ(copy.num_functions(), original.num_functions());
+  ASSERT_EQ(copy.num_minutes(), original.num_minutes());
+  for (size_t i = 0; i < original.num_functions(); ++i) {
+    const FunctionTrace& f = original.function(i);
+    const int64_t j = copy.FindByName(f.meta.name);
+    ASSERT_GE(j, 0) << "missing " << f.meta.name;
+    const FunctionTrace& g = copy.function(static_cast<size_t>(j));
+    EXPECT_EQ(g.meta.app, f.meta.app);
+    EXPECT_EQ(g.meta.owner, f.meta.owner);
+    EXPECT_EQ(g.meta.trigger, f.meta.trigger);
+    EXPECT_EQ(g.counts, f.counts) << "counts differ for " << f.meta.name;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(AzureTraceDirTest, RejectsPartialDays) {
+  Trace trace(100);  // not a multiple of 1440
+  EXPECT_EQ(WriteAzureTraceDir(trace, TempDir("partial")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AzureTraceDirTest, ReadMissingDirFails) {
+  const Result<Trace> r = ReadAzureTraceDir("/nonexistent/spes/dir");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AzureTraceDirTest, ReadEmptyDirFails) {
+  const std::string dir = TempDir("empty");
+  fs::create_directories(dir);
+  EXPECT_EQ(ReadAzureTraceDir(dir).status().code(), StatusCode::kNotFound);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace spes

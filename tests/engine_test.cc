@@ -1,0 +1,194 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policies/fixed_keepalive.h"
+#include "policies/oracle.h"
+
+namespace spes {
+namespace {
+
+Trace MakeTrace(std::vector<std::vector<uint32_t>> rows) {
+  Trace trace(static_cast<int>(rows[0].size()));
+  int k = 0;
+  for (auto& row : rows) {
+    FunctionTrace f;
+    f.meta.name = "f" + std::to_string(k++);
+    f.meta.app = "a";
+    f.meta.owner = "o";
+    f.counts = std::move(row);
+    EXPECT_TRUE(trace.Add(std::move(f)).ok());
+  }
+  return trace;
+}
+
+/// Policy that never keeps anything loaded: every arrival is cold.
+class EvictAllPolicy : public Policy {
+ public:
+  std::string name() const override { return "EvictAll"; }
+  void Train(const Trace& trace, int) override { n_ = trace.num_functions(); }
+  void OnMinute(int, const std::vector<Invocation>&, MemSet* mem) override {
+    for (size_t f = 0; f < n_; ++f) mem->Remove(f);
+  }
+
+ private:
+  size_t n_ = 0;
+};
+
+/// Policy that keeps everything loaded forever.
+class KeepAllPolicy : public Policy {
+ public:
+  std::string name() const override { return "KeepAll"; }
+  void Train(const Trace& trace, int) override { n_ = trace.num_functions(); }
+  void OnMinute(int, const std::vector<Invocation>&, MemSet* mem) override {
+    for (size_t f = 0; f < n_; ++f) mem->Add(f);
+  }
+
+ private:
+  size_t n_ = 0;
+};
+
+TEST(EngineTest, RejectsNullPolicy) {
+  Trace trace = MakeTrace({{1, 0, 1}});
+  EXPECT_FALSE(Simulate(trace, nullptr, SimOptions{0, 0, true}).ok());
+}
+
+TEST(EngineTest, RejectsBadWindow) {
+  Trace trace = MakeTrace({{1, 0, 1}});
+  FixedKeepAlivePolicy policy(10);
+  SimOptions options;
+  options.train_minutes = 99;
+  EXPECT_FALSE(Simulate(trace, &policy, options).ok());
+}
+
+TEST(EngineTest, EvictAllMakesEveryIsolatedArrivalCold) {
+  Trace trace = MakeTrace({{1, 1, 0, 2, 0, 1}});
+  EvictAllPolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  EXPECT_EQ(acc.invocations, 5u);     // 1+1+2+1
+  EXPECT_EQ(acc.invoked_minutes, 4u);
+  // The t=1 arrival is warm: the t=0 execution pins the instance through
+  // its minute, so back-to-back arrivals share it even under eviction.
+  EXPECT_EQ(acc.cold_starts, 3u);  // t=0, t=3, t=5
+  EXPECT_EQ(acc.ColdStartRate(), 3.0 / 5.0);
+}
+
+TEST(EngineTest, ExecutionPinsInstanceForItsMinute) {
+  // Even though EvictAll removes everything, the engine pins executing
+  // functions, so arrival minutes count as loaded (and not wasted).
+  Trace trace = MakeTrace({{1, 0, 1, 0}});
+  EvictAllPolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  EXPECT_EQ(acc.loaded_minutes, 2u);
+  EXPECT_EQ(acc.wasted_minutes, 0u);
+}
+
+TEST(EngineTest, KeepAllWarmAfterFirstMinute) {
+  Trace trace = MakeTrace({{0, 1, 0, 1, 1, 0}});
+  KeepAllPolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  // First arrival at t=1: memory was empty until the t=0 policy step ran,
+  // which loaded everything; so no cold start at all.
+  EXPECT_EQ(acc.cold_starts, 0u);
+  // Loaded all 6 minutes; 3 of them had no arrival.
+  EXPECT_EQ(acc.loaded_minutes, 6u);
+  EXPECT_EQ(acc.wasted_minutes, 3u);
+}
+
+TEST(EngineTest, AccountingConservation) {
+  // invoked_minutes + wasted_minutes == loaded_minutes for KeepAll.
+  Trace trace = MakeTrace({{1, 0, 1, 1, 0, 0, 1, 0}, {0, 0, 1, 0, 0, 1, 0, 0}});
+  KeepAllPolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  for (const FunctionAccount& acc : outcome.ValueOrDie().accounts) {
+    EXPECT_EQ(acc.invoked_minutes + acc.wasted_minutes, acc.loaded_minutes);
+  }
+}
+
+TEST(EngineTest, MemorySeriesLengthMatchesWindow) {
+  Trace trace = MakeTrace({{1, 0, 1, 0, 1, 0, 1, 0}});
+  FixedKeepAlivePolicy policy(2);
+  SimOptions options;
+  options.train_minutes = 2;
+  options.end_minute = 7;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.ValueOrDie().memory_series.size(), 5u);
+}
+
+TEST(EngineTest, TrainingWindowIsExcludedFromAccounting) {
+  Trace trace = MakeTrace({{1, 1, 1, 1, 0, 0, 0, 0}});
+  FixedKeepAlivePolicy policy(10);
+  SimOptions options;
+  options.train_minutes = 4;  // all arrivals are in training
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.ValueOrDie().accounts[0].invocations, 0u);
+  EXPECT_EQ(outcome.ValueOrDie().metrics.total_invocations, 0u);
+}
+
+TEST(EngineTest, OracleHasNoColdStartsAfterFirstMinute) {
+  Trace trace = MakeTrace({{0, 1, 0, 1, 0, 1, 1, 0, 0, 1},
+                           {1, 0, 0, 0, 1, 0, 0, 0, 1, 0}});
+  OraclePolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  // Arrivals at t=0 are unavoidably cold (no earlier step existed).
+  uint64_t cold = 0;
+  for (const auto& acc : outcome.ValueOrDie().accounts) {
+    cold += acc.cold_starts;
+  }
+  EXPECT_EQ(cold, 1u);  // only function 1 fires at t=0
+}
+
+TEST(EngineTest, OracleWasteBoundedByOnePrewarmMinutePerArrivalRun) {
+  // A minute-granular scheduler must be resident by the END of minute t-1
+  // to serve minute t warm, so even the oracle pays one idle loaded minute
+  // ahead of each isolated arrival run — and never more.
+  Trace trace = MakeTrace({{0, 1, 0, 1, 0, 1, 1, 0, 0, 1}});
+  OraclePolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  // Arrival runs start at t=1, 3, 5, 9: four pre-warm minutes.
+  EXPECT_EQ(acc.wasted_minutes, 4u);
+  EXPECT_LE(acc.wasted_minutes, acc.invoked_minutes);
+}
+
+TEST(EngineTest, FleetMetricsComputedFromAccounts) {
+  Trace trace = MakeTrace({{1, 0, 0, 0, 1, 0}, {0, 1, 1, 1, 0, 1}});
+  FixedKeepAlivePolicy policy(2);
+  SimOptions options;
+  options.train_minutes = 0;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FleetMetrics& m = outcome.ValueOrDie().metrics;
+  EXPECT_EQ(m.policy_name, "Fixed-2min");
+  EXPECT_EQ(m.csr.size(), 2u);
+  EXPECT_GT(m.total_invocations, 0u);
+  EXPECT_GE(m.max_memory, 1u);
+}
+
+}  // namespace
+}  // namespace spes

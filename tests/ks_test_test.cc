@@ -1,0 +1,107 @@
+#include "common/ks_test.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spes {
+namespace {
+
+TEST(KolmogorovSurvivalTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(KolmogorovSurvival(-1.0), 1.0);
+  EXPECT_LT(KolmogorovSurvival(2.0), 0.001);
+}
+
+TEST(KolmogorovSurvivalTest, KnownValue) {
+  // Q(1.36) ~ 0.049: the classic 5% critical value.
+  EXPECT_NEAR(KolmogorovSurvival(1.36), 0.049, 0.002);
+}
+
+TEST(KolmogorovSurvivalTest, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double x = 0.1; x < 3.0; x += 0.1) {
+    const double q = KolmogorovSurvival(x);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsTest, UniformSampleConsistentWithUniformCdf) {
+  Rng rng(101);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.UniformDouble());
+  const KsResult r = KsTest(xs, [](double x) {
+    if (x < 0.0) return 0.0;
+    if (x > 1.0) return 1.0;
+    return x;
+  });
+  EXPECT_TRUE(r.consistent);
+  EXPECT_LT(r.statistic, 0.1);
+}
+
+TEST(KsTest, UniformSampleRejectsWrongCdf) {
+  Rng rng(103);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.UniformDouble());
+  // Exponential CDF is far from the uniform sample.
+  const KsResult r =
+      KsTest(xs, [](double x) { return 1.0 - std::exp(-5.0 * x); });
+  EXPECT_FALSE(r.consistent);
+}
+
+TEST(KsTest, EmptySample) {
+  const KsResult r = KsTest({}, [](double) { return 0.5; });
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_FALSE(r.consistent);
+}
+
+TEST(KsTestPeriodic, PerfectlyPeriodicGapsAreConsistent) {
+  std::vector<int64_t> gaps(100, 15);
+  const KsResult r = KsTestPeriodic(gaps);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(KsTestPeriodic, QuasiPeriodicGapsAreConsistent) {
+  // Gaps hop between 14 and 16 around a 15-minute timer.
+  std::vector<int64_t> gaps;
+  for (int i = 0; i < 100; ++i) gaps.push_back(i % 2 == 0 ? 15 : 16);
+  const KsResult r = KsTestPeriodic(gaps);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(KsTestPeriodic, WildGapsAreNotPeriodic) {
+  Rng rng(107);
+  std::vector<int64_t> gaps;
+  for (int i = 0; i < 300; ++i) {
+    gaps.push_back(1 + static_cast<int64_t>(rng.Exponential(0.02)));
+  }
+  const KsResult r = KsTestPeriodic(gaps);
+  EXPECT_FALSE(r.consistent);
+}
+
+TEST(KsTestExponential, ExponentialGapsAreConsistent) {
+  Rng rng(109);
+  std::vector<int64_t> gaps;
+  for (int i = 0; i < 400; ++i) {
+    gaps.push_back(static_cast<int64_t>(rng.Exponential(0.1)));
+  }
+  const KsResult r = KsTestExponential(gaps);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST(KsTestExponential, ConstantGapsAreNotExponential) {
+  std::vector<int64_t> gaps(200, 30);
+  const KsResult r = KsTestExponential(gaps);
+  EXPECT_FALSE(r.consistent);
+}
+
+TEST(KsTestExponential, EmptyGaps) {
+  EXPECT_FALSE(KsTestExponential({}).consistent);
+}
+
+}  // namespace
+}  // namespace spes

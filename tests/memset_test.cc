@@ -1,0 +1,59 @@
+#include "sim/memset.h"
+
+#include <gtest/gtest.h>
+
+namespace spes {
+namespace {
+
+TEST(MemSetTest, StartsEmpty) {
+  MemSet mem(10);
+  EXPECT_EQ(mem.Count(), 0u);
+  EXPECT_EQ(mem.Capacity(), 10u);
+  for (size_t f = 0; f < 10; ++f) EXPECT_FALSE(mem.Contains(f));
+}
+
+TEST(MemSetTest, AddRemoveContains) {
+  MemSet mem(5);
+  mem.Add(2);
+  EXPECT_TRUE(mem.Contains(2));
+  EXPECT_EQ(mem.Count(), 1u);
+  mem.Remove(2);
+  EXPECT_FALSE(mem.Contains(2));
+  EXPECT_EQ(mem.Count(), 0u);
+}
+
+TEST(MemSetTest, AddIsIdempotent) {
+  MemSet mem(5);
+  mem.Add(1);
+  mem.Add(1);
+  mem.Add(1);
+  EXPECT_EQ(mem.Count(), 1u);
+}
+
+TEST(MemSetTest, RemoveAbsentIsNoOp) {
+  MemSet mem(5);
+  mem.Remove(3);
+  EXPECT_EQ(mem.Count(), 0u);
+}
+
+TEST(MemSetTest, RawMirrorsMembership) {
+  MemSet mem(4);
+  mem.Add(0);
+  mem.Add(3);
+  const auto& raw = mem.raw();
+  EXPECT_EQ(raw[0], 1);
+  EXPECT_EQ(raw[1], 0);
+  EXPECT_EQ(raw[2], 0);
+  EXPECT_EQ(raw[3], 1);
+}
+
+TEST(MemSetTest, CountTracksManyOperations) {
+  MemSet mem(100);
+  for (size_t f = 0; f < 100; f += 2) mem.Add(f);
+  EXPECT_EQ(mem.Count(), 50u);
+  for (size_t f = 0; f < 100; f += 4) mem.Remove(f);
+  EXPECT_EQ(mem.Count(), 25u);
+}
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,88 @@
+#include "policies/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+TEST(OracleTest, ZeroColdStartsOnGeneratedTraceAfterWarmup) {
+  GeneratorConfig config;
+  config.num_functions = 150;
+  config.days = 3;
+  config.seed = 77;
+  const auto generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+  const Trace& trace = generated.ValueOrDie().trace;
+
+  OraclePolicy policy;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+
+  // Only the very first simulated minute can be cold.
+  uint64_t cold = 0;
+  for (const auto& acc : outcome.ValueOrDie().accounts) {
+    cold += acc.cold_starts;
+  }
+  uint64_t first_minute_arrivals = 0;
+  for (size_t f = 0; f < trace.num_functions(); ++f) {
+    if (trace.function(f)
+            .counts[static_cast<size_t>(options.train_minutes)] > 0) {
+      ++first_minute_arrivals;
+    }
+  }
+  EXPECT_LE(cold, first_minute_arrivals);
+}
+
+TEST(OracleTest, WasteNeverExceedsOnePrewarmMinutePerArrivalMinute) {
+  // Every idle loaded minute under the oracle is the pre-warm minute of an
+  // arrival in the NEXT minute, so per function waste <= invoked minutes.
+  GeneratorConfig config;
+  config.num_functions = 100;
+  config.days = 3;
+  config.seed = 78;
+  const auto generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+
+  OraclePolicy policy;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome =
+      Simulate(generated.ValueOrDie().trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  for (const auto& acc : outcome.ValueOrDie().accounts) {
+    EXPECT_LE(acc.wasted_minutes, acc.invoked_minutes);
+  }
+}
+
+TEST(OracleTest, LowerBoundsEveryPolicyOnColdStarts) {
+  // Sanity: oracle cold starts <= fixed keep-alive cold starts.
+  GeneratorConfig config;
+  config.num_functions = 120;
+  config.days = 3;
+  config.seed = 79;
+  const auto generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+  const Trace& trace = generated.ValueOrDie().trace;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+
+  OraclePolicy oracle;
+  const auto oracle_out = Simulate(trace, &oracle, options);
+  ASSERT_TRUE(oracle_out.ok());
+
+  FixedKeepAlivePolicy fixed(10);
+  const auto fixed_out = Simulate(trace, &fixed, options);
+  ASSERT_TRUE(fixed_out.ok());
+
+  EXPECT_LE(oracle_out.ValueOrDie().metrics.total_cold_starts,
+            fixed_out.ValueOrDie().metrics.total_cold_starts);
+}
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,176 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace spes {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::map<int64_t, int> seen;
+  for (int i = 0; i < 20000; ++i) ++seen[rng.UniformInt(0, 9)];
+  ASSERT_EQ(seen.size(), 10u);
+  for (const auto& [v, count] : seen) {
+    EXPECT_GT(count, 1500) << "value " << v;  // expected 2000 each
+    EXPECT_LT(count, 2500) << "value " << v;
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonMeanSmall) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(2.5));
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeUsesNormalApprox) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);  // mean = 1/rate
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(29);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(31);
+  int64_t ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.Zipf(1000, 1.5);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 1000);
+    if (v == 1) ++ones;
+  }
+  // With s = 1.5, rank 1 carries a large share of the mass.
+  EXPECT_GT(static_cast<double>(ones) / n, 0.3);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::map<size_t, int> seen;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++seen[rng.WeightedIndex(w)];
+  EXPECT_EQ(seen.count(1), 0u);
+  EXPECT_NEAR(static_cast<double>(seen[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(seen[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  // The child stream should not mirror the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(SplitMix64(&s1), SplitMix64(&s2));
+}
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,97 @@
+#include "core/series_features.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spes {
+namespace {
+
+std::vector<uint32_t> Seq(std::initializer_list<uint32_t> xs) { return xs; }
+
+TEST(SeriesFeaturesTest, PaperWorkedExample) {
+  // §IV: (28, 0, 12, 1, 0, 0, 0, 7) -> WT=(1,3), AT=(1,2,1), AN=(28,13,7).
+  const auto counts = Seq({28, 0, 12, 1, 0, 0, 0, 7});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_EQ(f.wts, (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(f.ats, (std::vector<int64_t>{1, 2, 1}));
+  EXPECT_EQ(f.ans, (std::vector<int64_t>{28, 13, 7}));
+  EXPECT_EQ(f.total_invocations, 48u);
+  EXPECT_EQ(f.active_slots, 4);
+  EXPECT_EQ(f.first_invoked, 0);
+  EXPECT_EQ(f.last_invoked, 7);
+}
+
+TEST(SeriesFeaturesTest, EmptySequence) {
+  const SeriesFeatures f = ExtractSeriesFeatures(std::vector<uint32_t>{});
+  EXPECT_TRUE(f.wts.empty());
+  EXPECT_TRUE(f.ats.empty());
+  EXPECT_EQ(f.total_invocations, 0u);
+  EXPECT_EQ(f.first_invoked, -1);
+  EXPECT_EQ(f.last_invoked, -1);
+}
+
+TEST(SeriesFeaturesTest, AllZeros) {
+  const auto counts = Seq({0, 0, 0, 0});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_TRUE(f.wts.empty());
+  EXPECT_TRUE(f.ats.empty());
+  EXPECT_EQ(f.first_invoked, -1);
+}
+
+TEST(SeriesFeaturesTest, LeadingIdleIsNotAWaitingTime) {
+  const auto counts = Seq({0, 0, 5, 0, 3});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_EQ(f.wts, (std::vector<int64_t>{1}));
+  EXPECT_EQ(f.first_invoked, 2);
+}
+
+TEST(SeriesFeaturesTest, TrailingIdleIsNotAWaitingTime) {
+  const auto counts = Seq({5, 0, 0, 0});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_TRUE(f.wts.empty());
+  EXPECT_EQ(f.ats, (std::vector<int64_t>{1}));
+  EXPECT_EQ(f.last_invoked, 0);
+}
+
+TEST(SeriesFeaturesTest, SingleLongActiveRun) {
+  const auto counts = Seq({1, 2, 3, 4});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_TRUE(f.wts.empty());
+  EXPECT_EQ(f.ats, (std::vector<int64_t>{4}));
+  EXPECT_EQ(f.ans, (std::vector<int64_t>{10}));
+}
+
+TEST(SeriesFeaturesTest, AlternatingPattern) {
+  const auto counts = Seq({1, 0, 1, 0, 1});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  EXPECT_EQ(f.wts, (std::vector<int64_t>{1, 1}));
+  EXPECT_EQ(f.ats, (std::vector<int64_t>{1, 1, 1}));
+}
+
+TEST(SeriesFeaturesTest, InvariantSumsHold) {
+  // Property: sum(AT) == active slots; sum(AN) == total invocations;
+  // |WT| == |AT| - 1 when the sequence starts and ends with activity.
+  const auto counts = Seq({2, 0, 0, 1, 1, 0, 4, 0, 0, 0, 1});
+  const SeriesFeatures f = ExtractSeriesFeatures(counts);
+  int64_t at_sum = 0;
+  for (int64_t a : f.ats) at_sum += a;
+  EXPECT_EQ(at_sum, f.active_slots);
+  uint64_t an_sum = 0;
+  for (int64_t a : f.ans) an_sum += static_cast<uint64_t>(a);
+  EXPECT_EQ(an_sum, f.total_invocations);
+  EXPECT_EQ(f.wts.size(), f.ats.size() - 1);
+}
+
+TEST(InvokedSlotsTest, ListsNonZeroSlots) {
+  const auto counts = Seq({0, 3, 0, 1});
+  EXPECT_EQ(InvokedSlots(counts), (std::vector<int>{1, 3}));
+}
+
+TEST(InvokedSlotsTest, EmptyForAllZero) {
+  const auto counts = Seq({0, 0});
+  EXPECT_TRUE(InvokedSlots(counts).empty());
+}
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,101 @@
+#include "core/slacking.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace spes {
+namespace {
+
+TEST(TrimBoundaryWtsTest, DropsFirstAndLast) {
+  EXPECT_EQ(TrimBoundaryWts({1, 2, 3, 4}), (std::vector<int64_t>{2, 3}));
+}
+
+TEST(TrimBoundaryWtsTest, TooShortBecomesEmpty) {
+  EXPECT_TRUE(TrimBoundaryWts({1, 2}).empty());
+  EXPECT_TRUE(TrimBoundaryWts({}).empty());
+}
+
+TEST(MergeAnchorModeTest, PrefersLargerValueOnTies) {
+  // 1439, 1438 and 1 each occur twice: the anchor is the largest.
+  EXPECT_EQ(MergeAnchorMode({1439, 1438, 1, 1439, 1438, 1}), 1439);
+}
+
+TEST(MergeAnchorModeTest, PlainModeWins) {
+  EXPECT_EQ(MergeAnchorMode({5, 5, 5, 9}), 5);
+  EXPECT_EQ(MergeAnchorMode({}), 0);
+}
+
+TEST(MergeAdjacentSmallWtsTest, PaperExample) {
+  // §IV-A2: (1439, 1438, 1, 1439, 1438, 1) -> (1439, 1439, 1439, 1439).
+  const std::vector<int64_t> wts = {1439, 1438, 1, 1439, 1438, 1};
+  EXPECT_EQ(MergeAdjacentSmallWts(wts),
+            (std::vector<int64_t>{1439, 1439, 1439, 1439}));
+}
+
+TEST(MergeAdjacentSmallWtsTest, AlreadyRegularUnchanged) {
+  const std::vector<int64_t> wts = {10, 10, 10, 10};
+  EXPECT_EQ(MergeAdjacentSmallWts(wts), wts);
+}
+
+TEST(MergeAdjacentSmallWtsTest, LargeWtPassesThrough) {
+  // A WT far above the mode is neither absorbed nor an anchor.
+  const std::vector<int64_t> wts = {10, 10, 500, 10};
+  const auto merged = MergeAdjacentSmallWts(wts);
+  EXPECT_EQ(merged, (std::vector<int64_t>{10, 10, 500, 10}));
+}
+
+TEST(MergeAdjacentSmallWtsTest, LeadingSmallMergesForwardIntoAnchor) {
+  // A fragment ahead of a mode-sized WT merges into it (1 + 10 = 11,
+  // within tolerance of the mode).
+  const std::vector<int64_t> wts = {1, 10, 10, 10};
+  const auto merged = MergeAdjacentSmallWts(wts, 1);
+  EXPECT_EQ(merged, (std::vector<int64_t>{11, 10, 10}));
+}
+
+TEST(MergeAdjacentSmallWtsTest, MassIsConserved) {
+  // Property: merging never changes the total idle time.
+  const std::vector<int64_t> wts = {30, 29, 1, 2, 30, 28, 1, 1, 30, 5};
+  const auto merged = MergeAdjacentSmallWts(wts);
+  const int64_t before = std::accumulate(wts.begin(), wts.end(), int64_t{0});
+  const int64_t after =
+      std::accumulate(merged.begin(), merged.end(), int64_t{0});
+  EXPECT_EQ(before, after);
+  EXPECT_LE(merged.size(), wts.size());
+}
+
+TEST(MergeAdjacentSmallWtsTest, ShortSequencesUntouched) {
+  EXPECT_EQ(MergeAdjacentSmallWts({7}), (std::vector<int64_t>{7}));
+  EXPECT_TRUE(MergeAdjacentSmallWts({}).empty());
+}
+
+TEST(MergeAdjacentSmallWtsTest, ExplicitTolerance) {
+  // With a generous tolerance, 8 counts as close to mode 10.
+  const std::vector<int64_t> wts = {10, 8, 2, 10};
+  const auto merged = MergeAdjacentSmallWts(wts, 2);
+  EXPECT_EQ(merged, (std::vector<int64_t>{10, 10, 10}));
+}
+
+class MergeConservationTest
+    : public ::testing::TestWithParam<std::vector<int64_t>> {};
+
+TEST_P(MergeConservationTest, SumPreservedAndNotLonger) {
+  const std::vector<int64_t>& wts = GetParam();
+  const auto merged = MergeAdjacentSmallWts(wts);
+  EXPECT_EQ(std::accumulate(wts.begin(), wts.end(), int64_t{0}),
+            std::accumulate(merged.begin(), merged.end(), int64_t{0}));
+  EXPECT_LE(merged.size(), wts.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeConservationTest,
+    ::testing::Values(std::vector<int64_t>{1439, 1438, 1, 1439, 1438, 1},
+                      std::vector<int64_t>{5, 5, 5},
+                      std::vector<int64_t>{100, 1, 1, 1, 97, 100},
+                      std::vector<int64_t>{2, 2, 2, 2, 50},
+                      std::vector<int64_t>{60, 58, 2, 60, 59, 1, 60},
+                      std::vector<int64_t>{1, 1, 1, 1}));
+
+}  // namespace
+}  // namespace spes

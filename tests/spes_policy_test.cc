@@ -1,0 +1,367 @@
+#include "core/spes_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "policies/fixed_keepalive.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+Trace MakeTrace(std::vector<std::vector<uint32_t>> rows,
+                std::vector<std::string> apps = {},
+                std::vector<TriggerType> triggers = {}) {
+  Trace trace(static_cast<int>(rows[0].size()));
+  for (size_t k = 0; k < rows.size(); ++k) {
+    FunctionTrace f;
+    f.meta.name = "f" + std::to_string(k);
+    f.meta.app = apps.empty() ? "a" + std::to_string(k) : apps[k];
+    f.meta.owner = "o";
+    f.meta.trigger =
+        triggers.empty() ? TriggerType::kHttp : triggers[k];
+    f.counts = std::move(rows[k]);
+    EXPECT_TRUE(trace.Add(std::move(f)).ok());
+  }
+  return trace;
+}
+
+std::vector<uint32_t> PeriodicRow(int n, int period, int phase = 0) {
+  std::vector<uint32_t> counts(static_cast<size_t>(n), 0);
+  for (int t = phase; t < n; t += period) counts[static_cast<size_t>(t)] = 1;
+  return counts;
+}
+
+TEST(SpesPolicyTest, CategorizesRegularAndServesItWarmCheaply) {
+  const int horizon = 3 * kMinutesPerDay;
+  const int train = 2 * kMinutesPerDay;
+  Trace trace = MakeTrace({PeriodicRow(horizon, 30)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = train;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kRegular);
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  // Prediction-driven pre-warm: nearly all arrivals warm...
+  EXPECT_LE(acc.ColdStartRate(), 0.05);
+  // ...while the instance is only resident around predictions
+  // (theta_prewarm window + execution), far below full residency.
+  EXPECT_LT(acc.loaded_minutes, static_cast<uint64_t>(kMinutesPerDay / 3));
+}
+
+TEST(SpesPolicyTest, AlwaysWarmNeverEvicted) {
+  const int horizon = 2 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 1);
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kAlwaysWarm);
+  // Memory starts empty, so only the very first simulated minute can be
+  // cold; thereafter the function is never evicted.
+  EXPECT_LE(outcome.ValueOrDie().accounts[0].cold_starts, 1u);
+  EXPECT_EQ(outcome.ValueOrDie().accounts[0].loaded_minutes,
+            static_cast<uint64_t>(kMinutesPerDay));
+}
+
+TEST(SpesPolicyTest, DenseStaysLoadedThroughShortGaps) {
+  const int horizon = 3 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  // Mostly 2-minute gaps with occasional 6-minute lulls: dense, but too
+  // spread for the regular rule.
+  int t = 0, k = 0;
+  while (t < horizon) {
+    counts[static_cast<size_t>(t)] = 1;
+    t += (k++ % 12 == 11) ? 6 : 2;
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kDense);
+  EXPECT_LE(outcome.ValueOrDie().accounts[0].ColdStartRate(), 0.02);
+}
+
+TEST(SpesPolicyTest, SuccessiveRidesWaves) {
+  const int horizon = 4 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  // Irregularly spaced waves (regular spacing would look "regular").
+  int start = 100;
+  int k = 0;
+  const int spacings[5] = {410, 770, 1310, 560, 990};
+  while (start + 5 < horizon) {
+    for (int s = 0; s < 5; ++s) {
+      counts[static_cast<size_t>(start + s)] = 2;
+    }
+    start += spacings[k++ % 5];
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kSuccessive);
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  // One tolerated cold start per wave; the rest of each wave is warm.
+  const uint64_t waves = acc.cold_starts;
+  EXPECT_LE(waves, 5u);
+  EXPECT_LT(acc.ColdStartRate(), 0.25);
+}
+
+TEST(SpesPolicyTest, CorrelatedTargetPrewarmedByDriver) {
+  // Driver: 20-minute timer. Target: fires 3 minutes after an aperiodic
+  // subset of driver events — its own WTs are too scattered for any
+  // deterministic rule, but the driver predicts it perfectly.
+  const int horizon = 4 * kMinutesPerDay;
+  std::vector<uint32_t> driver(static_cast<size_t>(horizon), 0);
+  std::vector<uint32_t> target(static_cast<size_t>(horizon), 0);
+  int k = 0;
+  for (int t = 0; t + 3 < horizon; t += 20) {
+    driver[static_cast<size_t>(t)] = 1;
+    const int r = k % 23;
+    if (r == 0 || r == 5 || r == 9 || r == 16 || r == 21) {
+      target[static_cast<size_t>(t + 3)] = 1;
+    }
+    ++k;
+  }
+  Trace trace =
+      MakeTrace({std::move(driver), std::move(target)}, {"app", "app"});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(1), FunctionType::kCorrelated);
+  EXPECT_LE(outcome.ValueOrDie().accounts[1].ColdStartRate(), 0.05);
+}
+
+TEST(SpesPolicyTest, DisablingCorrelationRemovesLinks) {
+  const int horizon = 4 * kMinutesPerDay;
+  std::vector<uint32_t> driver(static_cast<size_t>(horizon), 0);
+  std::vector<uint32_t> target(static_cast<size_t>(horizon), 0);
+  int k = 0;
+  for (int t = 0; t + 3 < horizon; t += 20) {
+    driver[static_cast<size_t>(t)] = 1;
+    if (++k % 3 == 0) target[static_cast<size_t>(t + 3)] = 1;
+  }
+  Trace trace =
+      MakeTrace({std::move(driver), std::move(target)}, {"app", "app"});
+  SpesConfig config;
+  config.enable_correlated = false;
+  SpesPolicy policy(config);
+  policy.Train(trace, 2 * kMinutesPerDay);
+  EXPECT_NE(policy.TypeOf(1), FunctionType::kCorrelated);
+  for (const auto& links : policy.links_by_candidate()) {
+    EXPECT_TRUE(links.empty());
+  }
+}
+
+TEST(SpesPolicyTest, PossibleFunctionPredictedFromRepeatedGaps) {
+  // Three 300-minute gaps then one unique long gap, repeating: the 299 WT
+  // mode repeats (a predictive value) but covers only ~75% of the WTs, so
+  // the appro-regular rule does not fire and the function lands in the
+  // indeterminate pool, where the "possible" replay dominates.
+  const int horizon = 10 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  int t = 50;
+  int k = 0;
+  while (t < horizon) {
+    counts[static_cast<size_t>(t)] = 1;
+    if (k % 4 == 3) {
+      t += 400 + 37 * k;  // a fresh long gap each cycle
+    } else {
+      t += 300;
+    }
+    ++k;
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = 8 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kPossible);
+  // Prediction by the repeated mode keeps ~3/4 of arrivals warm.
+  EXPECT_LE(outcome.ValueOrDie().accounts[0].ColdStartRate(), 0.40);
+}
+
+TEST(SpesPolicyTest, UnknownFunctionsAreNotPreloaded) {
+  const int horizon = 2 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  counts[100] = 1;  // training: one arrival
+  counts[kMinutesPerDay + 700] = 1;  // simulation: one arrival
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kUnknown);
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  EXPECT_EQ(acc.cold_starts, 1u);
+  // theta_givenup = 1 for unknown: almost no waste.
+  EXPECT_LE(acc.wasted_minutes, 2u);
+}
+
+TEST(SpesPolicyTest, AdjustingLateCategorizesUnknownToNewlyPossible) {
+  const int horizon = 4 * kMinutesPerDay;
+  const int train = kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  counts[500] = 1;  // lone training arrival -> unknown
+  // Online: a clean 100-minute cadence (repeated WT = 99).
+  for (int t = train; t < horizon; t += 100) {
+    counts[static_cast<size_t>(t)] = 1;
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = train;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kNewlyPossible);
+  EXPECT_GE(policy.online_recategorized(), 1);
+}
+
+TEST(SpesPolicyTest, AdjustingDisabledKeepsUnknown) {
+  const int horizon = 4 * kMinutesPerDay;
+  const int train = kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  counts[500] = 1;
+  for (int t = train; t < horizon; t += 100) {
+    counts[static_cast<size_t>(t)] = 1;
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+  SpesConfig config;
+  config.enable_adjusting = false;
+  SpesPolicy policy(config);
+  SimOptions options;
+  options.train_minutes = train;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(policy.TypeOf(0), FunctionType::kUnknown);
+}
+
+TEST(SpesPolicyTest, AdjustingTracksDriftingPeriod) {
+  // Training: 30-minute period. Simulation: drifts to 40 minutes.
+  const int horizon = 6 * kMinutesPerDay;
+  const int train = 3 * kMinutesPerDay;
+  std::vector<uint32_t> counts(static_cast<size_t>(horizon), 0);
+  for (int t = 0; t < train; t += 30) counts[static_cast<size_t>(t)] = 1;
+  for (int t = train; t < horizon; t += 40) {
+    counts[static_cast<size_t>(t)] = 1;
+  }
+  Trace trace = MakeTrace({std::move(counts)});
+
+  SpesConfig with;  // adjusting on
+  SpesPolicy policy_with(with);
+  SimOptions options;
+  options.train_minutes = train;
+  const auto out_with = Simulate(trace, &policy_with, options);
+  ASSERT_TRUE(out_with.ok());
+
+  SpesConfig without;
+  without.enable_adjusting = false;
+  SpesPolicy policy_without(without);
+  const auto out_without = Simulate(trace, &policy_without, options);
+  ASSERT_TRUE(out_without.ok());
+
+  EXPECT_LE(out_with.ValueOrDie().accounts[0].cold_starts,
+            out_without.ValueOrDie().accounts[0].cold_starts);
+}
+
+TEST(SpesPolicyTest, UnseenFunctionPrewarmedByOnlineCorrelation) {
+  // Candidate fires every 25 min throughout. The unseen target starts
+  // firing only in the simulation window, 2 minutes after the candidate.
+  const int horizon = 3 * kMinutesPerDay;
+  const int train = 2 * kMinutesPerDay;
+  std::vector<uint32_t> candidate(static_cast<size_t>(horizon), 0);
+  std::vector<uint32_t> target(static_cast<size_t>(horizon), 0);
+  for (int t = 0; t + 2 < horizon; t += 25) {
+    candidate[static_cast<size_t>(t)] = 1;
+    if (t >= train) target[static_cast<size_t>(t + 2)] = 1;
+  }
+  Trace trace = MakeTrace({std::move(candidate), std::move(target)},
+                          {"app", "app"},
+                          {TriggerType::kQueue, TriggerType::kQueue});
+  SpesPolicy policy;
+  SimOptions options;
+  options.train_minutes = train;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  // Online correlation pre-warms the unseen target from candidate firings.
+  EXPECT_LE(outcome.ValueOrDie().accounts[1].ColdStartRate(), 0.30);
+}
+
+TEST(SpesPolicyTest, CountByTypeCoversAllFunctions) {
+  GeneratorConfig config;
+  config.num_functions = 400;
+  config.days = 4;
+  config.seed = 21;
+  const auto generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+  SpesPolicy policy;
+  policy.Train(generated.ValueOrDie().trace, 3 * kMinutesPerDay);
+  const auto counts = policy.CountByType();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, 400);
+  // A realistic mix categorizes a solid share of the fleet.
+  EXPECT_LT(counts[static_cast<size_t>(FunctionType::kUnknown)], 300);
+}
+
+TEST(SpesPolicyTest, GivenupScalerIncreasesMemoryAndCutsColdStarts) {
+  GeneratorConfig gen;
+  gen.num_functions = 300;
+  gen.days = 4;
+  gen.seed = 33;
+  const auto generated = GenerateTrace(gen);
+  ASSERT_TRUE(generated.ok());
+  const Trace& trace = generated.ValueOrDie().trace;
+  SimOptions options;
+  options.train_minutes = 3 * kMinutesPerDay;
+
+  SpesConfig c1;
+  SpesPolicy p1(c1);
+  const auto o1 = Simulate(trace, &p1, options);
+  ASSERT_TRUE(o1.ok());
+
+  SpesConfig c4 = c1;
+  c4.givenup_scaler = 4;
+  SpesPolicy p4(c4);
+  const auto o4 = Simulate(trace, &p4, options);
+  ASSERT_TRUE(o4.ok());
+
+  EXPECT_GE(o4.ValueOrDie().metrics.average_memory,
+            o1.ValueOrDie().metrics.average_memory);
+  EXPECT_LE(o4.ValueOrDie().metrics.total_cold_starts,
+            o1.ValueOrDie().metrics.total_cold_starts);
+}
+
+class PrewarmSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrewarmSweepTest, RegularFunctionStaysWarmAcrossThetas) {
+  const int theta = GetParam();
+  const int horizon = 3 * kMinutesPerDay;
+  Trace trace = MakeTrace({PeriodicRow(horizon, 45)});
+  SpesConfig config;
+  config.theta_prewarm = theta;
+  SpesPolicy policy(config);
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LE(outcome.ValueOrDie().accounts[0].ColdStartRate(), 0.10)
+      << "theta_prewarm=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PrewarmSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,123 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spes {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<int64_t>{1, 2, 3}), 2.0);
+}
+
+TEST(StatsTest, StdDevBasics) {
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<int64_t>{5}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<int64_t>{3, 3, 3}), 0.0);
+  // Population stddev of {2, 4} is 1.
+  EXPECT_DOUBLE_EQ(StdDev(std::vector<int64_t>{2, 4}), 1.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation) {
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({10, 10, 10}), 0.0);
+  const double cv = CoefficientOfVariation({8, 12});
+  EXPECT_NEAR(cv, 2.0 / 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation({}), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<int64_t> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25.0), 2.0);
+  // numpy.percentile([1,2,3,4,5], 10) == 1.4
+  EXPECT_NEAR(Percentile(xs, 10.0), 1.4, 1e-12);
+}
+
+TEST(StatsTest, PercentileUnsortedInput) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 3.0);
+}
+
+TEST(StatsTest, PercentileEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile(std::vector<int64_t>{}, 50.0), 0.0);
+}
+
+TEST(StatsTest, MedianEvenCount) {
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+TEST(StatsTest, TopModesOrderedByCountThenValue) {
+  std::vector<int64_t> xs = {5, 5, 5, 2, 2, 9, 9, 1};
+  const auto modes = TopModes(xs, 3);
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes[0].value, 5);
+  EXPECT_EQ(modes[0].count, 3);
+  // 2 and 9 tie on count; smaller value first.
+  EXPECT_EQ(modes[1].value, 2);
+  EXPECT_EQ(modes[2].value, 9);
+}
+
+TEST(StatsTest, TopModesHandlesSmallInputs) {
+  EXPECT_TRUE(TopModes({}, 3).empty());
+  EXPECT_TRUE(TopModes({1, 2, 3}, 0).empty());
+  const auto modes = TopModes({7}, 5);
+  ASSERT_EQ(modes.size(), 1u);
+  EXPECT_EQ(modes[0].value, 7);
+}
+
+TEST(StatsTest, RepeatedValuesFiltersSingletons) {
+  const auto repeated = RepeatedValues({4, 4, 9, 1, 1, 1, 8});
+  ASSERT_EQ(repeated.size(), 2u);
+  EXPECT_EQ(repeated[0].value, 1);
+  EXPECT_EQ(repeated[0].count, 3);
+  EXPECT_EQ(repeated[1].value, 4);
+}
+
+TEST(StatsTest, RepeatedValuesEmptyWhenAllUnique) {
+  EXPECT_TRUE(RepeatedValues({1, 2, 3}).empty());
+}
+
+TEST(StatsTest, EmpiricalCdfStepsAndDedup) {
+  const auto cdf = EmpiricalCdf({1.0, 1.0, 2.0, 4.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(StatsTest, FitLineRecoversExactLine) {
+  std::vector<double> xs = {0, 1, 2, 3, 4};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(-0.5 * x + 2.0);
+  const LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
+  // Vertical data: sxx == 0.
+  EXPECT_DOUBLE_EQ(FitLine({2.0, 2.0}, {1.0, 3.0}).slope, 0.0);
+}
+
+class PercentileMonotonicTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileMonotonicTest, PercentileIsMonotoneInP) {
+  std::vector<int64_t> xs = {9, 1, 7, 3, 3, 8, 2, 10, 4};
+  const double p = GetParam();
+  EXPECT_LE(Percentile(xs, p), Percentile(xs, p + 5.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileMonotonicTest,
+                         ::testing::Values(0.0, 5.0, 25.0, 50.0, 75.0, 90.0,
+                                           95.0));
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,52 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace spes {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header separator uses dashes.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlign) {
+  Table t({"a", "b"});
+  t.AddRow({"xxxxx", "y"});
+  const std::string out = t.ToString();
+  // Each line within the table ends cleanly with \n.
+  size_t lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);  // header + separator + one row
+}
+
+TEST(FormatDoubleTest, RespectsDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercentTest, ConvertsFraction) {
+  EXPECT_EQ(FormatPercent(0.4977, 2), "49.77%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+}
+
+TEST(AsciiBarTest, WidthAndFill) {
+  EXPECT_EQ(AsciiBar(0.0, 4), "    ");
+  EXPECT_EQ(AsciiBar(1.0, 4), "####");
+  EXPECT_EQ(AsciiBar(0.5, 4), "##  ");
+  // Clamped outside [0, 1].
+  EXPECT_EQ(AsciiBar(2.0, 3), "###");
+  EXPECT_EQ(AsciiBar(-1.0, 3), "   ");
+}
+
+}  // namespace
+}  // namespace spes

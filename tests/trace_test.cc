@@ -1,0 +1,89 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace spes {
+namespace {
+
+FunctionTrace MakeFunction(const std::string& name, const std::string& app,
+                           const std::string& owner,
+                           std::vector<uint32_t> counts,
+                           TriggerType trigger = TriggerType::kHttp) {
+  FunctionTrace f;
+  f.meta.name = name;
+  f.meta.app = app;
+  f.meta.owner = owner;
+  f.meta.trigger = trigger;
+  f.counts = std::move(counts);
+  return f;
+}
+
+TEST(TriggerTypeTest, RoundTripsAllNames) {
+  for (int k = 0; k < kNumTriggerTypes; ++k) {
+    const TriggerType t = static_cast<TriggerType>(k);
+    EXPECT_EQ(TriggerTypeFromString(TriggerTypeToString(t)), t);
+  }
+}
+
+TEST(TriggerTypeTest, UnknownNameMapsToOthers) {
+  EXPECT_EQ(TriggerTypeFromString("nonsense"), TriggerType::kOthers);
+  EXPECT_EQ(TriggerTypeFromString(""), TriggerType::kOthers);
+}
+
+TEST(FunctionTraceTest, TotalsAndInvokedMinutes) {
+  const FunctionTrace f =
+      MakeFunction("f1", "a1", "o1", {0, 3, 0, 2, 0});
+  EXPECT_EQ(f.TotalInvocations(), 5u);
+  EXPECT_EQ(f.InvokedMinutes(), 2);
+}
+
+TEST(TraceTest, AddValidatesLength) {
+  Trace trace(4);
+  EXPECT_TRUE(trace.Add(MakeFunction("f1", "a", "o", {1, 0, 0, 1})).ok());
+  const Status bad = trace.Add(MakeFunction("f2", "a", "o", {1, 0}));
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TraceTest, AddRejectsDuplicateNames) {
+  Trace trace(2);
+  EXPECT_TRUE(trace.Add(MakeFunction("dup", "a", "o", {1, 0})).ok());
+  EXPECT_EQ(trace.Add(MakeFunction("dup", "a", "o", {0, 1})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TraceTest, FindByName) {
+  Trace trace(2);
+  ASSERT_TRUE(trace.Add(MakeFunction("x", "a", "o", {1, 0})).ok());
+  ASSERT_TRUE(trace.Add(MakeFunction("y", "a", "o", {0, 1})).ok());
+  EXPECT_EQ(trace.FindByName("x"), 0);
+  EXPECT_EQ(trace.FindByName("y"), 1);
+  EXPECT_EQ(trace.FindByName("zzz"), -1);
+}
+
+TEST(TraceTest, GroupByAppAndOwner) {
+  Trace trace(1);
+  ASSERT_TRUE(trace.Add(MakeFunction("f1", "appA", "own1", {1})).ok());
+  ASSERT_TRUE(trace.Add(MakeFunction("f2", "appA", "own1", {1})).ok());
+  ASSERT_TRUE(trace.Add(MakeFunction("f3", "appB", "own2", {1})).ok());
+  const auto by_app = trace.GroupByApp();
+  EXPECT_EQ(by_app.at("appA").size(), 2u);
+  EXPECT_EQ(by_app.at("appB").size(), 1u);
+  const auto by_owner = trace.GroupByOwner();
+  EXPECT_EQ(by_owner.at("own1").size(), 2u);
+  EXPECT_EQ(trace.CountApps(), 2u);
+  EXPECT_EQ(trace.CountOwners(), 2u);
+}
+
+TEST(TraceTest, SliceClampsAndViews) {
+  Trace trace(5);
+  ASSERT_TRUE(trace.Add(MakeFunction("f", "a", "o", {1, 2, 3, 4, 5})).ok());
+  const auto mid = trace.Slice(0, 1, 3);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid[0], 2u);
+  EXPECT_EQ(mid[1], 3u);
+  EXPECT_EQ(trace.Slice(0, -10, 99).size(), 5u);
+  EXPECT_EQ(trace.Slice(0, 4, 2).size(), 0u);
+}
+
+}  // namespace
+}  // namespace spes

@@ -1,0 +1,146 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spes {
+namespace {
+
+std::vector<uint32_t> Seq(std::initializer_list<uint32_t> xs) { return xs; }
+
+TEST(ReplayPulsedTest, ColdPerBurstAndBoundedWaste) {
+  // Two bursts of 3 slots, far apart; theta = 5.
+  std::vector<uint32_t> v(100, 0);
+  for (int s = 10; s < 13; ++s) v[static_cast<size_t>(s)] = 1;
+  for (int s = 60; s < 63; ++s) v[static_cast<size_t>(s)] = 1;
+  const StrategyCost cost = ReplayPulsed(v, 5);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_EQ(cost.cold_starts, 2);  // one per burst
+  EXPECT_EQ(cost.wasted_minutes, 2 * 4);  // 4 idle held minutes per burst
+}
+
+TEST(ReplayPulsedTest, EverySlotInvokedMeansOneCold) {
+  std::vector<uint32_t> v(20, 1);
+  const StrategyCost cost = ReplayPulsed(v, 5);
+  EXPECT_EQ(cost.cold_starts, 1);
+  EXPECT_EQ(cost.wasted_minutes, 0);
+}
+
+TEST(ReplayPulsedTest, EmptyWindow) {
+  const StrategyCost cost = ReplayPulsed(std::vector<uint32_t>{}, 5);
+  EXPECT_EQ(cost.cold_starts, 0);
+  EXPECT_EQ(cost.wasted_minutes, 0);
+}
+
+TEST(ReplayCorrelatedTest, InfeasibleWithoutCandidates) {
+  const auto v = Seq({1, 0, 1});
+  const StrategyCost cost = ReplayCorrelated(v, {}, {}, 10, 2);
+  EXPECT_FALSE(cost.feasible);
+}
+
+TEST(ReplayCorrelatedTest, PerfectPredictorKillsColdStarts) {
+  // Candidate fires 3 minutes before every target invocation.
+  std::vector<uint32_t> target(120, 0), cand(120, 0);
+  for (int t = 20; t < 120; t += 30) {
+    target[static_cast<size_t>(t)] = 1;
+    cand[static_cast<size_t>(t - 3)] = 1;
+  }
+  std::vector<std::span<const uint32_t>> cands = {cand};
+  const StrategyCost cost = ReplayCorrelated(target, cands, {3}, 6, 2);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_EQ(cost.cold_starts, 0);
+  EXPECT_GT(cost.wasted_minutes, 0);  // the hold costs some idle minutes
+}
+
+TEST(ReplayCorrelatedTest, UselessPredictorLeavesColdStarts) {
+  std::vector<uint32_t> target(120, 0), cand(120, 0);
+  for (int t = 20; t < 120; t += 30) target[static_cast<size_t>(t)] = 1;
+  // Candidate never fires.
+  std::vector<std::span<const uint32_t>> cands = {cand};
+  const StrategyCost cost = ReplayCorrelated(target, cands, {3}, 6, 2);
+  EXPECT_EQ(cost.cold_starts, 4);
+}
+
+TEST(ReplayPossibleTest, InfeasibleWithoutRepeatedWts) {
+  PredictiveModel model;  // kUnknown
+  const auto v = Seq({1, 0, 1});
+  EXPECT_FALSE(ReplayPossible(v, model, SpesConfig{}).feasible);
+}
+
+TEST(ReplayPossibleTest, AccuratePredictionAvoidsColdStarts) {
+  SpesConfig config;
+  PredictiveModel model;
+  model.type = FunctionType::kPossible;
+  model.values = {30};
+  // Invocations every 30 minutes starting at t=0: WT = 29... predictions
+  // use last + 30 with +/-2 tolerance, so t=30 arrival is prewarmed.
+  std::vector<uint32_t> v(200, 0);
+  for (int t = 0; t < 200; t += 30) v[static_cast<size_t>(t)] = 1;
+  const StrategyCost cost = ReplayPossible(v, model, config);
+  EXPECT_TRUE(cost.feasible);
+  EXPECT_EQ(cost.cold_starts, 1);  // only the first arrival is cold
+}
+
+TEST(ReplayPossibleTest, ContinuousRangePrediction) {
+  SpesConfig config;
+  PredictiveModel model;
+  model.type = FunctionType::kPossible;
+  model.continuous = true;
+  model.range_lo = 28;
+  model.range_hi = 32;
+  std::vector<uint32_t> v(200, 0);
+  for (int t = 0; t < 200; t += 30) v[static_cast<size_t>(t)] = 1;
+  const StrategyCost cost = ReplayPossible(v, model, config);
+  EXPECT_EQ(cost.cold_starts, 1);
+}
+
+TEST(ChooseAssignmentTest, AllInfeasibleIsUnknown) {
+  StrategyCost none;
+  EXPECT_EQ(ChooseAssignment(none, none, none, 0.5).type,
+            FunctionType::kUnknown);
+}
+
+TEST(ChooseAssignmentTest, DominantWinnerTakesAll) {
+  StrategyCost pulsed{/*cs=*/5, /*wm=*/100, true};
+  StrategyCost correlated{2, 50, true};  // best on both
+  StrategyCost possible{9, 200, true};
+  EXPECT_EQ(ChooseAssignment(pulsed, correlated, possible, 0.5).type,
+            FunctionType::kCorrelated);
+}
+
+TEST(ChooseAssignmentTest, RiseRateRulePrefersColdStartWinnerWithSmallAlpha) {
+  // pulsed: fewest cold starts (marginally); possible: far less waste.
+  StrategyCost pulsed{9, 200, true};
+  StrategyCost correlated;  // infeasible
+  StrategyCost possible{10, 100, true};
+  // dcs = (10-9)/9 = 0.111; dwm = (200-100)/100 = 1.0.
+  // alpha = 0.05: 0.111 >= 0.055 -> cold-start winner (pulsed).
+  EXPECT_EQ(ChooseAssignment(pulsed, correlated, possible, 0.05).type,
+            FunctionType::kPulsed);
+  // alpha = 0.9: 0.111 < 0.9 -> memory winner (possible).
+  EXPECT_EQ(ChooseAssignment(pulsed, correlated, possible, 0.9).type,
+            FunctionType::kPossible);
+}
+
+TEST(ChooseAssignmentTest, PerfectColdStartWinnerIsNotPunished) {
+  // A strategy with ZERO validation cold starts must win against a
+  // moderately-cheaper-on-memory alternative (the paper's "aggressive
+  // prediction attempts for possible functions").
+  StrategyCost pulsed{60, 240, true};     // wm winner
+  StrategyCost correlated;                // infeasible
+  StrategyCost possible{0, 840, true};    // cs winner, 3.5x the waste
+  EXPECT_EQ(ChooseAssignment(pulsed, correlated, possible, 0.5).type,
+            FunctionType::kPossible);
+}
+
+TEST(ChooseAssignmentTest, InfeasibleStrategyNeverWins) {
+  StrategyCost pulsed{100, 1000, true};
+  StrategyCost correlated;  // infeasible
+  StrategyCost possible;    // infeasible
+  EXPECT_EQ(ChooseAssignment(pulsed, correlated, possible, 0.5).type,
+            FunctionType::kPulsed);
+}
+
+}  // namespace
+}  // namespace spes
