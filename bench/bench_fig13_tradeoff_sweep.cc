@@ -3,17 +3,31 @@
 // observes an approximately linear relation between normalized memory and
 // Q3-CSR for theta_prewarm (fit y = -0.1845x + 0.3163 on their data), and
 // diminishing returns for larger theta_givenup (y = -0.0427x + 0.1686).
+//
+// The (policy config) grid is embarrassingly parallel, so it fans out
+// through SuiteRunner. The grid is run twice — serial (1 thread) and
+// parallel — to show the wall-clock win and prove the tables are
+// identical: results are collected by slot index, so thread count cannot
+// reorder or perturb them.
 
+#include <chrono>
 #include <cstdio>
+#include <iterator>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_policies.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/spes_policy.h"
 #include "metrics/report.h"
+#include "runner/suite_runner.h"
 
 namespace {
+
+using namespace spes;
 
 struct SweepPoint {
   int parameter;
@@ -23,7 +37,6 @@ struct SweepPoint {
 
 void PrintSweep(const char* title, const std::vector<SweepPoint>& points,
                 const char* paper_fit) {
-  using namespace spes;
   std::printf("%s\n\n", title);
   Table table({"value", "norm memory", "Q3-CSR"});
   std::vector<double> xs, ys;
@@ -40,52 +53,106 @@ void PrintSweep(const char* title, const std::vector<SweepPoint>& points,
   std::printf("paper fit : %s\n\n", paper_fit);
 }
 
+// The full grid: slot 0 is the reference run (paper defaults, the star
+// marker in Fig. 13), slots 1-5 the theta_prewarm sweep, 6-10 the
+// theta_givenup sweep.
+constexpr int kPrewarmValues[] = {1, 2, 3, 5, 10};
+constexpr int kGivenupScalers[] = {1, 2, 3, 4, 5};
+
+std::vector<SuiteJob> MakeGrid(const SimOptions& options) {
+  std::vector<SuiteJob> jobs;
+  jobs.push_back({"reference", [] { return std::make_unique<SpesPolicy>(); },
+                  options});
+  for (int theta : kPrewarmValues) {
+    SpesConfig c;
+    c.theta_prewarm = theta;
+    jobs.push_back({"prewarm=" + std::to_string(theta),
+                    [c] { return std::make_unique<SpesPolicy>(c); }, options});
+  }
+  for (int scaler : kGivenupScalers) {
+    SpesConfig c;
+    c.givenup_scaler = scaler;
+    jobs.push_back({"givenup=" + std::to_string(scaler),
+                    [c] { return std::make_unique<SpesPolicy>(c); }, options});
+  }
+  return jobs;
+}
+
+struct GridRun {
+  std::vector<FleetMetrics> metrics;  // one per grid slot, in slot order
+  double wall_seconds = 0.0;
+};
+
+GridRun RunGrid(const Trace& trace, const SimOptions& options,
+                int num_threads) {
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = num_threads;
+  SuiteRunner runner(runner_options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<JobResult> results = runner.Run(trace, MakeGrid(options));
+  const auto stop = std::chrono::steady_clock::now();
+
+  GridRun run;
+  run.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  for (const JobResult& r : results) r.status.CheckOK();
+  run.metrics = CollectMetrics(results);
+  return run;
+}
+
+// The deterministic table inputs: normalized memory and Q3-CSR per slot.
+bool SameTable(const GridRun& a, const GridRun& b) {
+  if (a.metrics.size() != b.metrics.size()) return false;
+  for (size_t i = 0; i < a.metrics.size(); ++i) {
+    if (a.metrics[i].average_memory != b.metrics[i].average_memory ||
+        a.metrics[i].q3_csr != b.metrics[i].q3_csr) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main() {
-  using namespace spes;
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
   bench::Banner("bench_fig13_tradeoff_sweep",
                 "Fig. 13 — trading off resources and latency (RQ3)", config);
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
-  // Reference run: the paper's default setting (star marker in Fig. 13).
-  SpesConfig base_config;
-  SpesPolicy base(base_config);
-  const SimulationOutcome base_outcome =
-      Simulate(fleet.trace, &base, options).ValueOrDie();
-  const double base_memory = base_outcome.metrics.average_memory;
+  SuiteRunner probe({bench::DefaultBenchThreads(), nullptr});
+  const int parallel_threads = probe.EffectiveThreads(MakeGrid(options).size());
+
+  const GridRun serial = RunGrid(fleet.trace, options, 1);
+  const GridRun parallel = RunGrid(fleet.trace, options, parallel_threads);
+
+  std::printf("grid: %zu configs | serial %.2fs | %d threads %.2fs "
+              "(speedup %.2fx) | tables identical: %s\n\n",
+              serial.metrics.size(), serial.wall_seconds, parallel_threads,
+              parallel.wall_seconds,
+              serial.wall_seconds / parallel.wall_seconds,
+              SameTable(serial, parallel) ? "yes" : "NO — BUG");
+
+  const double base_memory = parallel.metrics[0].average_memory;
   std::printf("reference (theta_prewarm=2, scaler=1): memory %.1f, "
               "Q3-CSR %.4f\n\n",
-              base_memory, base_outcome.metrics.q3_csr);
+              base_memory, parallel.metrics[0].q3_csr);
 
-  // (a) theta_prewarm sweep.
   std::vector<SweepPoint> prewarm_points;
-  for (int theta : {1, 2, 3, 5, 10}) {
-    SpesConfig c;
-    c.theta_prewarm = theta;
-    SpesPolicy policy(c);
-    const SimulationOutcome outcome =
-        Simulate(fleet.trace, &policy, options).ValueOrDie();
-    prewarm_points.push_back({theta,
-                              outcome.metrics.average_memory / base_memory,
-                              outcome.metrics.q3_csr});
+  for (size_t i = 0; i < std::size(kPrewarmValues); ++i) {
+    const FleetMetrics& m = parallel.metrics[1 + i];
+    prewarm_points.push_back({kPrewarmValues[i],
+                              m.average_memory / base_memory, m.q3_csr});
   }
   PrintSweep("(a) theta_prewarm in {1, 2, 3, 5, 10}:", prewarm_points,
              "y = -0.1845 x + 0.3163");
 
-  // (b) theta_givenup scaler sweep.
   std::vector<SweepPoint> givenup_points;
-  for (int scaler : {1, 2, 3, 4, 5}) {
-    SpesConfig c;
-    c.givenup_scaler = scaler;
-    SpesPolicy policy(c);
-    const SimulationOutcome outcome =
-        Simulate(fleet.trace, &policy, options).ValueOrDie();
-    givenup_points.push_back({scaler,
-                              outcome.metrics.average_memory / base_memory,
-                              outcome.metrics.q3_csr});
+  for (size_t i = 0; i < std::size(kGivenupScalers); ++i) {
+    const FleetMetrics& m = parallel.metrics[1 + std::size(kPrewarmValues) + i];
+    givenup_points.push_back({kGivenupScalers[i],
+                              m.average_memory / base_memory, m.q3_csr});
   }
   PrintSweep("(b) theta_givenup scaler in {1..5}:", givenup_points,
              "y = -0.0427 x + 0.1686");

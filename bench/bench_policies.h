@@ -1,4 +1,10 @@
 // Helper running SPES plus the five baselines of §V-A1 on a fleet.
+//
+// The suite fans out through SuiteRunner: SPES and the capacity-independent
+// baselines run concurrently, then FaasCache (whose cache capacity is
+// SPES's peak memory, as in §V-A1) runs once SPES has finished. Result
+// order is fixed regardless of thread count, so every table built from a
+// SuiteResult is identical to the serial run's.
 
 #ifndef SPES_BENCH_BENCH_POLICIES_H_
 #define SPES_BENCH_BENCH_POLICIES_H_
@@ -13,9 +19,16 @@
 #include "policies/faascache.h"
 #include "policies/fixed_keepalive.h"
 #include "policies/hybrid_histogram.h"
+#include "runner/suite_runner.h"
 
 namespace spes {
 namespace bench {
+
+/// \brief Worker-thread count resolved from the environment;
+/// SPES_BENCH_THREADS <= 0 (the default) means hardware concurrency.
+inline int DefaultBenchThreads() {
+  return static_cast<int>(GetEnvInt("SPES_BENCH_THREADS", 0));
+}
 
 /// \brief Outcome of running the full policy suite.
 struct SuiteResult {
@@ -28,24 +41,51 @@ struct SuiteResult {
 
 inline SuiteResult RunPolicySuite(const Trace& trace,
                                   const SimOptions& options,
-                                  const SpesConfig& spes_config = {}) {
-  SuiteResult result;
-  result.spes = std::make_unique<SpesPolicy>(spes_config);
-  result.outcomes.push_back(
-      Simulate(trace, result.spes.get(), options).ValueOrDie());
-  const uint64_t spes_peak = result.outcomes[0].metrics.max_memory;
+                                  const SpesConfig& spes_config = {},
+                                  int num_threads = 0) {
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads =
+      num_threads > 0 ? num_threads : DefaultBenchThreads();
+  SuiteRunner runner(runner_options);
 
-  DefusePolicy defuse;
-  result.outcomes.push_back(Simulate(trace, &defuse, options).ValueOrDie());
-  HybridHistogramPolicy hf(HybridGranularity::kFunction);
-  result.outcomes.push_back(Simulate(trace, &hf, options).ValueOrDie());
-  HybridHistogramPolicy ha(HybridGranularity::kApplication);
-  result.outcomes.push_back(Simulate(trace, &ha, options).ValueOrDie());
-  FixedKeepAlivePolicy fixed(10);
-  result.outcomes.push_back(Simulate(trace, &fixed, options).ValueOrDie());
-  FaasCachePolicy faascache(spes_peak);
-  result.outcomes.push_back(
-      Simulate(trace, &faascache, options).ValueOrDie());
+  // Wave 1: SPES and every capacity-independent baseline, concurrently.
+  std::vector<SuiteJob> jobs;
+  jobs.push_back({"", [spes_config] {
+                    return std::make_unique<SpesPolicy>(spes_config);
+                  },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
+                  options});
+  jobs.push_back({"", [] {
+                    return std::make_unique<HybridHistogramPolicy>(
+                        HybridGranularity::kFunction);
+                  },
+                  options});
+  jobs.push_back({"", [] {
+                    return std::make_unique<HybridHistogramPolicy>(
+                        HybridGranularity::kApplication);
+                  },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
+                  options});
+  std::vector<JobResult> wave1 = runner.Run(trace, std::move(jobs));
+  for (const JobResult& r : wave1) r.status.CheckOK();
+  const uint64_t spes_peak = wave1[0].outcome.metrics.max_memory;
+
+  // Wave 2: FaasCache needs SPES's peak memory as its capacity.
+  std::vector<SuiteJob> wave2;
+  wave2.push_back({"", [spes_peak] {
+                     return std::make_unique<FaasCachePolicy>(spes_peak);
+                   },
+                   options});
+  std::vector<JobResult> faascache = runner.Run(trace, std::move(wave2));
+  faascache[0].status.CheckOK();
+
+  SuiteResult result;
+  result.spes.reset(static_cast<SpesPolicy*>(wave1[0].policy.release()));
+  result.outcomes.reserve(wave1.size() + 1);
+  for (JobResult& r : wave1) result.outcomes.push_back(std::move(r.outcome));
+  result.outcomes.push_back(std::move(faascache[0].outcome));
   return result;
 }
 

@@ -3,6 +3,11 @@
 // fastest (0.024 s/min on their workstation at 83k functions); SPES adds
 // 0.44 s/min, ~6.8% below FaasCache; histogram policies are the slowest.
 // Absolute values depend on fleet size and hardware; compare ordering.
+//
+// The suite goes through SuiteRunner but defaults to ONE worker thread:
+// the overhead clock is wall time around Policy::OnMinute, and concurrent
+// sibling policies contending for cores would inflate it non-uniformly.
+// Set SPES_BENCH_THREADS>1 only to trade timing fidelity for speed.
 
 #include <cstdio>
 
@@ -17,7 +22,10 @@ int main() {
                 "RQ2 — provisioning overhead per simulated minute", config);
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
-  const bench::SuiteResult suite = bench::RunPolicySuite(fleet.trace, options);
+  // Serial by default: this bench measures time, so jobs must not contend.
+  const int threads = static_cast<int>(GetEnvInt("SPES_BENCH_THREADS", 1));
+  const bench::SuiteResult suite =
+      bench::RunPolicySuite(fleet.trace, options, {}, threads);
 
   Table table({"policy", "total overhead (s)", "overhead (s/sim-minute)",
                "complexity per minute"});

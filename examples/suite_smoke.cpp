@@ -1,0 +1,70 @@
+// Suite smoke: run the whole policy suite over a small generated fleet
+// through the parallel SuiteRunner, with a progress callback, and print
+// the cross-policy comparison table.
+//
+// Build & run:
+//   cmake -B build && cmake --build build -j
+//   ./build/suite_smoke
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/spes_policy.h"
+#include "metrics/report.h"
+#include "policies/defuse.h"
+#include "policies/fixed_keepalive.h"
+#include "policies/hybrid_histogram.h"
+#include "policies/oracle.h"
+#include "runner/suite_runner.h"
+#include "trace/generator.h"
+
+int main() {
+  using namespace spes;
+
+  // 1. A small fleet: 600 functions over 5 days.
+  GeneratorConfig generator;
+  generator.num_functions = 600;
+  generator.days = 5;
+  generator.seed = 7;
+  const GeneratedTrace fleet = GenerateTrace(generator).ValueOrDie();
+  std::printf("fleet: %zu functions, %d minutes\n\n",
+              fleet.trace.num_functions(), fleet.trace.num_minutes());
+
+  // 2. Train on the first 3 days, simulate the last 2.
+  SimOptions options;
+  options.train_minutes = 3 * kMinutesPerDay;
+
+  // 3. One job per policy; each job owns its own fresh policy instance.
+  std::vector<SuiteJob> jobs;
+  jobs.push_back({"", [] { return std::make_unique<SpesPolicy>(); }, options});
+  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
+                  options});
+  jobs.push_back({"", [] {
+                    return std::make_unique<HybridHistogramPolicy>(
+                        HybridGranularity::kFunction);
+                  },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); },
+                  options});
+
+  // 4. Fan out across the hardware; report each job as it lands.
+  SuiteRunnerOptions runner_options;
+  runner_options.progress = [](size_t finished, size_t total,
+                               const JobResult& result) {
+    std::printf("[%zu/%zu] %-16s %s\n", finished, total, result.label.c_str(),
+                result.status.ok() ? "done" : result.status.ToString().c_str());
+  };
+  SuiteRunner runner(runner_options);
+  std::printf("running %zu policies on %d threads\n", jobs.size(),
+              runner.EffectiveThreads(jobs.size()));
+  const std::vector<JobResult> results =
+      runner.Run(fleet.trace, std::move(jobs));
+
+  // 5. Comparison table, normalized against SPES.
+  std::printf("\n");
+  BuildComparisonTable(CollectMetrics(results), "SPES").Print();
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "runner/suite_runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace spes {
+
+SuiteRunner::SuiteRunner(SuiteRunnerOptions options)
+    : options_(std::move(options)) {}
+
+int SuiteRunner::EffectiveThreads(size_t num_jobs) const {
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (static_cast<size_t>(threads) > num_jobs) {
+    threads = static_cast<int>(num_jobs);
+  }
+  return threads < 1 ? 1 : threads;
+}
+
+std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
+                                        std::vector<SuiteJob> jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  if (jobs.empty()) return results;
+
+  const int num_threads = EffectiveThreads(jobs.size());
+
+  // Work queue: an atomic cursor over job slots. Each worker claims the
+  // next slot, runs it to completion, and writes the result into its slot,
+  // so result order never depends on scheduling.
+  std::atomic<size_t> next{0};
+  // Guarded by progress_mutex so callbacks see a monotonic count.
+  size_t finished = 0;
+  std::mutex progress_mutex;
+
+  auto run_one = [&](size_t slot) {
+    SuiteJob& job = jobs[slot];
+    JobResult& result = results[slot];
+    result.label = job.label;
+    if (!job.factory) {
+      result.status = Status::InvalidArgument("job has no policy factory");
+    } else {
+      result.policy = job.factory();
+      if (result.policy == nullptr) {
+        result.status =
+            Status::InvalidArgument("policy factory returned null");
+      } else {
+        if (result.label.empty()) result.label = result.policy->name();
+        Result<SimulationOutcome> outcome =
+            Simulate(trace, result.policy.get(), job.options);
+        if (outcome.ok()) {
+          result.outcome = std::move(outcome).ValueOrDie();
+        } else {
+          result.status = outcome.status();
+        }
+      }
+    }
+    if (options_.progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options_.progress(++finished, jobs.size(), result);
+    }
+  };
+
+  auto worker = [&] {
+    while (true) {
+      const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+      if (slot >= jobs.size()) return;
+      run_one(slot);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+    return results;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+std::vector<FleetMetrics> CollectMetrics(
+    const std::vector<JobResult>& results) {
+  std::vector<FleetMetrics> metrics;
+  metrics.reserve(results.size());
+  for (const JobResult& result : results) {
+    if (result.status.ok()) metrics.push_back(result.outcome.metrics);
+  }
+  return metrics;
+}
+
+}  // namespace spes

@@ -1,0 +1,84 @@
+// SuiteRunner: fans a list of independent policy simulations out across a
+// thread pool.
+//
+// Policies are stateful (Train() fills per-function models), so each job
+// owns a fresh policy instance produced by its factory; nothing is shared
+// between jobs except the read-only trace. Results are collected by slot
+// index, so the output order — and therefore every report table built from
+// it — is bitwise identical at any thread count.
+
+#ifndef SPES_RUNNER_SUITE_RUNNER_H_
+#define SPES_RUNNER_SUITE_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/engine.h"
+#include "sim/policy.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief Produces a fresh policy instance for one job. Called exactly once
+/// per job, from the worker thread that runs it.
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
+
+/// \brief One unit of work: a policy (by factory) plus its engine options.
+struct SuiteJob {
+  /// Display label; when empty the policy's name() is used.
+  std::string label;
+  PolicyFactory factory;
+  SimOptions options;
+};
+
+/// \brief Outcome of one job. `outcome` is meaningful only when
+/// `status.ok()`; `policy` is the trained instance (kept alive for
+/// per-type breakdowns such as BreakdownByType).
+struct JobResult {
+  std::string label;
+  Status status;
+  SimulationOutcome outcome;
+  std::unique_ptr<Policy> policy;
+};
+
+/// \brief Progress callback: invoked after each job finishes with the
+/// number of completed jobs, the total, and the finished job's result.
+/// Serialized by the runner (never called concurrently).
+using ProgressCallback =
+    std::function<void(size_t finished, size_t total, const JobResult&)>;
+
+/// \brief Runner knobs.
+struct SuiteRunnerOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int num_threads = 0;
+  ProgressCallback progress;
+};
+
+/// \brief Fans independent Simulate() calls out across a thread pool.
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(SuiteRunnerOptions options = {});
+
+  /// \brief Runs every job against `trace` and returns results in job
+  /// order. A job whose factory returns null or whose Simulate() errors
+  /// yields a JobResult with a non-OK status; sibling jobs are unaffected.
+  std::vector<JobResult> Run(const Trace& trace,
+                             std::vector<SuiteJob> jobs) const;
+
+  /// \brief Effective worker count for `num_jobs` jobs (>= 1).
+  int EffectiveThreads(size_t num_jobs) const;
+
+ private:
+  SuiteRunnerOptions options_;
+};
+
+/// \brief Convenience: metrics of every successful job, in job order
+/// (failed jobs are skipped).
+std::vector<FleetMetrics> CollectMetrics(const std::vector<JobResult>& results);
+
+}  // namespace spes
+
+#endif  // SPES_RUNNER_SUITE_RUNNER_H_

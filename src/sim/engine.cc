@@ -1,5 +1,6 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace spes {
@@ -10,10 +11,13 @@ Result<SimulationOutcome> Simulate(const Trace& trace, Policy* policy,
     return Status::InvalidArgument("policy must not be null");
   }
   const int horizon = trace.num_minutes();
-  const int end =
-      options.end_minute > 0 ? options.end_minute : horizon;
+  // end_minute == 0 means the trace horizon; a larger request clamps to it
+  // (a policy cannot be replayed past the recorded trace).
+  const int end = options.end_minute > 0
+                      ? std::min(options.end_minute, horizon)
+                      : horizon;
   if (options.train_minutes < 0 || options.train_minutes > horizon ||
-      end > horizon || end < options.train_minutes) {
+      end < options.train_minutes) {
     return Status::InvalidArgument("invalid train/end window");
   }
   const size_t n = trace.num_functions();

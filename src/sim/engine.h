@@ -21,7 +21,8 @@ namespace spes {
 struct SimOptions {
   /// First simulated minute; the policy trains on [0, train_minutes).
   int train_minutes = 12 * kMinutesPerDay;
-  /// One past the last simulated minute; 0 means the trace horizon.
+  /// One past the last simulated minute; 0 means the trace horizon, and
+  /// values beyond the horizon are clamped to it.
   int end_minute = 0;
   /// When true (default), the engine re-loads every arriving function after
   /// the policy step: an instance that just executed occupies memory at

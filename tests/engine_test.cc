@@ -176,6 +176,78 @@ TEST(EngineTest, OracleWasteBoundedByOnePrewarmMinutePerArrivalRun) {
   EXPECT_LE(acc.wasted_minutes, acc.invoked_minutes);
 }
 
+TEST(EngineTest, TrainMinutesEqualToHorizonYieldsEmptyWindow) {
+  // A window of length zero is valid: everything is training, nothing is
+  // simulated.
+  Trace trace = MakeTrace({{1, 1, 1, 1}});
+  FixedKeepAlivePolicy policy(10);
+  SimOptions options;
+  options.train_minutes = 4;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome.ValueOrDie().memory_series.empty());
+  EXPECT_EQ(outcome.ValueOrDie().accounts[0].invocations, 0u);
+  EXPECT_EQ(outcome.ValueOrDie().metrics.total_invocations, 0u);
+  EXPECT_EQ(outcome.ValueOrDie().metrics.average_memory, 0.0);
+}
+
+TEST(EngineTest, EndMinuteBeyondHorizonIsClampedToIt) {
+  Trace trace = MakeTrace({{1, 0, 1, 0, 1, 0}});
+  FixedKeepAlivePolicy policy(2);
+  SimOptions clamped;
+  clamped.train_minutes = 1;
+  clamped.end_minute = 1000;  // far past the 6-minute horizon
+  const auto outcome = Simulate(trace, &policy, clamped);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.ValueOrDie().memory_series.size(), 5u);
+
+  // The clamped run is indistinguishable from an explicit full-horizon run.
+  SimOptions full = clamped;
+  full.end_minute = 0;
+  FixedKeepAlivePolicy policy2(2);
+  const auto full_outcome = Simulate(trace, &policy2, full);
+  ASSERT_TRUE(full_outcome.ok());
+  EXPECT_EQ(outcome.ValueOrDie().memory_series,
+            full_outcome.ValueOrDie().memory_series);
+  EXPECT_EQ(outcome.ValueOrDie().accounts[0].cold_starts,
+            full_outcome.ValueOrDie().accounts[0].cold_starts);
+}
+
+TEST(EngineTest, UnpinnedExecutionLetsThePolicyEvictArrivals) {
+  // Without pinning, EvictAll empties memory every minute, so even the
+  // back-to-back t=1 arrival is cold and no minute counts as loaded.
+  Trace trace = MakeTrace({{1, 1, 0, 2, 0, 1}});
+  EvictAllPolicy policy;
+  SimOptions options;
+  options.train_minutes = 0;
+  options.pin_executing_functions = false;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const FunctionAccount& acc = outcome.ValueOrDie().accounts[0];
+  EXPECT_EQ(acc.invocations, 5u);
+  EXPECT_EQ(acc.cold_starts, 4u);  // t=0, 1, 3, 5
+  EXPECT_EQ(acc.loaded_minutes, 0u);
+  EXPECT_EQ(acc.wasted_minutes, 0u);
+}
+
+TEST(EngineTest, EmptyTraceSimulatesToZeroedMetrics) {
+  Trace trace(8);  // a horizon with no functions at all
+  FixedKeepAlivePolicy policy(10);
+  SimOptions options;
+  options.train_minutes = 2;
+  const auto outcome = Simulate(trace, &policy, options);
+  ASSERT_TRUE(outcome.ok());
+  const SimulationOutcome& out = outcome.ValueOrDie();
+  EXPECT_TRUE(out.accounts.empty());
+  EXPECT_EQ(out.memory_series.size(), 6u);
+  for (uint32_t loaded : out.memory_series) EXPECT_EQ(loaded, 0u);
+  const FleetMetrics& m = out.metrics;
+  EXPECT_TRUE(m.csr.empty());
+  EXPECT_EQ(m.total_invocations, 0u);
+  EXPECT_EQ(m.max_memory, 0u);
+  EXPECT_EQ(m.emcr, 0.0);
+}
+
 TEST(EngineTest, FleetMetricsComputedFromAccounts) {
   Trace trace = MakeTrace({{1, 0, 0, 0, 1, 0}, {0, 1, 1, 1, 0, 1}});
   FixedKeepAlivePolicy policy(2);

@@ -1,0 +1,112 @@
+// Golden-metrics regression harness: a fixed-seed generated fleet run
+// through SPES and the fixed keep-alive baseline must reproduce these
+// exact counter and memory-series values. Any engine or policy refactor
+// that shifts simulated behaviour — even by one cold start or one loaded
+// minute — fails this test loudly instead of silently drifting the paper's
+// figures.
+//
+// If a change *intentionally* alters behaviour, rerun the fleet below,
+// confirm the new numbers are correct, and update the goldens in the same
+// commit with a note in CHANGES.md.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "core/spes_policy.h"
+#include "policies/fixed_keepalive.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+/// The golden fleet: small enough to simulate in well under a second,
+/// large enough to exercise every generator archetype and SPES rule.
+SimulationOutcome RunGoldenFleet(Policy* policy) {
+  GeneratorConfig config;
+  config.num_functions = 150;
+  config.days = 4;
+  config.seed = 99;
+  const GeneratedTrace fleet = GenerateTrace(config).ValueOrDie();
+  SimOptions options;
+  options.train_minutes = 2 * kMinutesPerDay;
+  return Simulate(fleet.trace, policy, options).ValueOrDie();
+}
+
+uint64_t SeriesSum(const std::vector<uint32_t>& series) {
+  return std::accumulate(series.begin(), series.end(), uint64_t{0});
+}
+
+TEST(GoldenMetricsTest, SpesReproducesGoldenValues) {
+  SpesPolicy spes;
+  const SimulationOutcome outcome = RunGoldenFleet(&spes);
+  const FleetMetrics& m = outcome.metrics;
+
+  EXPECT_EQ(m.policy_name, "SPES");
+  EXPECT_EQ(m.total_invocations, 505234u);
+  EXPECT_EQ(m.total_cold_starts, 631u);
+  EXPECT_EQ(m.wasted_memory_minutes, 82418u);
+  EXPECT_EQ(m.loaded_instance_minutes, 212568u);
+  EXPECT_EQ(m.max_memory, 87u);
+  EXPECT_EQ(m.csr.size(), 147u);
+  EXPECT_DOUBLE_EQ(m.q3_csr, 0.051625753660637382);
+  EXPECT_DOUBLE_EQ(m.median_csr, 8.730574471800244e-05);
+  EXPECT_DOUBLE_EQ(m.average_memory, 73.808333333333337);
+  EXPECT_DOUBLE_EQ(m.emcr, 0.61227466034398403);
+
+  ASSERT_EQ(outcome.memory_series.size(), 2880u);
+  EXPECT_EQ(SeriesSum(outcome.memory_series), 212568u);
+  EXPECT_EQ(outcome.memory_series.front(), 72u);
+  EXPECT_EQ(outcome.memory_series[1440], 74u);
+  EXPECT_EQ(outcome.memory_series.back(), 72u);
+
+  const FunctionAccount& first = outcome.accounts[0];
+  EXPECT_EQ(first.invocations, 10792u);
+  EXPECT_EQ(first.cold_starts, 1u);
+  EXPECT_EQ(first.loaded_minutes, 2880u);
+  EXPECT_EQ(first.wasted_minutes, 141u);
+}
+
+TEST(GoldenMetricsTest, FixedKeepaliveReproducesGoldenValues) {
+  FixedKeepAlivePolicy fixed(10);
+  const SimulationOutcome outcome = RunGoldenFleet(&fixed);
+  const FleetMetrics& m = outcome.metrics;
+
+  EXPECT_EQ(m.policy_name, "Fixed-10min");
+  EXPECT_EQ(m.total_invocations, 505234u);
+  EXPECT_EQ(m.total_cold_starts, 1574u);
+  EXPECT_EQ(m.wasted_memory_minutes, 79870u);
+  EXPECT_EQ(m.loaded_instance_minutes, 210020u);
+  EXPECT_EQ(m.max_memory, 84u);
+  EXPECT_EQ(m.csr.size(), 147u);
+  EXPECT_DOUBLE_EQ(m.q3_csr, 1.0);
+  EXPECT_DOUBLE_EQ(m.median_csr, 0.04878048780487805);
+  EXPECT_DOUBLE_EQ(m.average_memory, 72.923611111111114);
+  EXPECT_DOUBLE_EQ(m.emcr, 0.61970288543948193);
+
+  ASSERT_EQ(outcome.memory_series.size(), 2880u);
+  EXPECT_EQ(SeriesSum(outcome.memory_series), 210020u);
+  EXPECT_EQ(outcome.memory_series.front(), 43u);
+  EXPECT_EQ(outcome.memory_series[1440], 79u);
+  EXPECT_EQ(outcome.memory_series.back(), 71u);
+}
+
+TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {
+  // The goldens above encode it, but assert the invariant directly: the
+  // trace (and thus the arrival stream) is policy-independent.
+  SpesPolicy spes;
+  FixedKeepAlivePolicy fixed(10);
+  const SimulationOutcome a = RunGoldenFleet(&spes);
+  const SimulationOutcome b = RunGoldenFleet(&fixed);
+  EXPECT_EQ(a.metrics.total_invocations, b.metrics.total_invocations);
+  ASSERT_EQ(a.accounts.size(), b.accounts.size());
+  for (size_t f = 0; f < a.accounts.size(); ++f) {
+    EXPECT_EQ(a.accounts[f].invocations, b.accounts[f].invocations);
+    EXPECT_EQ(a.accounts[f].invoked_minutes, b.accounts[f].invoked_minutes);
+  }
+}
+
+}  // namespace
+}  // namespace spes

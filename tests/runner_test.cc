@@ -1,0 +1,189 @@
+#include "runner/suite_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/spes_policy.h"
+#include "policies/defuse.h"
+#include "policies/fixed_keepalive.h"
+#include "policies/hybrid_histogram.h"
+#include "policies/oracle.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+GeneratedTrace MakeFleet() {
+  GeneratorConfig config;
+  config.num_functions = 200;
+  config.days = 3;
+  config.seed = 20240317;
+  return GenerateTrace(config).ValueOrDie();
+}
+
+SimOptions Options() {
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+  return options;
+}
+
+std::vector<SuiteJob> PolicyJobs(const SimOptions& options) {
+  std::vector<SuiteJob> jobs;
+  jobs.push_back({"", [] { return std::make_unique<SpesPolicy>(); }, options});
+  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
+                  options});
+  jobs.push_back({"", [] {
+                    return std::make_unique<HybridHistogramPolicy>(
+                        HybridGranularity::kFunction);
+                  },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
+                  options});
+  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); },
+                  options});
+  return jobs;
+}
+
+/// Everything in FleetMetrics except the wall-clock overhead fields, which
+/// legitimately vary run to run.
+void ExpectSameDeterministicMetrics(const FleetMetrics& a,
+                                    const FleetMetrics& b) {
+  EXPECT_EQ(a.policy_name, b.policy_name);
+  EXPECT_EQ(a.csr, b.csr);
+  EXPECT_EQ(a.q3_csr, b.q3_csr);
+  EXPECT_EQ(a.p90_csr, b.p90_csr);
+  EXPECT_EQ(a.median_csr, b.median_csr);
+  EXPECT_EQ(a.always_cold_fraction, b.always_cold_fraction);
+  EXPECT_EQ(a.zero_cold_fraction, b.zero_cold_fraction);
+  EXPECT_EQ(a.total_cold_starts, b.total_cold_starts);
+  EXPECT_EQ(a.total_invocations, b.total_invocations);
+  EXPECT_EQ(a.wasted_memory_minutes, b.wasted_memory_minutes);
+  EXPECT_EQ(a.loaded_instance_minutes, b.loaded_instance_minutes);
+  EXPECT_EQ(a.average_memory, b.average_memory);
+  EXPECT_EQ(a.max_memory, b.max_memory);
+  EXPECT_EQ(a.emcr, b.emcr);
+}
+
+TEST(SuiteRunnerTest, ThreadCountDoesNotChangeResults) {
+  const GeneratedTrace fleet = MakeFleet();
+  const SimOptions options = Options();
+
+  std::vector<std::vector<JobResult>> runs;
+  for (int threads : {1, 4, 8}) {
+    SuiteRunnerOptions runner_options;
+    runner_options.num_threads = threads;
+    SuiteRunner runner(runner_options);
+    runs.push_back(runner.Run(fleet.trace, PolicyJobs(options)));
+  }
+
+  const std::vector<JobResult>& reference = runs[0];
+  ASSERT_EQ(reference.size(), 5u);
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      const JobResult& a = reference[i];
+      const JobResult& b = runs[run][i];
+      ASSERT_TRUE(a.status.ok()) << a.status;
+      ASSERT_TRUE(b.status.ok()) << b.status;
+      EXPECT_EQ(a.label, b.label);
+      ExpectSameDeterministicMetrics(a.outcome.metrics, b.outcome.metrics);
+      EXPECT_EQ(a.outcome.memory_series, b.outcome.memory_series);
+    }
+  }
+}
+
+TEST(SuiteRunnerTest, ResultsArriveInJobOrder) {
+  const GeneratedTrace fleet = MakeFleet();
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = 4;
+  SuiteRunner runner(runner_options);
+  const std::vector<JobResult> results =
+      runner.Run(fleet.trace, PolicyJobs(Options()));
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_EQ(results[0].label, "SPES");
+  EXPECT_EQ(results[3].label, "Fixed-10min");
+  EXPECT_EQ(results[4].label, "Oracle");
+}
+
+TEST(SuiteRunnerTest, FailingJobDoesNotPoisonSiblings) {
+  const GeneratedTrace fleet = MakeFleet();
+  const SimOptions good = Options();
+  SimOptions bad = good;
+  bad.train_minutes = fleet.trace.num_minutes() + 1;  // rejected by engine
+
+  std::vector<SuiteJob> jobs;
+  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
+                  good});
+  jobs.push_back({"bad-window",
+                  [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
+                  bad});
+  jobs.push_back({"null-factory",
+                  []() -> std::unique_ptr<Policy> { return nullptr; }, good});
+  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); }, good});
+
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = 4;
+  SuiteRunner runner(runner_options);
+  const std::vector<JobResult> results = runner.Run(fleet.trace, std::move(jobs));
+
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[3].status.ok());
+
+  // The successful slots carry full outcomes.
+  EXPECT_GT(results[0].outcome.metrics.total_invocations, 0u);
+  EXPECT_GT(results[3].outcome.metrics.total_invocations, 0u);
+
+  // And CollectMetrics keeps only the successes, in order.
+  const std::vector<FleetMetrics> metrics = CollectMetrics(results);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].policy_name, "Fixed-10min");
+  EXPECT_EQ(metrics[1].policy_name, "Oracle");
+}
+
+TEST(SuiteRunnerTest, ProgressReportsEveryJobExactlyOnce) {
+  const GeneratedTrace fleet = MakeFleet();
+  std::atomic<size_t> calls{0};
+  size_t last_total = 0;
+  size_t last_finished = 0;
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = 3;
+  runner_options.progress = [&](size_t finished, size_t total,
+                                const JobResult& result) {
+    calls.fetch_add(1);
+    last_total = total;
+    // Callbacks are serialized and the count is monotonic: each call sees
+    // exactly one more finished job than the previous one.
+    EXPECT_EQ(finished, last_finished + 1);
+    last_finished = finished;
+    EXPECT_LE(finished, total);
+    EXPECT_FALSE(result.label.empty());
+  };
+  SuiteRunner runner(runner_options);
+  runner.Run(fleet.trace, PolicyJobs(Options()));
+  EXPECT_EQ(calls.load(), 5u);
+  EXPECT_EQ(last_total, 5u);
+}
+
+TEST(SuiteRunnerTest, EmptyJobListReturnsEmpty) {
+  const GeneratedTrace fleet = MakeFleet();
+  SuiteRunner runner;
+  EXPECT_TRUE(runner.Run(fleet.trace, {}).empty());
+}
+
+TEST(SuiteRunnerTest, EffectiveThreadsIsClampedToJobCount) {
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = 16;
+  SuiteRunner runner(runner_options);
+  EXPECT_EQ(runner.EffectiveThreads(3), 3);
+  EXPECT_EQ(runner.EffectiveThreads(100), 16);
+  EXPECT_EQ(runner.EffectiveThreads(0), 1);
+}
+
+}  // namespace
+}  // namespace spes
