@@ -6,6 +6,7 @@
 
 #include "bench/bench_common.h"
 #include "bench/bench_policies.h"
+#include "core/spes_policy.h"
 #include "metrics/report.h"
 
 int main() {
@@ -16,10 +17,11 @@ int main() {
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
-  SpesPolicy policy;
-  const SimulationOutcome outcome =
-      Simulate(fleet.trace, &policy, options).ValueOrDie();
-  const auto rows = BreakdownByType(policy, outcome.accounts);
+  const ScenarioOutcome result =
+      RunScenario(fleet.trace, bench::MakeScenario({"spes", {}}, options))
+          .ValueOrDie();
+  const auto& policy = dynamic_cast<const SpesPolicy&>(*result.policy);
+  const auto rows = BreakdownByType(policy, result.outcome.accounts);
 
   Table table({"type", "functions", "mean CSR", "bar"});
   for (const TypeBreakdownRow& row : rows) {

@@ -4,16 +4,16 @@
 // Q3-CSR for theta_prewarm (fit y = -0.1845x + 0.3163 on their data), and
 // diminishing returns for larger theta_givenup (y = -0.0427x + 0.1686).
 //
-// The (policy config) grid is embarrassingly parallel, so it fans out
-// through SuiteRunner. The grid is run twice — serial (1 thread) and
-// parallel — to show the wall-clock win and prove the tables are
-// identical: results are collected by slot index, so thread count cannot
-// reorder or perturb them.
+// The (policy config) grid is embarrassingly parallel and purely
+// declarative: a vector<ScenarioSpec> — one registry-built "spes" spec per
+// grid point — fanned out through SuiteRunner. The grid is run twice —
+// serial (1 thread) and parallel — to show the wall-clock win and prove
+// the tables are identical: results are collected by slot index, so thread
+// count cannot reorder or perturb them.
 
 #include <chrono>
 #include <cstdio>
 #include <iterator>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,9 +21,9 @@
 #include "bench/bench_policies.h"
 #include "common/stats.h"
 #include "common/table.h"
-#include "core/spes_policy.h"
 #include "metrics/report.h"
 #include "runner/suite_runner.h"
+#include "sim/scenario.h"
 
 namespace {
 
@@ -59,23 +59,20 @@ void PrintSweep(const char* title, const std::vector<SweepPoint>& points,
 constexpr int kPrewarmValues[] = {1, 2, 3, 5, 10};
 constexpr int kGivenupScalers[] = {1, 2, 3, 4, 5};
 
-std::vector<SuiteJob> MakeGrid(const SimOptions& options) {
-  std::vector<SuiteJob> jobs;
-  jobs.push_back({"reference", [] { return std::make_unique<SpesPolicy>(); },
-                  options});
+std::vector<ScenarioSpec> MakeGrid(const SimOptions& options) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(bench::MakeScenario({"spes", {}}, options, "reference"));
   for (int theta : kPrewarmValues) {
-    SpesConfig c;
-    c.theta_prewarm = theta;
-    jobs.push_back({"prewarm=" + std::to_string(theta),
-                    [c] { return std::make_unique<SpesPolicy>(c); }, options});
+    specs.push_back(
+        bench::MakeScenario({"spes", {{"theta_prewarm", theta}}}, options,
+                            "prewarm=" + std::to_string(theta)));
   }
   for (int scaler : kGivenupScalers) {
-    SpesConfig c;
-    c.givenup_scaler = scaler;
-    jobs.push_back({"givenup=" + std::to_string(scaler),
-                    [c] { return std::make_unique<SpesPolicy>(c); }, options});
+    specs.push_back(
+        bench::MakeScenario({"spes", {{"givenup_scaler", scaler}}}, options,
+                            "givenup=" + std::to_string(scaler)));
   }
-  return jobs;
+  return specs;
 }
 
 struct GridRun {

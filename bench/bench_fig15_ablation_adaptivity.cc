@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_policies.h"
 #include "common/table.h"
 #include "core/spes_policy.h"
 #include "metrics/report.h"
@@ -21,38 +22,35 @@ int main() {
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
-  struct Variant {
-    const char* label;
-    SpesConfig config;
-  };
-  std::vector<Variant> variants(3);
-  variants[0].label = "SPES (full)";
-  variants[1].label = "w/o Forgetting";
-  variants[1].config.enable_forgetting = false;
-  variants[2].label = "w/o Adjusting";
-  variants[2].config.enable_adjusting = false;
+  std::vector<ScenarioSpec> variants;
+  variants.push_back(bench::MakeScenario({"spes", {}}, options,
+                                         "SPES (full)"));
+  variants.push_back(bench::MakeScenario(
+      {"spes", {{"enable_forgetting", false}}}, options, "w/o Forgetting"));
+  variants.push_back(bench::MakeScenario(
+      {"spes", {{"enable_adjusting", false}}}, options, "w/o Adjusting"));
+
+  SuiteRunner runner({bench::DefaultBenchThreads(), nullptr});
+  const std::vector<JobResult> results = runner.Run(fleet.trace, variants);
+  for (const JobResult& r : results) r.status.CheckOK();
 
   Table table({"variant", "Q3-CSR", "total colds", "norm memory",
                "norm WMT", "recategorized (train)", "recategorized (online)"});
-  double base_memory = 0.0, base_wmt = 0.0;
-  for (size_t i = 0; i < variants.size(); ++i) {
-    SpesPolicy policy(variants[i].config);
-    const SimulationOutcome outcome =
-        Simulate(fleet.trace, &policy, options).ValueOrDie();
-    if (i == 0) {
-      base_memory = outcome.metrics.average_memory;
-      base_wmt = static_cast<double>(outcome.metrics.wasted_memory_minutes);
-    }
+  const double base_memory = results[0].outcome.metrics.average_memory;
+  const double base_wmt =
+      static_cast<double>(results[0].outcome.metrics.wasted_memory_minutes);
+  for (const JobResult& result : results) {
+    const FleetMetrics& m = result.outcome.metrics;
+    const auto& policy = dynamic_cast<const SpesPolicy&>(*result.policy);
     table.AddRow(
-        {variants[i].label, FormatDouble(outcome.metrics.q3_csr, 4),
-         std::to_string(outcome.metrics.total_cold_starts),
-         FormatDouble(outcome.metrics.average_memory / base_memory, 3),
-         FormatDouble(base_wmt > 0
-                          ? static_cast<double>(
-                                outcome.metrics.wasted_memory_minutes) /
-                                base_wmt
-                          : 0.0,
-                      3),
+        {result.label, FormatDouble(m.q3_csr, 4),
+         std::to_string(m.total_cold_starts),
+         FormatDouble(m.average_memory / base_memory, 3),
+         FormatDouble(
+             base_wmt > 0
+                 ? static_cast<double>(m.wasted_memory_minutes) / base_wmt
+                 : 0.0,
+             3),
          std::to_string(policy.forgetting_recategorized()),
          std::to_string(policy.online_recategorized())});
   }

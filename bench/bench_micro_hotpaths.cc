@@ -6,9 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/categorizer.h"
+#include "core/policy_registry.h"
 #include "core/series_features.h"
-#include "core/spes_policy.h"
 #include "policies/iat_histogram.h"
 #include "sim/engine.h"
 #include "trace/generator.h"
@@ -59,9 +61,10 @@ void BM_SpesProvisionMinute(benchmark::State& state) {
   config.days = 3;
   config.seed = 7;
   const GeneratedTrace fleet = GenerateTrace(config).ValueOrDie();
-  SpesPolicy policy;
+  const std::unique_ptr<Policy> policy =
+      PolicyRegistry::Global().Create({"spes", {}}).ValueOrDie();
   const int train = 2 * kMinutesPerDay;
-  policy.Train(fleet.trace, train);
+  policy->Train(fleet.trace, train);
   MemSet mem(fleet.trace.num_functions());
   std::vector<Invocation> arrivals;
   int t = train;
@@ -72,7 +75,7 @@ void BM_SpesProvisionMinute(benchmark::State& state) {
           static_cast<size_t>(t)];
       if (c > 0) arrivals.push_back({static_cast<uint32_t>(f), c});
     }
-    policy.OnMinute(t, arrivals, &mem);
+    policy->OnMinute(t, arrivals, &mem);
     t = train + (t + 1 - train) % (fleet.trace.num_minutes() - train);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

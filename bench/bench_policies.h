@@ -1,25 +1,23 @@
 // Helper running SPES plus the five baselines of §V-A1 on a fleet.
 //
-// The suite fans out through SuiteRunner: SPES and the capacity-independent
-// baselines run concurrently, then FaasCache (whose cache capacity is
-// SPES's peak memory, as in §V-A1) runs once SPES has finished. Result
-// order is fixed regardless of thread count, so every table built from a
-// SuiteResult is identical to the serial run's.
+// The suite is a batch of ScenarioSpecs fanned out through SuiteRunner:
+// SPES and the capacity-independent baselines run concurrently, then
+// FaasCache (whose cache capacity is SPES's peak memory, as in §V-A1) runs
+// once SPES has finished. Every policy is built from the registry — no
+// bench constructs a concrete policy type. Result order is fixed
+// regardless of thread count, so every table built from a SuiteResult is
+// identical to the serial run's.
 
 #ifndef SPES_BENCH_BENCH_POLICIES_H_
 #define SPES_BENCH_BENCH_POLICIES_H_
 
-#include <memory>
+#include <algorithm>
 #include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
-#include "core/spes_policy.h"
-#include "policies/defuse.h"
-#include "policies/faascache.h"
-#include "policies/fixed_keepalive.h"
-#include "policies/hybrid_histogram.h"
 #include "runner/suite_runner.h"
+#include "sim/scenario.h"
 
 namespace spes {
 namespace bench {
@@ -30,18 +28,29 @@ inline int DefaultBenchThreads() {
   return static_cast<int>(GetEnvInt("SPES_BENCH_THREADS", 0));
 }
 
-/// \brief Outcome of running the full policy suite.
+/// \brief A ScenarioSpec for `policy` with the shared engine options (the
+/// sweep pattern: same workload and window, varying policy spec).
+inline ScenarioSpec MakeScenario(PolicySpec policy, const SimOptions& options,
+                                 std::string label = "") {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.policy = std::move(policy);
+  spec.options = options;
+  return spec;
+}
+
+/// \brief Outcome of running the full policy suite. For per-type
+/// breakdowns of a single policy, use RunScenario and downcast
+/// ScenarioOutcome::policy instead (see bench_fig10_csr_by_type.cc).
 struct SuiteResult {
   /// SPES first, then Defuse, HF, HA, Fixed-10min, FaasCache (the paper's
   /// baseline set); FaasCache's capacity is SPES's peak memory, as in §V-A1.
   std::vector<SimulationOutcome> outcomes;
-  /// The trained SPES policy (for per-type breakdowns).
-  std::unique_ptr<SpesPolicy> spes;
 };
 
 inline SuiteResult RunPolicySuite(const Trace& trace,
                                   const SimOptions& options,
-                                  const SpesConfig& spes_config = {},
+                                  const PolicySpec& spes_spec = {"spes", {}},
                                   int num_threads = 0) {
   SuiteRunnerOptions runner_options;
   runner_options.num_threads =
@@ -49,40 +58,33 @@ inline SuiteResult RunPolicySuite(const Trace& trace,
   SuiteRunner runner(runner_options);
 
   // Wave 1: SPES and every capacity-independent baseline, concurrently.
-  std::vector<SuiteJob> jobs;
-  jobs.push_back({"", [spes_config] {
-                    return std::make_unique<SpesPolicy>(spes_config);
-                  },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
-                  options});
-  jobs.push_back({"", [] {
-                    return std::make_unique<HybridHistogramPolicy>(
-                        HybridGranularity::kFunction);
-                  },
-                  options});
-  jobs.push_back({"", [] {
-                    return std::make_unique<HybridHistogramPolicy>(
-                        HybridGranularity::kApplication);
-                  },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
-                  options});
-  std::vector<JobResult> wave1 = runner.Run(trace, std::move(jobs));
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(MakeScenario(spes_spec, options));
+  specs.push_back(MakeScenario({"defuse", {}}, options));
+  specs.push_back(
+      MakeScenario({"hybrid_histogram", {{"granularity", "function"}}},
+                   options));
+  specs.push_back(
+      MakeScenario({"hybrid_histogram", {{"granularity", "application"}}},
+                   options));
+  specs.push_back(
+      MakeScenario({"fixed_keepalive", {{"minutes", 10}}}, options));
+  std::vector<JobResult> wave1 = runner.Run(trace, specs);
   for (const JobResult& r : wave1) r.status.CheckOK();
-  const uint64_t spes_peak = wave1[0].outcome.metrics.max_memory;
+  // A fleet SPES never keeps warm yields peak 0; faascache requires a
+  // positive capacity, so provision at least one instance.
+  const uint64_t spes_peak =
+      std::max<uint64_t>(1, wave1[0].outcome.metrics.max_memory);
 
   // Wave 2: FaasCache needs SPES's peak memory as its capacity.
-  std::vector<SuiteJob> wave2;
-  wave2.push_back({"", [spes_peak] {
-                     return std::make_unique<FaasCachePolicy>(spes_peak);
-                   },
-                   options});
-  std::vector<JobResult> faascache = runner.Run(trace, std::move(wave2));
+  std::vector<ScenarioSpec> wave2_specs;
+  wave2_specs.push_back(MakeScenario(
+      {"faascache", {{"capacity", static_cast<int64_t>(spes_peak)}}},
+      options));
+  std::vector<JobResult> faascache = runner.Run(trace, wave2_specs);
   faascache[0].status.CheckOK();
 
   SuiteResult result;
-  result.spes.reset(static_cast<SpesPolicy*>(wave1[0].policy.release()));
   result.outcomes.reserve(wave1.size() + 1);
   for (JobResult& r : wave1) result.outcomes.push_back(std::move(r.outcome));
   result.outcomes.push_back(std::move(faascache[0].outcome));

@@ -25,7 +25,7 @@ int main() {
   // Serial by default: this bench measures time, so jobs must not contend.
   const int threads = static_cast<int>(GetEnvInt("SPES_BENCH_THREADS", 1));
   const bench::SuiteResult suite =
-      bench::RunPolicySuite(fleet.trace, options, {}, threads);
+      bench::RunPolicySuite(fleet.trace, options, {"spes", {}}, threads);
 
   Table table({"policy", "total overhead (s)", "overhead (s/sim-minute)",
                "complexity per minute"});

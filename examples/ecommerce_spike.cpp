@@ -14,8 +14,7 @@
 #include "common/rng.h"
 #include "core/spes_policy.h"
 #include "metrics/report.h"
-#include "policies/fixed_keepalive.h"
-#include "sim/engine.h"
+#include "sim/scenario.h"
 #include "trace/trace.h"
 
 namespace {
@@ -77,19 +76,20 @@ int main() {
   trace.Add(std::move(receipt)).CheckOK();
   trace.Add(std::move(nightly)).CheckOK();
 
-  SimOptions options;
-  options.train_minutes = 4 * kMinutesPerDay;  // spike is NOT in training
+  // The hand-built trace is the workload; the policies are specs.
+  ScenarioSpec scenario;
+  scenario.options.train_minutes = 4 * kMinutesPerDay;  // spike NOT trained
 
-  SpesPolicy spes;
-  const SimulationOutcome outcome =
-      Simulate(trace, &spes, options).ValueOrDie();
+  scenario.policy = {"spes", {}};
+  const ScenarioOutcome spes_run = RunScenario(trace, scenario).ValueOrDie();
+  const auto& spes = dynamic_cast<const SpesPolicy&>(*spes_run.policy);
 
   std::printf("e-commerce app under a 10x final-day spike\n");
   std::printf("==========================================\n\n");
   std::printf("%-15s %-14s %12s %12s %8s\n", "function", "SPES type",
               "invocations", "cold starts", "CSR");
   for (size_t f = 0; f < trace.num_functions(); ++f) {
-    const FunctionAccount& acc = outcome.accounts[f];
+    const FunctionAccount& acc = spes_run.outcome.accounts[f];
     std::printf("%-15s %-14s %12llu %12llu %8.4f\n",
                 trace.function(f).meta.name.c_str(),
                 FunctionTypeToString(spes.TypeOf(f)),
@@ -98,12 +98,12 @@ int main() {
                 acc.ColdStartRate());
   }
 
-  FixedKeepAlivePolicy fixed(10);
-  const SimulationOutcome fixed_outcome =
-      Simulate(trace, &fixed, options).ValueOrDie();
+  scenario.policy = {"fixed_keepalive", {{"minutes", 10}}};
+  const ScenarioOutcome fixed_run = RunScenario(trace, scenario).ValueOrDie();
 
   std::printf("\naggregate (simulated window, incl. spike):\n");
-  BuildComparisonTable({outcome.metrics, fixed_outcome.metrics}, "SPES")
+  BuildComparisonTable(
+      {spes_run.outcome.metrics, fixed_run.outcome.metrics}, "SPES")
       .Print();
   std::printf(
       "\nSPES rides the spike warm (dense/correlated categorization) and"

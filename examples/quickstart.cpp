@@ -1,17 +1,17 @@
-// Quickstart: generate a small synthetic fleet, train SPES on the first
-// days, replay the rest, and print the headline metrics next to the
-// industry-default fixed keep-alive policy.
+// Quickstart: describe a scenario as data — a generated fleet, a train
+// window and a policy spec — run it through the Scenario API, and print
+// the headline metrics next to the industry-default fixed keep-alive
+// policy.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
 #include "core/spes_policy.h"
 #include "metrics/report.h"
-#include "policies/fixed_keepalive.h"
-#include "sim/engine.h"
+#include "sim/scenario.h"
 #include "trace/generator.h"
 
 int main() {
@@ -19,26 +19,28 @@ int main() {
 
   // 1. A fleet of 800 serverless functions over 6 days, calibrated to the
   //    Azure Functions population statistics (trigger mix, heavy-tailed
-  //    invocation totals, bursts, workflow chains, concept shifts).
+  //    invocation totals, bursts, workflow chains, concept shifts). The
+  //    session realizes the trace once; every scenario below reuses it.
   GeneratorConfig generator;
   generator.num_functions = 800;
   generator.days = 6;
   generator.seed = 42;
-  const GeneratedTrace fleet = GenerateTrace(generator).ValueOrDie();
+  const ScenarioSession session =
+      ScenarioSession::Open(TraceSpec::FromGenerator(generator)).ValueOrDie();
   std::printf("fleet: %zu functions, %zu apps, %zu owners, %d minutes\n\n",
-              fleet.trace.num_functions(), fleet.trace.CountApps(),
-              fleet.trace.CountOwners(), fleet.trace.num_minutes());
+              session.trace().num_functions(), session.trace().CountApps(),
+              session.trace().CountOwners(), session.trace().num_minutes());
 
   // 2. Train on the first 4 days, simulate the last 2.
-  SimOptions options;
-  options.train_minutes = 4 * kMinutesPerDay;
+  ScenarioSpec scenario;
+  scenario.options.train_minutes = 4 * kMinutesPerDay;
 
   // 3. SPES: categorize every function and provision by prediction.
-  SpesPolicy spes;
-  const SimulationOutcome spes_outcome =
-      Simulate(fleet.trace, &spes, options).ValueOrDie();
+  scenario.policy = {"spes", {}};
+  const ScenarioOutcome spes_run = session.Run(scenario).ValueOrDie();
 
   std::printf("SPES function categorization:\n");
+  const auto& spes = dynamic_cast<const SpesPolicy&>(*spes_run.policy);
   const auto types = spes.CountByType();
   for (int k = 0; k < kNumFunctionTypes; ++k) {
     if (types[static_cast<size_t>(k)] == 0) continue;
@@ -48,19 +50,19 @@ int main() {
   }
   std::printf("\n");
 
-  // 4. Baseline for contrast: keep instances alive 10 minutes after use.
-  FixedKeepAlivePolicy fixed(10);
-  const SimulationOutcome fixed_outcome =
-      Simulate(fleet.trace, &fixed, options).ValueOrDie();
+  // 4. Baseline for contrast, by spec string: keep instances alive 10
+  //    minutes after use.
+  scenario.policy = ParsePolicySpec("fixed_keepalive{minutes=10}").ValueOrDie();
+  const ScenarioOutcome fixed_run = session.Run(scenario).ValueOrDie();
 
-  BuildComparisonTable({spes_outcome.metrics, fixed_outcome.metrics}, "SPES")
-      .Print();
+  const FleetMetrics& spes_metrics = spes_run.outcome.metrics;
+  const FleetMetrics& fixed_metrics = fixed_run.outcome.metrics;
+  BuildComparisonTable({spes_metrics, fixed_metrics}, "SPES").Print();
 
   std::printf(
       "\nSPES cut the 75th-percentile cold-start rate from %.4f to %.4f\n"
       "while keeping average memory at %.1f instances (fixed: %.1f).\n",
-      fixed_outcome.metrics.q3_csr, spes_outcome.metrics.q3_csr,
-      spes_outcome.metrics.average_memory,
-      fixed_outcome.metrics.average_memory);
+      fixed_metrics.q3_csr, spes_metrics.q3_csr,
+      spes_metrics.average_memory, fixed_metrics.average_memory);
   return 0;
 }

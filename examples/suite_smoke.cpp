@@ -1,23 +1,17 @@
-// Suite smoke: run the whole policy suite over a small generated fleet
-// through the parallel SuiteRunner, with a progress callback, and print
-// the cross-policy comparison table.
+// Suite smoke: run a whole policy suite — a vector of ScenarioSpecs —
+// over a small generated fleet through the parallel SuiteRunner, with a
+// progress callback, and print the cross-policy comparison table.
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
 //   ./build/suite_smoke
 
 #include <cstdio>
-#include <memory>
 #include <vector>
 
-#include "core/spes_policy.h"
 #include "metrics/report.h"
-#include "policies/defuse.h"
-#include "policies/fixed_keepalive.h"
-#include "policies/hybrid_histogram.h"
-#include "policies/oracle.h"
 #include "runner/suite_runner.h"
-#include "trace/generator.h"
+#include "sim/scenario.h"
 
 int main() {
   using namespace spes;
@@ -27,30 +21,26 @@ int main() {
   generator.num_functions = 600;
   generator.days = 5;
   generator.seed = 7;
-  const GeneratedTrace fleet = GenerateTrace(generator).ValueOrDie();
+  const ScenarioSession session =
+      ScenarioSession::Open(TraceSpec::FromGenerator(generator)).ValueOrDie();
   std::printf("fleet: %zu functions, %d minutes\n\n",
-              fleet.trace.num_functions(), fleet.trace.num_minutes());
+              session.trace().num_functions(), session.trace().num_minutes());
 
-  // 2. Train on the first 3 days, simulate the last 2.
+  // 2. Train on the first 3 days, simulate the last 2; one spec per
+  //    policy — the whole suite is data.
   SimOptions options;
   options.train_minutes = 3 * kMinutesPerDay;
+  std::vector<ScenarioSpec> specs;
+  for (const char* policy :
+       {"spes", "defuse", "hybrid_histogram{granularity=function}",
+        "fixed_keepalive{minutes=10}", "oracle"}) {
+    ScenarioSpec spec;
+    spec.policy = ParsePolicySpec(policy).ValueOrDie();
+    spec.options = options;
+    specs.push_back(spec);
+  }
 
-  // 3. One job per policy; each job owns its own fresh policy instance.
-  std::vector<SuiteJob> jobs;
-  jobs.push_back({"", [] { return std::make_unique<SpesPolicy>(); }, options});
-  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
-                  options});
-  jobs.push_back({"", [] {
-                    return std::make_unique<HybridHistogramPolicy>(
-                        HybridGranularity::kFunction);
-                  },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); },
-                  options});
-
-  // 4. Fan out across the hardware; report each job as it lands.
+  // 3. Fan out across the hardware; report each job as it lands.
   SuiteRunnerOptions runner_options;
   runner_options.progress = [](size_t finished, size_t total,
                                const JobResult& result) {
@@ -58,12 +48,11 @@ int main() {
                 result.status.ok() ? "done" : result.status.ToString().c_str());
   };
   SuiteRunner runner(runner_options);
-  std::printf("running %zu policies on %d threads\n", jobs.size(),
-              runner.EffectiveThreads(jobs.size()));
-  const std::vector<JobResult> results =
-      runner.Run(fleet.trace, std::move(jobs));
+  std::printf("running %zu policies on %d threads\n", specs.size(),
+              runner.EffectiveThreads(specs.size()));
+  const std::vector<JobResult> results = runner.Run(session.trace(), specs);
 
-  // 5. Comparison table, normalized against SPES.
+  // 4. Comparison table, normalized against SPES.
   std::printf("\n");
   BuildComparisonTable(CollectMetrics(results), "SPES").Print();
   return 0;

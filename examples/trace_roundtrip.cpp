@@ -9,8 +9,7 @@
 #include <cstdio>
 #include <filesystem>
 
-#include "core/spes_policy.h"
-#include "sim/engine.h"
+#include "sim/scenario.h"
 #include "trace/azure_csv.h"
 #include "trace/generator.h"
 
@@ -34,21 +33,26 @@ int main() {
                 static_cast<long long>(entry.file_size()));
   }
 
-  // Read it back — this is exactly how the real dataset would be loaded.
-  const Trace trace = ReadAzureTraceDir(dir).ValueOrDie();
-  std::printf("\nreloaded: %zu functions, %d minutes, %zu apps\n",
-              trace.num_functions(), trace.num_minutes(), trace.CountApps());
+  // Read it back through a fully declarative scenario: the CSV directory
+  // is the trace source — exactly how the real dataset would be loaded.
+  ScenarioSpec scenario;
+  scenario.trace = TraceSpec::FromAzureCsvDir(dir);
+  scenario.policy = {"spes", {}};
+  scenario.options.train_minutes = (config.days - 1) * kMinutesPerDay;
 
-  SimOptions options;
-  options.train_minutes = (config.days - 1) * kMinutesPerDay;
-  SpesPolicy spes;
-  const SimulationOutcome outcome =
-      Simulate(trace, &spes, options).ValueOrDie();
+  const ScenarioSession session =
+      ScenarioSession::Open(scenario.trace).ValueOrDie();
+  std::printf("\nreloaded: %zu functions, %d minutes, %zu apps\n",
+              session.trace().num_functions(), session.trace().num_minutes(),
+              session.trace().CountApps());
+
+  const ScenarioOutcome run = session.Run(scenario).ValueOrDie();
+  const FleetMetrics& metrics = run.outcome.metrics;
   std::printf(
       "\nSPES on the reloaded trace: Q3-CSR %.4f, always-cold %.2f%%, "
       "avg memory %.1f instances\n",
-      outcome.metrics.q3_csr, outcome.metrics.always_cold_fraction * 100.0,
-      outcome.metrics.average_memory);
+      metrics.q3_csr, metrics.always_cold_fraction * 100.0,
+      metrics.average_memory);
 
   std::filesystem::remove_all(dir);
   std::printf("\n(to run on the real dataset: download the Azure Functions"

@@ -9,8 +9,7 @@
 #include "common/rng.h"
 #include "core/correlation.h"
 #include "core/spes_policy.h"
-#include "policies/defuse.h"
-#include "sim/engine.h"
+#include "sim/scenario.h"
 #include "trace/trace.h"
 
 namespace {
@@ -71,15 +70,16 @@ int main() {
                 trace.function(f).meta.name.c_str(), best.lag, best.cor);
   }
 
-  SimOptions options;
-  options.train_minutes = 6 * kMinutesPerDay;
+  ScenarioSpec scenario;
+  scenario.options.train_minutes = 6 * kMinutesPerDay;
 
-  SpesPolicy spes;
-  const SimulationOutcome spes_outcome =
-      Simulate(trace, &spes, options).ValueOrDie();
-  DefusePolicy defuse;
-  const SimulationOutcome defuse_outcome =
-      Simulate(trace, &defuse, options).ValueOrDie();
+  scenario.policy = {"spes", {}};
+  const ScenarioOutcome spes_run = RunScenario(trace, scenario).ValueOrDie();
+  const auto& spes = dynamic_cast<const SpesPolicy&>(*spes_run.policy);
+  scenario.policy = {"defuse", {}};
+  const ScenarioOutcome defuse_run = RunScenario(trace, scenario).ValueOrDie();
+  const SimulationOutcome& spes_outcome = spes_run.outcome;
+  const SimulationOutcome& defuse_outcome = defuse_run.outcome;
 
   std::printf("\nper-stage results over the simulated window:\n");
   std::printf("%-10s %-14s | %18s | %18s\n", "stage", "SPES type",

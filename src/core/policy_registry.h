@@ -1,0 +1,202 @@
+// Policy registry: every provisioning policy self-registers under a
+// canonical lowercase name ("spes", "fixed_keepalive", ...) together with a
+// typed parameter schema, so a policy instance can be built from data — a
+// PolicySpec — instead of a hand-wired constructor call. This is the
+// factory layer behind the Scenario API (sim/scenario.h): benches, examples
+// and config-driven workloads describe *which* policy with *which* knobs,
+// and the registry validates the spec and produces the instance.
+//
+// Spec strings follow the convention `name{param=value,param=value}`, e.g.
+//   fixed_keepalive{minutes=10}
+//   hybrid_histogram{granularity=application,tail_percentile=99}
+//   spes{theta_prewarm=3,enable_online_corr=false}
+// ParsePolicySpec()/FormatPolicySpec() convert between the string and
+// structured forms; the round trip is exact for every value the parser
+// itself produces (values are unquoted, so a *string* parameter whose
+// text reads as a number or bool — none of the built-in schemas has one —
+// would re-parse as that type).
+//
+// All failure modes are Result<>/Status-based: unknown policy names,
+// duplicate registration, unknown parameters, ill-typed parameters and
+// out-of-domain values never abort.
+
+#ifndef SPES_CORE_POLICY_REGISTRY_H_
+#define SPES_CORE_POLICY_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/policy.h"
+
+namespace spes {
+
+/// \brief Type tag of a policy parameter.
+enum class ParamType { kBool, kInt, kDouble, kString };
+
+/// \brief Stable lowercase name of a ParamType ("bool", "int", ...).
+const char* ParamTypeToString(ParamType type);
+
+/// \brief A typed parameter value: bool, int, double or string.
+///
+/// A dedicated class (rather than a bare std::variant) so that string
+/// literals construct a string value — `ParamValue("function")` — instead
+/// of silently converting the pointer to bool.
+class ParamValue {
+ public:
+  ParamValue() : repr_(int64_t{0}) {}
+  ParamValue(bool value) : repr_(value) {}                  // NOLINT
+  ParamValue(int value) : repr_(int64_t{value}) {}          // NOLINT
+  ParamValue(int64_t value) : repr_(value) {}               // NOLINT
+  ParamValue(uint64_t value)                                // NOLINT
+      : repr_(static_cast<int64_t>(value)) {}
+  ParamValue(double value) : repr_(value) {}                // NOLINT
+  ParamValue(const char* value) : repr_(std::string(value)) {}  // NOLINT
+  ParamValue(std::string value) : repr_(std::move(value)) {}    // NOLINT
+
+  ParamType type() const;
+
+  /// \name Typed access; the value must hold the requested alternative.
+  /// @{
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  /// @}
+
+  bool operator==(const ParamValue& other) const = default;
+
+ private:
+  std::variant<bool, int64_t, double, std::string> repr_;
+};
+
+/// \brief Renders a value in spec-string form ("true", "10", "0.5", ...).
+/// Doubles use the shortest round-trippable decimal form and always carry
+/// a '.' or exponent so they re-parse as doubles.
+std::string FormatParamValue(const ParamValue& value);
+
+/// \brief Declaration of one parameter a policy accepts.
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kInt;
+  ParamValue default_value;
+  std::string description;
+};
+
+/// \brief A policy as data: canonical name plus parameter overrides.
+/// Parameters not listed take the registered defaults.
+struct PolicySpec {
+  std::string name;
+  std::map<std::string, ParamValue> params;
+};
+
+/// \brief Parses `name{param=value,...}` (the braces are optional when no
+/// parameters are overridden). Values parse as bool (`true`/`false`),
+/// int, double, or — failing those — a bare string.
+Result<PolicySpec> ParsePolicySpec(const std::string& text);
+
+/// \brief Inverse of ParsePolicySpec: canonical `name{k=v,...}` form with
+/// keys in lexicographic order; just `name` when no overrides.
+std::string FormatPolicySpec(const PolicySpec& spec);
+
+/// \brief Validated parameters handed to a registered factory: the
+/// registered defaults overlaid with the spec's (type-checked) overrides,
+/// so every declared parameter is present with its declared type.
+class PolicyParams {
+ public:
+  explicit PolicyParams(std::map<std::string, ParamValue> values)
+      : values_(std::move(values)) {}
+
+  bool GetBool(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::map<std::string, ParamValue>& values() const { return values_; }
+
+ private:
+  const ParamValue& At(const std::string& name) const;
+
+  std::map<std::string, ParamValue> values_;
+};
+
+/// \brief Builds a policy instance from validated parameters. May reject
+/// out-of-domain values (e.g. a non-positive capacity) with a Status.
+using RegistryFactory =
+    std::function<Result<std::unique_ptr<Policy>>(const PolicyParams&)>;
+
+/// \brief Factory helper: fetches int parameter `name` and checks it lies
+/// in [min_value, max_value] (the default ceiling is INT_MAX, so the value
+/// also fits an `int` without truncation). Out-of-range values yield
+/// InvalidArgument naming the policy and parameter.
+Result<int64_t> IntParamInRange(const PolicyParams& params,
+                                const std::string& policy,
+                                const std::string& name, int64_t min_value,
+                                int64_t max_value = 2147483647);
+
+/// \brief Factory helper: fetches double parameter `name` and checks it
+/// lies in [min_value, max_value]; out-of-range (or non-finite) values
+/// yield InvalidArgument naming the policy and parameter.
+Result<double> DoubleParamInRange(const PolicyParams& params,
+                                  const std::string& policy,
+                                  const std::string& name, double min_value,
+                                  double max_value);
+
+/// \brief Name -> (schema, factory) table for provisioning policies.
+///
+/// Global() holds every built-in policy (each src/policies/ and
+/// src/core/spes_policy.cc file registers its own entry); additional
+/// registries can be constructed freely, e.g. by tests.
+class PolicyRegistry {
+ public:
+  /// \brief One registered policy.
+  struct Entry {
+    /// Canonical lowercase identifier, e.g. "fixed_keepalive".
+    std::string canonical_name;
+    /// One-line human description for catalogs.
+    std::string summary;
+    /// Accepted parameters with defaults; order is the display order.
+    std::vector<ParamSpec> params;
+    RegistryFactory factory;
+  };
+
+  /// \brief Adds an entry. Fails with AlreadyExists when the name is taken
+  /// and InvalidArgument on an empty name, a missing factory, or a
+  /// duplicated parameter declaration.
+  Status Register(Entry entry);
+
+  /// \brief Builds a policy from `spec`: unknown names yield NotFound;
+  /// unknown parameters, type mismatches (ints coerce to doubles, nothing
+  /// else converts) and rejected values yield InvalidArgument naming the
+  /// offending field.
+  Result<std::unique_ptr<Policy>> Create(const PolicySpec& spec) const;
+
+  /// \brief Convenience: Create(ParsePolicySpec(text)).
+  Result<std::unique_ptr<Policy>> CreateFromString(
+      const std::string& text) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// \brief Registered canonical names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  /// \brief Introspection: the entry for `name`, or nullptr when unknown.
+  const Entry* Find(const std::string& name) const;
+
+  /// \brief The process-wide registry, with all built-in policies
+  /// registered on first use. Registration of additional entries is not
+  /// synchronized; do it before fanning out worker threads.
+  static PolicyRegistry& Global();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace spes
+
+#endif  // SPES_CORE_POLICY_REGISTRY_H_

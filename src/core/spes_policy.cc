@@ -1,11 +1,87 @@
 #include "core/spes_policy.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/stats.h"
+#include "core/policy_registry.h"
 #include "core/validation.h"
 
 namespace spes {
+
+void RegisterSpesPolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "spes";
+  entry.summary =
+      "SPES: differentiated rule-based provisioning by invocation-pattern "
+      "category";
+  const SpesConfig defaults;
+  // The spec surface exposes the provision/ablation knobs the paper sweeps
+  // (Figs. 13-15); the Table I definitional constants stay code-level.
+  entry.params = {
+      {"theta_prewarm", ParamType::kInt, ParamValue(defaults.theta_prewarm),
+       "pre-load window around a predicted invocation (>= 0)"},
+      {"givenup_scaler", ParamType::kInt, ParamValue(defaults.givenup_scaler),
+       "multiplier on every theta_givenup (>= 1, the Fig. 13(b) scaler)"},
+      {"theta_givenup_default", ParamType::kInt,
+       ParamValue(defaults.theta_givenup_default),
+       "eviction threshold for most types (idle minutes)"},
+      {"theta_givenup_dense", ParamType::kInt,
+       ParamValue(defaults.theta_givenup_dense),
+       "eviction threshold for dense functions"},
+      {"theta_givenup_pulsed", ParamType::kInt,
+       ParamValue(defaults.theta_givenup_pulsed),
+       "eviction threshold for pulsed functions"},
+      {"alpha", ParamType::kDouble, ParamValue(defaults.alpha),
+       "rise-rate scaling in the indeterminate assignment"},
+      {"enable_correlated", ParamType::kBool,
+       ParamValue(defaults.enable_correlated),
+       "training-time correlation links (Fig. 14 'w/o Corr' when false)"},
+      {"enable_online_corr", ParamType::kBool,
+       ParamValue(defaults.enable_online_corr),
+       "online correlation for unseen functions"},
+      {"enable_forgetting", ParamType::kBool,
+       ParamValue(defaults.enable_forgetting),
+       "recent-suffix re-categorization of unknowns (Fig. 15)"},
+      {"enable_adjusting", ParamType::kBool,
+       ParamValue(defaults.enable_adjusting),
+       "online drift correction and late categorization (Fig. 15)"},
+  };
+  entry.factory =
+      [](const PolicyParams& params) -> Result<std::unique_ptr<Policy>> {
+    SpesConfig config;
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t prewarm,
+        IntParamInRange(params, "spes", "theta_prewarm", 0));
+    config.theta_prewarm = static_cast<int>(prewarm);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t scaler,
+        IntParamInRange(params, "spes", "givenup_scaler", 1));
+    config.givenup_scaler = static_cast<int>(scaler);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t givenup_default,
+        IntParamInRange(params, "spes", "theta_givenup_default", 0));
+    config.theta_givenup_default = static_cast<int>(givenup_default);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t givenup_dense,
+        IntParamInRange(params, "spes", "theta_givenup_dense", 0));
+    config.theta_givenup_dense = static_cast<int>(givenup_dense);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t givenup_pulsed,
+        IntParamInRange(params, "spes", "theta_givenup_pulsed", 0));
+    config.theta_givenup_pulsed = static_cast<int>(givenup_pulsed);
+    // Any positive finite scaling is meaningful (the paper uses 0.5).
+    SPES_ASSIGN_OR_RETURN(
+        config.alpha,
+        DoubleParamInRange(params, "spes", "alpha", 1e-9, 1e9));
+    config.enable_correlated = params.GetBool("enable_correlated");
+    config.enable_online_corr = params.GetBool("enable_online_corr");
+    config.enable_forgetting = params.GetBool("enable_forgetting");
+    config.enable_adjusting = params.GetBool("enable_adjusting");
+    return std::unique_ptr<Policy>(std::make_unique<SpesPolicy>(config));
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 SpesPolicy::SpesPolicy(SpesConfig config) : config_(config) {}
 

@@ -1,8 +1,60 @@
 #include "policies/defuse.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "core/policy_registry.h"
 
 namespace spes {
+
+void RegisterDefusePolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "defuse";
+  entry.summary =
+      "Defuse: dependency-guided pre-warming over hybrid-histogram "
+      "keep-alive";
+  const DefuseOptions defaults;
+  entry.params = {
+      {"dependency_window", ParamType::kInt,
+       ParamValue(defaults.dependency_window),
+       "max minutes between predecessor and dependent"},
+      {"min_confidence", ParamType::kDouble,
+       ParamValue(defaults.min_confidence),
+       "min P(B within window | A) for a strong dependency"},
+      {"min_support", ParamType::kInt, ParamValue(defaults.min_support),
+       "min predecessor arrivals before confidence is trusted"},
+      {"prewarm_hold_minutes", ParamType::kInt,
+       ParamValue(defaults.prewarm_hold_minutes),
+       "minutes a dependency pre-warm keeps the target loaded"},
+      {"fallback_keepalive_minutes", ParamType::kInt,
+       ParamValue(defaults.fallback_keepalive_minutes),
+       "fixed keep-alive for sparse-history functions"},
+  };
+  entry.factory =
+      [](const PolicyParams& params) -> Result<std::unique_ptr<Policy>> {
+    DefuseOptions options;
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t window,
+        IntParamInRange(params, "defuse", "dependency_window", 1));
+    options.dependency_window = static_cast<int>(window);
+    SPES_ASSIGN_OR_RETURN(
+        options.min_confidence,
+        DoubleParamInRange(params, "defuse", "min_confidence", 0.0, 1.0));
+    SPES_ASSIGN_OR_RETURN(const int64_t support,
+                          IntParamInRange(params, "defuse", "min_support", 0));
+    options.min_support = static_cast<int>(support);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t hold,
+        IntParamInRange(params, "defuse", "prewarm_hold_minutes", 0));
+    options.prewarm_hold_minutes = static_cast<int>(hold);
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t fallback,
+        IntParamInRange(params, "defuse", "fallback_keepalive_minutes", 1));
+    options.fallback_keepalive_minutes = static_cast<int>(fallback);
+    return std::unique_ptr<Policy>(std::make_unique<DefusePolicy>(options));
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 namespace {
 

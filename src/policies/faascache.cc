@@ -1,8 +1,33 @@
 #include "policies/faascache.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "core/policy_registry.h"
 
 namespace spes {
+
+void RegisterFaasCachePolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "faascache";
+  entry.summary =
+      "FaasCache: GDSF keep-alive caching under a fixed instance capacity";
+  entry.params = {{"capacity", ParamType::kInt, ParamValue(1024),
+                   "maximum resident instances (> 0); the paper provisions "
+                   "it with SPES's peak memory"}};
+  entry.factory =
+      [](const PolicyParams& params) -> Result<std::unique_ptr<Policy>> {
+    // Capacity is a size_t, not an int: only the lower bound matters.
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t capacity,
+        IntParamInRange(params, "faascache", "capacity", 1,
+                        std::numeric_limits<int64_t>::max()));
+    return std::unique_ptr<Policy>(
+        std::make_unique<FaasCachePolicy>(static_cast<size_t>(capacity)));
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 FaasCachePolicy::FaasCachePolicy(size_t capacity_instances)
     : capacity_(capacity_instances == 0 ? 1 : capacity_instances) {}

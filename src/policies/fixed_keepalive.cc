@@ -1,6 +1,29 @@
 #include "policies/fixed_keepalive.h"
 
+#include <memory>
+
+#include "core/policy_registry.h"
+
 namespace spes {
+
+void RegisterFixedKeepAlivePolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "fixed_keepalive";
+  entry.summary =
+      "Industry default: keep each instance warm for a fixed window after "
+      "its last use";
+  entry.params = {{"minutes", ParamType::kInt, ParamValue(10),
+                   "keep-alive window after the last arrival (>= 1)"}};
+  entry.factory =
+      [](const PolicyParams& params) -> Result<std::unique_ptr<Policy>> {
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t minutes,
+        IntParamInRange(params, "fixed_keepalive", "minutes", 1));
+    return std::unique_ptr<Policy>(
+        std::make_unique<FixedKeepAlivePolicy>(static_cast<int>(minutes)));
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 FixedKeepAlivePolicy::FixedKeepAlivePolicy(int keepalive_minutes)
     : keepalive_minutes_(keepalive_minutes < 1 ? 1 : keepalive_minutes) {}

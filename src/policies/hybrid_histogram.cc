@@ -2,9 +2,91 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <unordered_map>
 
+#include "core/policy_registry.h"
+
 namespace spes {
+
+void RegisterHybridHistogramPolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "hybrid_histogram";
+  entry.summary =
+      "Shahrad et al. hybrid histogram keep-alive/pre-warm (Azure Functions' "
+      "adaptive policy)";
+  const HybridOptions defaults;
+  entry.params = {
+      {"granularity", ParamType::kString, ParamValue("function"),
+       "scheduling unit: 'function' (HF) or 'application' (HA)"},
+      {"range_minutes", ParamType::kInt,
+       ParamValue(defaults.histogram_range_minutes),
+       "IAT histogram span in minutes (>= 1)"},
+      {"head_percentile", ParamType::kDouble,
+       ParamValue(defaults.head_percentile), "pre-warm point percentile"},
+      {"tail_percentile", ParamType::kDouble,
+       ParamValue(defaults.tail_percentile), "keep-alive horizon percentile"},
+      {"margin_fraction", ParamType::kDouble,
+       ParamValue(defaults.margin_fraction),
+       "safety margin widening [head, tail]"},
+      {"min_samples", ParamType::kInt, ParamValue(defaults.min_samples),
+       "representativeness floor (samples)"},
+      {"max_oob_fraction", ParamType::kDouble,
+       ParamValue(defaults.max_oob_fraction),
+       "representativeness ceiling (out-of-bounds share)"},
+      {"fallback_keepalive_minutes", ParamType::kInt,
+       ParamValue(defaults.fallback_keepalive_minutes),
+       "fixed keep-alive for non-representative units"},
+  };
+  entry.factory =
+      [](const PolicyParams& params) -> Result<std::unique_ptr<Policy>> {
+    const std::string& granularity = params.GetString("granularity");
+    HybridGranularity unit;
+    if (granularity == "function") {
+      unit = HybridGranularity::kFunction;
+    } else if (granularity == "application") {
+      unit = HybridGranularity::kApplication;
+    } else {
+      return Status::InvalidArgument(
+          "hybrid_histogram parameter 'granularity' must be 'function' or "
+          "'application', got '" +
+          granularity + "'");
+    }
+    HybridOptions options;
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t range,
+        IntParamInRange(params, "hybrid_histogram", "range_minutes", 1));
+    options.histogram_range_minutes = static_cast<int>(range);
+    SPES_ASSIGN_OR_RETURN(
+        options.head_percentile,
+        DoubleParamInRange(params, "hybrid_histogram", "head_percentile",
+                           0.0, 100.0));
+    SPES_ASSIGN_OR_RETURN(
+        options.tail_percentile,
+        DoubleParamInRange(params, "hybrid_histogram", "tail_percentile",
+                           0.0, 100.0));
+    SPES_ASSIGN_OR_RETURN(
+        options.margin_fraction,
+        DoubleParamInRange(params, "hybrid_histogram", "margin_fraction",
+                           0.0, 1.0));
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t samples,
+        IntParamInRange(params, "hybrid_histogram", "min_samples", 0));
+    options.min_samples = static_cast<int>(samples);
+    SPES_ASSIGN_OR_RETURN(
+        options.max_oob_fraction,
+        DoubleParamInRange(params, "hybrid_histogram", "max_oob_fraction",
+                           0.0, 1.0));
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t fallback,
+        IntParamInRange(params, "hybrid_histogram",
+                        "fallback_keepalive_minutes", 1));
+    options.fallback_keepalive_minutes = static_cast<int>(fallback);
+    return std::unique_ptr<Policy>(
+        std::make_unique<HybridHistogramPolicy>(unit, options));
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 HybridHistogramPolicy::HybridHistogramPolicy(HybridGranularity granularity,
                                              HybridOptions options)

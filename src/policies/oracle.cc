@@ -1,6 +1,23 @@
 #include "policies/oracle.h"
 
+#include <memory>
+
+#include "core/policy_registry.h"
+
 namespace spes {
+
+void RegisterOraclePolicy(PolicyRegistry& registry) {
+  PolicyRegistry::Entry entry;
+  entry.canonical_name = "oracle";
+  entry.summary =
+      "Clairvoyant upper bound: loads exactly one minute ahead of every "
+      "invocation";
+  entry.factory =
+      [](const PolicyParams&) -> Result<std::unique_ptr<Policy>> {
+    return std::unique_ptr<Policy>(std::make_unique<OraclePolicy>());
+  };
+  registry.Register(std::move(entry)).CheckOK();
+}
 
 void OraclePolicy::Train(const Trace& trace, int train_minutes) {
   (void)train_minutes;

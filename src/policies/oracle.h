@@ -15,6 +15,11 @@
 
 namespace spes {
 
+class PolicyRegistry;
+
+/// \brief Registers "oracle" (see policy_registry.h).
+void RegisterOraclePolicy(PolicyRegistry& registry);
+
 /// \brief Perfect-future scheduler (lower-bounds both CSR and WMT).
 class OraclePolicy : public Policy {
  public:

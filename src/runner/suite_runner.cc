@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "sim/scenario.h"
+
 namespace spes {
 
 SuiteRunner::SuiteRunner(SuiteRunnerOptions options)
@@ -41,7 +43,9 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
     SuiteJob& job = jobs[slot];
     JobResult& result = results[slot];
     result.label = job.label;
-    if (!job.factory) {
+    if (!job.precondition.ok()) {
+      result.status = std::move(job.precondition);
+    } else if (!job.factory) {
       result.status = Status::InvalidArgument("job has no policy factory");
     } else {
       result.policy = job.factory();
@@ -83,6 +87,37 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
   for (int i = 0; i < num_threads; ++i) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
   return results;
+}
+
+std::vector<JobResult> SuiteRunner::Run(
+    const Trace& trace, const std::vector<ScenarioSpec>& specs) const {
+  // Policies are built eagerly on the calling thread so registry errors
+  // keep their precise message; Train()/Simulate() — the actual work —
+  // still runs on the pool. A bad spec becomes a job precondition, so its
+  // slot (and the progress callback) reports the exact error.
+  std::vector<SuiteJob> jobs;
+  jobs.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    SuiteJob job;
+    job.label = spec.label;
+    job.options = spec.options;
+    job.precondition = ValidateScenarioSpec(spec);
+    if (job.precondition.ok()) {
+      Result<std::unique_ptr<Policy>> built =
+          PolicyRegistry::Global().Create(spec.policy);
+      if (built.ok()) {
+        // SuiteJob factories are std::function (copyable), so the one-shot
+        // instance travels in a shared holder; each factory runs once.
+        auto holder = std::make_shared<std::unique_ptr<Policy>>(
+            std::move(built).ValueOrDie());
+        job.factory = [holder] { return std::move(*holder); };
+      } else {
+        job.precondition = built.status();
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  return Run(trace, std::move(jobs));
 }
 
 std::vector<FleetMetrics> CollectMetrics(

@@ -22,6 +22,8 @@
 
 namespace spes {
 
+struct ScenarioSpec;  // sim/scenario.h; spec-batch callers include it.
+
 /// \brief Produces a fresh policy instance for one job. Called exactly once
 /// per job, from the worker thread that runs it.
 using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
@@ -32,6 +34,10 @@ struct SuiteJob {
   std::string label;
   PolicyFactory factory;
   SimOptions options;
+  /// When non-OK the job is not run and its JobResult carries this status
+  /// verbatim (used by the spec-batch overload to report precise
+  /// validation/registry errors through the normal result path).
+  Status precondition;
 };
 
 /// \brief Outcome of one job. `outcome` is meaningful only when
@@ -67,6 +73,15 @@ class SuiteRunner {
   /// yields a JobResult with a non-OK status; sibling jobs are unaffected.
   std::vector<JobResult> Run(const Trace& trace,
                              std::vector<SuiteJob> jobs) const;
+
+  /// \brief Spec-batch overload: a whole figure sweep as data. Each spec's
+  /// policy is built through PolicyRegistry::Global() and validated up
+  /// front on the calling thread; an invalid spec yields a JobResult
+  /// carrying the precise registry/validation error in its slot while
+  /// sibling specs still run. The specs' trace sources are ignored — the
+  /// supplied trace is the workload for every slot.
+  std::vector<JobResult> Run(const Trace& trace,
+                             const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Effective worker count for `num_jobs` jobs (>= 1).
   int EffectiveThreads(size_t num_jobs) const;

@@ -5,21 +5,44 @@
 
 namespace spes {
 
+Status ValidateSimOptions(const SimOptions& options) {
+  if (options.train_minutes < 0) {
+    return Status::InvalidArgument(
+        "SimOptions.train_minutes must be non-negative, got " +
+        std::to_string(options.train_minutes));
+  }
+  if (options.end_minute < 0) {
+    return Status::InvalidArgument(
+        "SimOptions.end_minute must be non-negative, got " +
+        std::to_string(options.end_minute));
+  }
+  if (options.end_minute > 0 && options.end_minute < options.train_minutes) {
+    return Status::InvalidArgument(
+        "SimOptions.end_minute (" + std::to_string(options.end_minute) +
+        ") must not precede SimOptions.train_minutes (" +
+        std::to_string(options.train_minutes) + ")");
+  }
+  return Status::OK();
+}
+
 Result<SimulationOutcome> Simulate(const Trace& trace, Policy* policy,
                                    const SimOptions& options) {
   if (policy == nullptr) {
     return Status::InvalidArgument("policy must not be null");
   }
+  SPES_RETURN_NOT_OK(ValidateSimOptions(options));
   const int horizon = trace.num_minutes();
+  if (options.train_minutes > horizon) {
+    return Status::InvalidArgument(
+        "SimOptions.train_minutes (" + std::to_string(options.train_minutes) +
+        ") exceeds the trace horizon (" + std::to_string(horizon) +
+        " minutes)");
+  }
   // end_minute == 0 means the trace horizon; a larger request clamps to it
   // (a policy cannot be replayed past the recorded trace).
   const int end = options.end_minute > 0
                       ? std::min(options.end_minute, horizon)
                       : horizon;
-  if (options.train_minutes < 0 || options.train_minutes > horizon ||
-      end < options.train_minutes) {
-    return Status::InvalidArgument("invalid train/end window");
-  }
   const size_t n = trace.num_functions();
 
   policy->Train(trace, options.train_minutes);

@@ -30,6 +30,13 @@ struct SimOptions {
   bool pin_executing_functions = true;
 };
 
+/// \brief Trace-independent validation of the engine knobs: a negative
+/// train_minutes or end_minute, or an end_minute before train_minutes,
+/// yields InvalidArgument naming the offending field. Shared by the
+/// engine and by ScenarioSpec validation (sim/scenario.h) so bad windows
+/// are rejected up front, before any trace is realized.
+Status ValidateSimOptions(const SimOptions& options);
+
 /// \brief Trains `policy` on the trace prefix and replays the rest.
 ///
 /// Per simulated minute t:
@@ -40,6 +47,13 @@ struct SimOptions {
 ///
 /// Deterministic given (trace, policy behaviour); only the overhead
 /// measurement depends on the wall clock.
+///
+/// This is the low-level entry point, kept as a compatibility shim for
+/// callers that construct Policy instances by hand. New code should
+/// describe the run as a ScenarioSpec and use RunScenario() from
+/// sim/scenario.h — or SuiteRunner::Run(trace, specs) from
+/// runner/suite_runner.h for batches — which build policies through the
+/// registry and validate the spec up front.
 Result<SimulationOutcome> Simulate(const Trace& trace, Policy* policy,
                                    const SimOptions& options);
 

@@ -1,0 +1,74 @@
+#include "sim/scenario.h"
+
+#include <utility>
+
+#include "trace/azure_csv.h"
+
+namespace spes {
+
+Status ValidateScenarioSpec(const ScenarioSpec& spec) {
+  if (spec.policy.name.empty()) {
+    return Status::InvalidArgument(
+        "ScenarioSpec.policy.name must not be empty");
+  }
+  return ValidateSimOptions(spec.options);
+}
+
+Result<Trace> RealizeTrace(const TraceSpec& spec) {
+  switch (spec.source) {
+    case TraceSpec::Source::kProvided:
+      return Status::InvalidArgument(
+          "TraceSpec.source is kProvided (no materializable source); pass "
+          "the trace via RunScenario(trace, spec) or ScenarioSession");
+    case TraceSpec::Source::kGenerator: {
+      SPES_ASSIGN_OR_RETURN(GeneratedTrace generated,
+                            GenerateTrace(spec.generator));
+      return std::move(generated.trace);
+    }
+    case TraceSpec::Source::kAzureCsvDir:
+      if (spec.csv_dir.empty()) {
+        return Status::InvalidArgument(
+            "TraceSpec.csv_dir must not be empty for Source::kAzureCsvDir");
+      }
+      return ReadAzureTraceDir(spec.csv_dir);
+  }
+  return Status::Internal("unhandled TraceSpec::Source");
+}
+
+namespace {
+
+/// Shared core: build the policy and simulate. Both public entry points
+/// validate exactly once before calling this.
+Result<ScenarioOutcome> RunValidated(const Trace& trace,
+                                     const ScenarioSpec& spec) {
+  SPES_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                        PolicyRegistry::Global().Create(spec.policy));
+  SPES_ASSIGN_OR_RETURN(SimulationOutcome outcome,
+                        Simulate(trace, policy.get(), spec.options));
+  ScenarioOutcome result;
+  result.outcome = std::move(outcome);
+  result.policy = std::move(policy);
+  return result;
+}
+
+}  // namespace
+
+Result<ScenarioOutcome> RunScenario(const Trace& trace,
+                                    const ScenarioSpec& spec) {
+  SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  return RunValidated(trace, spec);
+}
+
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec) {
+  // Validate before realizing: a bad spec must not cost a trace build.
+  SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  SPES_ASSIGN_OR_RETURN(const Trace trace, RealizeTrace(spec.trace));
+  return RunValidated(trace, spec);
+}
+
+Result<ScenarioSession> ScenarioSession::Open(const TraceSpec& source) {
+  SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(source));
+  return ScenarioSession(std::move(trace));
+}
+
+}  // namespace spes

@@ -1,0 +1,117 @@
+// The declarative Scenario API: a simulation scenario as data.
+//
+// A ScenarioSpec captures everything one figure point needs — where the
+// trace comes from (generator config or an Azure-format CSV directory),
+// the train/simulate window, the engine knobs, and the policy as a
+// registry spec (core/policy_registry.h). RunScenario() realizes the
+// trace, builds the policy and replays it; a ScenarioSession caches one
+// realized trace so many specs can run against it; and SuiteRunner
+// (runner/suite_runner.h) accepts a whole vector<ScenarioSpec> so a figure
+// sweep is a batch of data, not hand-wired Simulate() calls.
+
+#ifndef SPES_SIM_SCENARIO_H_
+#define SPES_SIM_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "core/policy_registry.h"
+#include "sim/engine.h"
+#include "trace/generator.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief Where a scenario's workload comes from.
+struct TraceSpec {
+  enum class Source {
+    /// No materializable source: the trace is supplied at run time via
+    /// RunScenario(trace, spec) or a ScenarioSession (hand-built fleets).
+    kProvided,
+    /// Synthesized by trace/generator with `generator`.
+    kGenerator,
+    /// Parsed from Azure-format daily CSVs under `csv_dir`.
+    kAzureCsvDir,
+  };
+
+  Source source = Source::kProvided;
+  GeneratorConfig generator;
+  std::string csv_dir;
+
+  static TraceSpec FromGenerator(const GeneratorConfig& config) {
+    TraceSpec spec;
+    spec.source = Source::kGenerator;
+    spec.generator = config;
+    return spec;
+  }
+
+  static TraceSpec FromAzureCsvDir(std::string dir) {
+    TraceSpec spec;
+    spec.source = Source::kAzureCsvDir;
+    spec.csv_dir = std::move(dir);
+    return spec;
+  }
+};
+
+/// \brief One simulation scenario, fully described as data.
+struct ScenarioSpec {
+  /// Display label for reports; the policy's name() when empty.
+  std::string label;
+  TraceSpec trace;
+  PolicySpec policy;
+  SimOptions options;
+};
+
+/// \brief Up-front spec validation: an empty policy name or invalid
+/// SimOptions window yields InvalidArgument naming the bad field. Trace
+/// source problems surface later, from RealizeTrace().
+Status ValidateScenarioSpec(const ScenarioSpec& spec);
+
+/// \brief Materializes the spec's trace source. Source::kProvided is an
+/// error here — such specs only run with an externally supplied trace.
+Result<Trace> RealizeTrace(const TraceSpec& spec);
+
+/// \brief Outcome of one scenario: the simulation result plus the trained
+/// policy instance (kept alive for per-type breakdowns and inspection).
+struct ScenarioOutcome {
+  SimulationOutcome outcome;
+  std::unique_ptr<Policy> policy;
+};
+
+/// \brief Runs `spec` against an externally supplied trace (the spec's
+/// trace source is ignored): validates, builds the policy through
+/// PolicyRegistry::Global(), and simulates.
+Result<ScenarioOutcome> RunScenario(const Trace& trace,
+                                    const ScenarioSpec& spec);
+
+/// \brief One-shot entry point: realizes the spec's trace source, then
+/// runs as above.
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec);
+
+/// \brief A realized workload that many scenarios run against. Opening a
+/// session materializes the trace once; Run() then costs only the
+/// simulation. The session is read-only after construction, so concurrent
+/// Run() calls (e.g. through SuiteRunner) are safe.
+class ScenarioSession {
+ public:
+  /// \brief Wraps an already-built trace (hand-crafted fleets).
+  explicit ScenarioSession(Trace trace) : trace_(std::move(trace)) {}
+
+  /// \brief Materializes `source` into a session.
+  static Result<ScenarioSession> Open(const TraceSpec& source);
+
+  const Trace& trace() const { return trace_; }
+
+  Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const {
+    return RunScenario(trace_, spec);
+  }
+
+ private:
+  Trace trace_;
+};
+
+}  // namespace spes
+
+#endif  // SPES_SIM_SCENARIO_H_

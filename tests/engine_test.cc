@@ -63,6 +63,35 @@ TEST(EngineTest, RejectsBadWindow) {
   EXPECT_FALSE(Simulate(trace, &policy, options).ok());
 }
 
+TEST(EngineTest, WindowErrorsNameTheBadField) {
+  Trace trace = MakeTrace({{1, 0, 1}});
+  FixedKeepAlivePolicy policy(10);
+
+  SimOptions negative_train;
+  negative_train.train_minutes = -3;
+  const auto train_result = Simulate(trace, &policy, negative_train);
+  ASSERT_FALSE(train_result.ok());
+  EXPECT_EQ(train_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(train_result.status().message().find("train_minutes"),
+            std::string::npos);
+
+  SimOptions end_before_train;
+  end_before_train.train_minutes = 2;
+  end_before_train.end_minute = 1;
+  const auto end_result = Simulate(trace, &policy, end_before_train);
+  ASSERT_FALSE(end_result.ok());
+  EXPECT_EQ(end_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(end_result.status().message().find("end_minute"),
+            std::string::npos);
+
+  SimOptions beyond_horizon;
+  beyond_horizon.train_minutes = 99;
+  const auto horizon_result = Simulate(trace, &policy, beyond_horizon);
+  ASSERT_FALSE(horizon_result.ok());
+  EXPECT_NE(horizon_result.status().message().find("trace horizon"),
+            std::string::npos);
+}
+
 TEST(EngineTest, EvictAllMakesEveryIsolatedArrivalCold) {
   Trace trace = MakeTrace({{1, 1, 0, 2, 0, 1}});
   EvictAllPolicy policy;

@@ -12,8 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <numeric>
 
+#include "core/policy_registry.h"
 #include "core/spes_policy.h"
 #include "policies/fixed_keepalive.h"
 #include "sim/engine.h"
@@ -91,6 +93,74 @@ TEST(GoldenMetricsTest, FixedKeepaliveReproducesGoldenValues) {
   EXPECT_EQ(outcome.memory_series.front(), 43u);
   EXPECT_EQ(outcome.memory_series[1440], 79u);
   EXPECT_EQ(outcome.memory_series.back(), 71u);
+}
+
+/// Asserts two outcomes describe bitwise-identical simulated behaviour:
+/// every per-function counter, the full memory series, and every derived
+/// metric except the wall-clock overhead measurements.
+void ExpectBitwiseIdenticalBehaviour(const SimulationOutcome& a,
+                                     const SimulationOutcome& b) {
+  ASSERT_EQ(a.accounts.size(), b.accounts.size());
+  for (size_t f = 0; f < a.accounts.size(); ++f) {
+    EXPECT_EQ(a.accounts[f].invocations, b.accounts[f].invocations) << f;
+    EXPECT_EQ(a.accounts[f].invoked_minutes, b.accounts[f].invoked_minutes)
+        << f;
+    EXPECT_EQ(a.accounts[f].cold_starts, b.accounts[f].cold_starts) << f;
+    EXPECT_EQ(a.accounts[f].loaded_minutes, b.accounts[f].loaded_minutes)
+        << f;
+    EXPECT_EQ(a.accounts[f].wasted_minutes, b.accounts[f].wasted_minutes)
+        << f;
+  }
+  EXPECT_EQ(a.memory_series, b.memory_series);
+
+  const FleetMetrics& ma = a.metrics;
+  const FleetMetrics& mb = b.metrics;
+  EXPECT_EQ(ma.policy_name, mb.policy_name);
+  EXPECT_EQ(ma.csr, mb.csr);
+  EXPECT_EQ(ma.q3_csr, mb.q3_csr);
+  EXPECT_EQ(ma.p90_csr, mb.p90_csr);
+  EXPECT_EQ(ma.median_csr, mb.median_csr);
+  EXPECT_EQ(ma.always_cold_fraction, mb.always_cold_fraction);
+  EXPECT_EQ(ma.zero_cold_fraction, mb.zero_cold_fraction);
+  EXPECT_EQ(ma.total_cold_starts, mb.total_cold_starts);
+  EXPECT_EQ(ma.total_invocations, mb.total_invocations);
+  EXPECT_EQ(ma.wasted_memory_minutes, mb.wasted_memory_minutes);
+  EXPECT_EQ(ma.loaded_instance_minutes, mb.loaded_instance_minutes);
+  EXPECT_EQ(ma.average_memory, mb.average_memory);
+  EXPECT_EQ(ma.max_memory, mb.max_memory);
+  EXPECT_EQ(ma.emcr, mb.emcr);
+}
+
+TEST(GoldenMetricsTest, RegistryBuiltSpesMatchesDirectConstructionBitwise) {
+  SpesPolicy direct;
+  const SimulationOutcome direct_outcome = RunGoldenFleet(&direct);
+
+  const std::unique_ptr<Policy> from_registry =
+      PolicyRegistry::Global().Create({"spes", {}}).ValueOrDie();
+  const SimulationOutcome registry_outcome =
+      RunGoldenFleet(from_registry.get());
+
+  ExpectBitwiseIdenticalBehaviour(direct_outcome, registry_outcome);
+  // Anchor against the goldens above, not just each other.
+  EXPECT_EQ(registry_outcome.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(registry_outcome.memory_series), 212568u);
+}
+
+TEST(GoldenMetricsTest,
+     RegistryBuiltFixedKeepaliveMatchesDirectConstructionBitwise) {
+  FixedKeepAlivePolicy direct(10);
+  const SimulationOutcome direct_outcome = RunGoldenFleet(&direct);
+
+  const std::unique_ptr<Policy> from_registry =
+      PolicyRegistry::Global()
+          .CreateFromString("fixed_keepalive{minutes=10}")
+          .ValueOrDie();
+  const SimulationOutcome registry_outcome =
+      RunGoldenFleet(from_registry.get());
+
+  ExpectBitwiseIdenticalBehaviour(direct_outcome, registry_outcome);
+  EXPECT_EQ(registry_outcome.metrics.total_cold_starts, 1574u);
+  EXPECT_EQ(SeriesSum(registry_outcome.memory_series), 210020u);
 }
 
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {

@@ -11,6 +11,7 @@
 #include "policies/fixed_keepalive.h"
 #include "policies/hybrid_histogram.h"
 #include "policies/oracle.h"
+#include "sim/scenario.h"
 #include "trace/generator.h"
 
 namespace spes {
@@ -173,7 +174,8 @@ TEST(SuiteRunnerTest, ProgressReportsEveryJobExactlyOnce) {
 TEST(SuiteRunnerTest, EmptyJobListReturnsEmpty) {
   const GeneratedTrace fleet = MakeFleet();
   SuiteRunner runner;
-  EXPECT_TRUE(runner.Run(fleet.trace, {}).empty());
+  EXPECT_TRUE(runner.Run(fleet.trace, std::vector<SuiteJob>{}).empty());
+  EXPECT_TRUE(runner.Run(fleet.trace, std::vector<ScenarioSpec>{}).empty());
 }
 
 TEST(SuiteRunnerTest, EffectiveThreadsIsClampedToJobCount) {

@@ -1,0 +1,231 @@
+// Scenario API: up-front spec validation (field-naming errors), trace
+// realization from generator/CSV sources, RunScenario equivalence with the
+// low-level Simulate() shim, ScenarioSession reuse, and the SuiteRunner
+// spec-batch overload (error isolation + thread-count determinism).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "policies/fixed_keepalive.h"
+#include "runner/suite_runner.h"
+#include "sim/scenario.h"
+#include "trace/azure_csv.h"
+#include "trace/generator.h"
+
+namespace spes {
+namespace {
+
+GeneratorConfig SmallFleetConfig() {
+  GeneratorConfig config;
+  config.num_functions = 120;
+  config.days = 3;
+  config.seed = 23;
+  return config;
+}
+
+ScenarioSpec SmallScenario(PolicySpec policy) {
+  ScenarioSpec spec;
+  spec.trace = TraceSpec::FromGenerator(SmallFleetConfig());
+  spec.policy = std::move(policy);
+  spec.options.train_minutes = kMinutesPerDay;
+  return spec;
+}
+
+TEST(ValidateSimOptionsTest, ErrorsNameTheBadField) {
+  SimOptions options;
+  options.train_minutes = -5;
+  Status status = ValidateSimOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("train_minutes"), std::string::npos);
+
+  options = SimOptions{};
+  options.end_minute = -1;
+  status = ValidateSimOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("end_minute"), std::string::npos);
+
+  options = SimOptions{};
+  options.train_minutes = 100;
+  options.end_minute = 50;
+  status = ValidateSimOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("end_minute"), std::string::npos);
+  EXPECT_NE(status.message().find("train_minutes"), std::string::npos);
+
+  EXPECT_TRUE(ValidateSimOptions(SimOptions{}).ok());
+}
+
+TEST(ValidateScenarioSpecTest, EmptyPolicyNameNamesTheField) {
+  ScenarioSpec spec = SmallScenario({"", {}});
+  const Status status = ValidateScenarioSpec(spec);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("policy.name"), std::string::npos);
+}
+
+TEST(ValidateScenarioSpecTest, BadWindowIsRejectedBeforeAnyTraceExists) {
+  ScenarioSpec spec = SmallScenario({"spes", {}});
+  spec.options.train_minutes = -1;
+  EXPECT_EQ(ValidateScenarioSpec(spec).code(), StatusCode::kInvalidArgument);
+  // RunScenario surfaces the same error without realizing the trace.
+  EXPECT_EQ(RunScenario(spec).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RealizeTraceTest, ProvidedSourceIsAnError) {
+  const auto result = RealizeTrace(TraceSpec{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RealizeTraceTest, EmptyCsvDirIsAnError) {
+  const auto result = RealizeTrace(TraceSpec::FromAzureCsvDir(""));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("csv_dir"), std::string::npos);
+}
+
+TEST(RunScenarioTest, MatchesTheLowLevelSimulateShim) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  const ScenarioSpec spec =
+      SmallScenario({"fixed_keepalive", {{"minutes", 10}}});
+
+  const ScenarioOutcome via_spec =
+      RunScenario(fleet.trace, spec).ValueOrDie();
+
+  FixedKeepAlivePolicy direct(10);
+  const SimulationOutcome via_shim =
+      Simulate(fleet.trace, &direct, spec.options).ValueOrDie();
+
+  EXPECT_EQ(via_spec.outcome.memory_series, via_shim.memory_series);
+  EXPECT_EQ(via_spec.outcome.metrics.total_cold_starts,
+            via_shim.metrics.total_cold_starts);
+  EXPECT_EQ(via_spec.outcome.metrics.wasted_memory_minutes,
+            via_shim.metrics.wasted_memory_minutes);
+  EXPECT_EQ(via_spec.policy->name(), direct.name());
+}
+
+TEST(RunScenarioTest, RealizesGeneratorSource) {
+  const ScenarioOutcome run =
+      RunScenario(SmallScenario({"oracle", {}})).ValueOrDie();
+  EXPECT_EQ(run.outcome.memory_series.size(),
+            static_cast<size_t>(2 * kMinutesPerDay));
+  EXPECT_EQ(run.policy->name(), "Oracle");
+}
+
+TEST(RunScenarioTest, RegistryErrorsPropagate) {
+  const auto unknown = RunScenario(SmallScenario({"no_such_policy", {}}));
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  const auto bad_param =
+      RunScenario(SmallScenario({"fixed_keepalive", {{"minutes", 0}}}));
+  EXPECT_EQ(bad_param.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioSessionTest, ReusesOneRealizedTrace) {
+  const ScenarioSession session =
+      ScenarioSession::Open(TraceSpec::FromGenerator(SmallFleetConfig()))
+          .ValueOrDie();
+  EXPECT_EQ(session.trace().num_functions(), 120u);
+
+  ScenarioSpec spec = SmallScenario({"fixed_keepalive", {}});
+  const ScenarioOutcome a = session.Run(spec).ValueOrDie();
+  const ScenarioOutcome b = session.Run(spec).ValueOrDie();
+  EXPECT_EQ(a.outcome.memory_series, b.outcome.memory_series);
+}
+
+TEST(ScenarioSessionTest, RoundTripsThroughAzureCsvSource) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "spes_scenario_test_csv")
+          .string();
+  WriteAzureTraceDir(fleet.trace, dir).CheckOK();
+
+  const ScenarioSession session =
+      ScenarioSession::Open(TraceSpec::FromAzureCsvDir(dir)).ValueOrDie();
+  EXPECT_EQ(session.trace().num_functions(), fleet.trace.num_functions());
+  EXPECT_EQ(session.trace().num_minutes(), fleet.trace.num_minutes());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SuiteRunnerSpecBatchTest, InvalidSlotsKeepPreciseErrorsAndSiblingsRun) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+
+  std::vector<ScenarioSpec> specs(4);
+  specs[0].policy = {"fixed_keepalive", {}};
+  specs[1].policy = {"no_such_policy", {}};
+  specs[2].policy = {"fixed_keepalive", {{"minuets", 10}}};
+  specs[3].policy = {"oracle", {}};
+  for (ScenarioSpec& spec : specs) spec.options = options;
+
+  // The progress callback must also see the precise per-slot error.
+  size_t failed_callbacks = 0;
+  SuiteRunnerOptions runner_options;
+  runner_options.progress = [&failed_callbacks](size_t, size_t,
+                                                const JobResult& result) {
+    if (!result.status.ok()) {
+      ++failed_callbacks;
+      EXPECT_NE(result.status.code(), StatusCode::kInternal);
+      EXPECT_FALSE(result.status.message().empty());
+      EXPECT_EQ(result.status.message().find("policy factory"),
+                std::string::npos);
+    }
+  };
+  const std::vector<JobResult> results =
+      SuiteRunner(runner_options).Run(fleet.trace, specs);
+  EXPECT_EQ(failed_callbacks, 2u);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kNotFound);
+  EXPECT_NE(results[1].status.message().find("no_such_policy"),
+            std::string::npos);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(results[2].status.message().find("minuets"), std::string::npos);
+  EXPECT_TRUE(results[3].status.ok());
+  EXPECT_EQ(results[3].label, "Oracle");
+}
+
+TEST(SuiteRunnerSpecBatchTest, ResultsAreIdenticalAtAnyThreadCount) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+
+  std::vector<ScenarioSpec> specs;
+  for (int theta : {1, 2, 3, 5}) {
+    ScenarioSpec spec;
+    spec.label = "prewarm=" + std::to_string(theta);
+    spec.policy = {"spes", {{"theta_prewarm", theta}}};
+    spec.options = options;
+    specs.push_back(spec);
+  }
+
+  SuiteRunnerOptions serial_options;
+  serial_options.num_threads = 1;
+  const std::vector<JobResult> serial =
+      SuiteRunner(serial_options).Run(fleet.trace, specs);
+  SuiteRunnerOptions parallel_options;
+  parallel_options.num_threads = 4;
+  const std::vector<JobResult> parallel =
+      SuiteRunner(parallel_options).Run(fleet.trace, specs);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_TRUE(serial[i].status.ok());
+    EXPECT_TRUE(parallel[i].status.ok());
+    EXPECT_EQ(serial[i].outcome.memory_series,
+              parallel[i].outcome.memory_series);
+    EXPECT_EQ(serial[i].outcome.metrics.total_cold_starts,
+              parallel[i].outcome.metrics.total_cold_starts);
+  }
+}
+
+}  // namespace
+}  // namespace spes
