@@ -1,7 +1,9 @@
 // Scenario catalog: registry introspection. Lists every registered policy
-// with its typed parameter schema and defaults — the vocabulary available
-// to ScenarioSpecs and spec strings — then runs one default-parameter
-// scenario per policy on a small generated fleet.
+// and every registered trace transform with its typed parameter schema and
+// defaults — the complete vocabulary available to ScenarioSpecs and spec
+// strings — then runs one default-parameter scenario per policy on a small
+// generated fleet, and finally one *transformed* scenario end-to-end (the
+// same fleet under 2x load with an injected burst).
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
@@ -15,30 +17,47 @@
 #include "metrics/report.h"
 #include "runner/suite_runner.h"
 #include "sim/scenario.h"
+#include "trace/transform.h"
+
+namespace {
+
+using namespace spes;
+
+void PrintSchema(const std::string& name, const std::string& summary,
+                 const std::vector<ParamSpec>& params) {
+  std::printf("%s — %s\n", name.c_str(), summary.c_str());
+  if (params.empty()) {
+    std::printf("  (no parameters)\n\n");
+    return;
+  }
+  Table table({"parameter", "type", "default", "description"});
+  for (const ParamSpec& param : params) {
+    table.AddRow({param.name, ParamTypeToString(param.type),
+                  FormatParamValue(param.default_value), param.description});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
 
 int main() {
-  using namespace spes;
-
-  const PolicyRegistry& registry = PolicyRegistry::Global();
+  const PolicyRegistry& policies = PolicyRegistry::Global();
+  const TransformRegistry& transforms = TransformRegistry::Global();
 
   // 1. The catalog: every canonical name with its parameter schema.
   std::printf("registered policies\n");
   std::printf("===================\n\n");
-  for (const std::string& name : registry.Names()) {
-    const PolicyRegistry::Entry* entry = registry.Find(name);
-    std::printf("%s — %s\n", name.c_str(), entry->summary.c_str());
-    if (entry->params.empty()) {
-      std::printf("  (no parameters)\n\n");
-      continue;
-    }
-    Table table({"parameter", "type", "default", "description"});
-    for (const ParamSpec& param : entry->params) {
-      table.AddRow({param.name, ParamTypeToString(param.type),
-                    FormatParamValue(param.default_value),
-                    param.description});
-    }
-    table.Print();
-    std::printf("\n");
+  for (const std::string& name : policies.Names()) {
+    const PolicyRegistry::Entry* entry = policies.Find(name);
+    PrintSchema(name, entry->summary, entry->params);
+  }
+
+  std::printf("registered trace transforms\n");
+  std::printf("===========================\n\n");
+  for (const std::string& name : transforms.Names()) {
+    const TransformRegistry::Entry* entry = transforms.Find(name);
+    PrintSchema(name, entry->summary, entry->params);
   }
 
   // 2. One default-parameter scenario per registered policy on a small
@@ -53,7 +72,7 @@ int main() {
   SimOptions options;
   options.train_minutes = 2 * kMinutesPerDay;
   std::vector<ScenarioSpec> specs;
-  for (const std::string& name : registry.Names()) {
+  for (const std::string& name : policies.Names()) {
     ScenarioSpec spec;
     spec.policy.name = name;
     spec.options = options;
@@ -68,5 +87,32 @@ int main() {
       SuiteRunner().Run(session.trace(), specs);
   for (const JobResult& result : results) result.status.CheckOK();
   BuildComparisonTable(CollectMetrics(results), "SPES").Print();
+
+  // 3. The same fleet through a transform chain — a stressed scenario as
+  //    pure data. The session caches the transformed variant, so running
+  //    it again would cost only the simulation.
+  const char* kChain =
+      "load_scale{factor=2.0} | "
+      "inject_burst{at=3000,width=20,amplitude=40,fraction=0.25,seed=5}";
+  std::printf("\ntransformed scenario: spes on [%s]\n\n", kChain);
+  ScenarioSpec stressed;
+  stressed.label = "spes / stressed";
+  stressed.policy.name = "spes";
+  stressed.options = options;
+  stressed.trace.transforms = ParseTransformChain(kChain).ValueOrDie();
+  const ScenarioOutcome base =
+      session.Run({"spes / base", {}, {"spes", {}}, options}).ValueOrDie();
+  const ScenarioOutcome burst = session.Run(stressed).ValueOrDie();
+  Table stress({"scenario", "invocations", "cold starts", "Q3-CSR",
+                "avg memory"});
+  for (const auto* run : {&base, &burst}) {
+    const FleetMetrics& m = run->outcome.metrics;
+    stress.AddRow({run == &base ? "spes / base" : "spes / stressed",
+                   std::to_string(m.total_invocations),
+                   std::to_string(m.total_cold_starts),
+                   FormatDouble(m.q3_csr, 4),
+                   FormatDouble(m.average_memory, 1)});
+  }
+  stress.Print();
   return 0;
 }

@@ -1,0 +1,159 @@
+// Shared typed-parameter machinery for registry-built components.
+//
+// Two registries build instances from data: PolicyRegistry
+// (core/policy_registry.h) builds provisioning policies and
+// TransformRegistry (trace/transform.h) builds trace transforms. Both
+// speak the same spec language — `name{param=value,...}` strings, typed
+// parameter schemas with defaults, Result<> errors naming the offending
+// field — so the common plumbing lives here: the ParamValue variant, the
+// NamedSpec structure, spec-string parse/format, schema validation, and
+// the default-merging type check. Error messages are parameterized by a
+// `kind` noun ("policy", "transform") so each registry keeps precise,
+// caller-facing diagnostics.
+
+#ifndef SPES_CORE_PARAM_SPEC_H_
+#define SPES_CORE_PARAM_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spes {
+
+/// \brief Type tag of a declared parameter.
+enum class ParamType { kBool, kInt, kDouble, kString };
+
+/// \brief Stable lowercase name of a ParamType ("bool", "int", ...).
+const char* ParamTypeToString(ParamType type);
+
+/// \brief A typed parameter value: bool, int, double or string.
+///
+/// A dedicated class (rather than a bare std::variant) so that string
+/// literals construct a string value — `ParamValue("function")` — instead
+/// of silently converting the pointer to bool.
+class ParamValue {
+ public:
+  ParamValue() : repr_(int64_t{0}) {}
+  ParamValue(bool value) : repr_(value) {}                  // NOLINT
+  ParamValue(int value) : repr_(int64_t{value}) {}          // NOLINT
+  ParamValue(int64_t value) : repr_(value) {}               // NOLINT
+  ParamValue(uint64_t value)                                // NOLINT
+      : repr_(static_cast<int64_t>(value)) {}
+  ParamValue(double value) : repr_(value) {}                // NOLINT
+  ParamValue(const char* value) : repr_(std::string(value)) {}  // NOLINT
+  ParamValue(std::string value) : repr_(std::move(value)) {}    // NOLINT
+
+  ParamType type() const;
+
+  /// \name Typed access; the value must hold the requested alternative.
+  /// @{
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  /// @}
+
+  bool operator==(const ParamValue& other) const = default;
+
+ private:
+  std::variant<bool, int64_t, double, std::string> repr_;
+};
+
+/// \brief Renders a value in spec-string form ("true", "10", "0.5", ...).
+/// Doubles use the shortest round-trippable decimal form and always carry
+/// a '.' or exponent so they re-parse as doubles.
+std::string FormatParamValue(const ParamValue& value);
+
+/// \brief Declaration of one parameter a registered component accepts.
+struct ParamSpec {
+  std::string name;
+  ParamType type = ParamType::kInt;
+  ParamValue default_value;
+  std::string description;
+};
+
+/// \brief A registry-buildable component as data: canonical name plus
+/// parameter overrides. Parameters not listed take the registered
+/// defaults. PolicySpec and TransformSpec are aliases of this type.
+struct NamedSpec {
+  std::string name;
+  std::map<std::string, ParamValue> params;
+};
+
+/// \brief True when `text` is a valid canonical/parameter identifier
+/// (non-empty, only [A-Za-z0-9_]).
+bool IsSpecIdentifier(const std::string& text);
+
+/// \brief Joins names with ", " for error messages and catalogs.
+std::string JoinNames(const std::vector<std::string>& names);
+
+/// \brief Parses `name{param=value,...}` (the braces are optional when no
+/// parameters are overridden). Values parse as bool (`true`/`false`),
+/// int, double, or — failing those — a bare string. `kind` is the noun
+/// used in error messages ("policy", "transform").
+Result<NamedSpec> ParseNamedSpec(const std::string& text,
+                                 const std::string& kind);
+
+/// \brief Inverse of ParseNamedSpec: canonical `name{k=v,...}` form with
+/// keys in lexicographic order; just `name` when no overrides.
+std::string FormatNamedSpec(const NamedSpec& spec);
+
+/// \brief Validated parameters handed to a registered factory: the
+/// registered defaults overlaid with the spec's (type-checked) overrides,
+/// so every declared parameter is present with its declared type.
+class ParamMap {
+ public:
+  explicit ParamMap(std::map<std::string, ParamValue> values)
+      : values_(std::move(values)) {}
+
+  bool GetBool(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::map<std::string, ParamValue>& values() const { return values_; }
+
+ private:
+  const ParamValue& At(const std::string& name) const;
+
+  std::map<std::string, ParamValue> values_;
+};
+
+/// \brief Registration-time schema check shared by the registries: every
+/// declared default must match its declared type and no parameter may be
+/// declared twice. Errors read "<kind> '<owner>' parameter '<p>' ...".
+Status ValidateParamSchema(const std::string& kind, const std::string& owner,
+                           const std::vector<ParamSpec>& params);
+
+/// \brief Build-time parameter resolution shared by the registries:
+/// overlays `spec.params` onto the declared defaults, rejecting unknown
+/// parameters and type mismatches (ints coerce to doubles, nothing else
+/// converts) with InvalidArgument naming the offending field.
+Result<ParamMap> MergeSpecParams(const std::string& kind,
+                                 const NamedSpec& spec,
+                                 const std::vector<ParamSpec>& declared);
+
+/// \brief Factory helper: fetches int parameter `name` and checks it lies
+/// in [min_value, max_value] (the default ceiling is INT_MAX, so the value
+/// also fits an `int` without truncation). Out-of-range values yield
+/// InvalidArgument naming the owning component and parameter.
+Result<int64_t> IntParamInRange(const ParamMap& params,
+                                const std::string& owner,
+                                const std::string& name, int64_t min_value,
+                                int64_t max_value = 2147483647);
+
+/// \brief Factory helper: fetches double parameter `name` and checks it
+/// lies in [min_value, max_value]; out-of-range (or non-finite) values
+/// yield InvalidArgument naming the owning component and parameter.
+Result<double> DoubleParamInRange(const ParamMap& params,
+                                  const std::string& owner,
+                                  const std::string& name, double min_value,
+                                  double max_value);
+
+}  // namespace spes
+
+#endif  // SPES_CORE_PARAM_SPEC_H_

@@ -1,7 +1,5 @@
 #include "core/policy_registry.h"
 
-#include <charconv>
-#include <cstdlib>
 #include <utility>
 
 #include "core/spes_policy.h"
@@ -13,238 +11,16 @@
 
 namespace spes {
 
-namespace {
-
-std::string Trimmed(const std::string& text) {
-  size_t begin = text.find_first_not_of(" \t");
-  if (begin == std::string::npos) return "";
-  size_t end = text.find_last_not_of(" \t");
-  return text.substr(begin, end - begin + 1);
-}
-
-bool IsIdentifier(const std::string& text) {
-  if (text.empty()) return false;
-  for (char c : text) {
-    if (!(c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-          (c >= '0' && c <= '9'))) {
-      return false;
-    }
-  }
-  return true;
-}
-
-/// Value grammar: bool keywords, then int, then double, else bare string.
-ParamValue ParseValueToken(const std::string& token) {
-  if (token == "true") return ParamValue(true);
-  if (token == "false") return ParamValue(false);
-  {
-    int64_t value = 0;
-    const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec == std::errc() && ptr == token.data() + token.size()) {
-      return ParamValue(value);
-    }
-  }
-  {
-    // from_chars, like the to_chars formatter, is locale-independent;
-    // strtod would mis-parse "0.25" under comma-decimal locales.
-    double value = 0.0;
-    const auto [ptr, ec] =
-        std::from_chars(token.data(), token.data() + token.size(), value);
-    if (ec == std::errc() && ptr == token.data() + token.size()) {
-      return ParamValue(value);
-    }
-  }
-  return ParamValue(token);
-}
-
-std::string JoinNames(const std::vector<std::string>& names) {
-  std::string joined;
-  for (const std::string& name : names) {
-    if (!joined.empty()) joined += ", ";
-    joined += name;
-  }
-  return joined;
-}
-
-}  // namespace
-
-const char* ParamTypeToString(ParamType type) {
-  switch (type) {
-    case ParamType::kBool:
-      return "bool";
-    case ParamType::kInt:
-      return "int";
-    case ParamType::kDouble:
-      return "double";
-    case ParamType::kString:
-      return "string";
-  }
-  return "unknown";
-}
-
-ParamType ParamValue::type() const {
-  switch (repr_.index()) {
-    case 0:
-      return ParamType::kBool;
-    case 1:
-      return ParamType::kInt;
-    case 2:
-      return ParamType::kDouble;
-    default:
-      return ParamType::kString;
-  }
-}
-
-std::string FormatParamValue(const ParamValue& value) {
-  switch (value.type()) {
-    case ParamType::kBool:
-      return value.AsBool() ? "true" : "false";
-    case ParamType::kInt:
-      return std::to_string(value.AsInt());
-    case ParamType::kDouble: {
-      char buf[64];
-      const auto [ptr, ec] =
-          std::to_chars(buf, buf + sizeof(buf), value.AsDouble());
-      std::string text(buf, ptr);
-      // Shortest form may look integral ("5"); keep the double-ness so the
-      // text re-parses to the same ParamValue alternative.
-      if (text.find_first_of(".eEni") == std::string::npos) text += ".0";
-      return text;
-    }
-    case ParamType::kString:
-      return value.AsString();
-  }
-  return "";
-}
-
 Result<PolicySpec> ParsePolicySpec(const std::string& text) {
-  const std::string trimmed = Trimmed(text);
-  PolicySpec spec;
-  const size_t brace = trimmed.find('{');
-  if (brace == std::string::npos) {
-    spec.name = trimmed;
-  } else {
-    if (trimmed.back() != '}') {
-      return Status::InvalidArgument("policy spec '" + trimmed +
-                                     "' has an unterminated '{'");
-    }
-    spec.name = Trimmed(trimmed.substr(0, brace));
-    const std::string body =
-        trimmed.substr(brace + 1, trimmed.size() - brace - 2);
-    // Braces cannot appear inside parameter names or values, so any left
-    // in the body are stray ("spes{x=2}}" must not parse as x="2}").
-    if (body.find_first_of("{}") != std::string::npos) {
-      return Status::InvalidArgument("policy spec '" + trimmed +
-                                     "' has mismatched braces");
-    }
-    if (!Trimmed(body).empty()) {
-      size_t start = 0;
-      while (start <= body.size()) {
-        size_t comma = body.find(',', start);
-        if (comma == std::string::npos) comma = body.size();
-        const std::string item = body.substr(start, comma - start);
-        const size_t eq = item.find('=');
-        if (eq == std::string::npos) {
-          return Status::InvalidArgument("policy spec parameter '" +
-                                         Trimmed(item) +
-                                         "' is not of the form key=value");
-        }
-        const std::string key = Trimmed(item.substr(0, eq));
-        const std::string value = Trimmed(item.substr(eq + 1));
-        if (!IsIdentifier(key)) {
-          return Status::InvalidArgument("policy spec parameter name '" + key +
-                                         "' is not an identifier");
-        }
-        if (value.empty()) {
-          return Status::InvalidArgument("policy spec parameter '" + key +
-                                         "' has an empty value");
-        }
-        if (spec.params.count(key) > 0) {
-          return Status::InvalidArgument("policy spec parameter '" + key +
-                                         "' is given twice");
-        }
-        spec.params.emplace(key, ParseValueToken(value));
-        start = comma + 1;
-        if (comma == body.size()) break;
-      }
-    }
-  }
-  if (!IsIdentifier(spec.name)) {
-    return Status::InvalidArgument("policy spec name '" + spec.name +
-                                   "' is not an identifier");
-  }
-  return spec;
+  return ParseNamedSpec(text, "policy");
 }
 
 std::string FormatPolicySpec(const PolicySpec& spec) {
-  if (spec.params.empty()) return spec.name;
-  std::string text = spec.name + "{";
-  bool first = true;
-  for (const auto& [key, value] : spec.params) {
-    if (!first) text += ",";
-    first = false;
-    text += key + "=" + FormatParamValue(value);
-  }
-  return text + "}";
-}
-
-const ParamValue& PolicyParams::At(const std::string& name) const {
-  auto it = values_.find(name);
-  if (it == values_.end()) {
-    // Factories only read parameters they declared; the registry merged the
-    // defaults, so a miss is a programming error in the registration.
-    std::abort();
-  }
-  return it->second;
-}
-
-bool PolicyParams::GetBool(const std::string& name) const {
-  return At(name).AsBool();
-}
-int64_t PolicyParams::GetInt(const std::string& name) const {
-  return At(name).AsInt();
-}
-double PolicyParams::GetDouble(const std::string& name) const {
-  return At(name).AsDouble();
-}
-const std::string& PolicyParams::GetString(const std::string& name) const {
-  return At(name).AsString();
-}
-
-Result<int64_t> IntParamInRange(const PolicyParams& params,
-                                const std::string& policy,
-                                const std::string& name, int64_t min_value,
-                                int64_t max_value) {
-  const int64_t value = params.GetInt(name);
-  if (value < min_value || value > max_value) {
-    return Status::InvalidArgument(
-        policy + " parameter '" + name + "' must be in [" +
-        std::to_string(min_value) + ", " + std::to_string(max_value) +
-        "], got " + std::to_string(value));
-  }
-  return value;
-}
-
-Result<double> DoubleParamInRange(const PolicyParams& params,
-                                  const std::string& policy,
-                                  const std::string& name, double min_value,
-                                  double max_value) {
-  const double value = params.GetDouble(name);
-  // NaN fails both comparisons below only via negation, so spell the
-  // acceptance condition positively.
-  if (!(value >= min_value && value <= max_value)) {
-    return Status::InvalidArgument(
-        policy + " parameter '" + name + "' must be in [" +
-        FormatParamValue(ParamValue(min_value)) + ", " +
-        FormatParamValue(ParamValue(max_value)) + "], got " +
-        FormatParamValue(ParamValue(value)));
-  }
-  return value;
+  return FormatNamedSpec(spec);
 }
 
 Status PolicyRegistry::Register(Entry entry) {
-  if (!IsIdentifier(entry.canonical_name)) {
+  if (!IsSpecIdentifier(entry.canonical_name)) {
     return Status::InvalidArgument("policy canonical name '" +
                                    entry.canonical_name +
                                    "' is not an identifier");
@@ -253,20 +29,8 @@ Status PolicyRegistry::Register(Entry entry) {
     return Status::InvalidArgument("policy '" + entry.canonical_name +
                                    "' registered without a factory");
   }
-  for (size_t i = 0; i < entry.params.size(); ++i) {
-    if (entry.params[i].default_value.type() != entry.params[i].type) {
-      return Status::InvalidArgument(
-          "policy '" + entry.canonical_name + "' parameter '" +
-          entry.params[i].name + "' default does not match its declared type");
-    }
-    for (size_t j = i + 1; j < entry.params.size(); ++j) {
-      if (entry.params[i].name == entry.params[j].name) {
-        return Status::InvalidArgument("policy '" + entry.canonical_name +
-                                       "' declares parameter '" +
-                                       entry.params[i].name + "' twice");
-      }
-    }
-  }
+  SPES_RETURN_NOT_OK(
+      ValidateParamSchema("policy", entry.canonical_name, entry.params));
   const std::string name = entry.canonical_name;
   if (!entries_.emplace(name, std::move(entry)).second) {
     return Status::AlreadyExists("policy '" + name +
@@ -285,43 +49,9 @@ Result<std::unique_ptr<Policy>> PolicyRegistry::Create(
     return Status::NotFound("unknown policy '" + spec.name +
                             "'; registered policies: " + JoinNames(Names()));
   }
-
-  std::map<std::string, ParamValue> merged;
-  for (const ParamSpec& param : entry->params) {
-    merged[param.name] = param.default_value;
-  }
-  for (const auto& [key, value] : spec.params) {
-    const ParamSpec* declared = nullptr;
-    for (const ParamSpec& param : entry->params) {
-      if (param.name == key) {
-        declared = &param;
-        break;
-      }
-    }
-    if (declared == nullptr) {
-      std::vector<std::string> accepted;
-      for (const ParamSpec& param : entry->params) {
-        accepted.push_back(param.name);
-      }
-      return Status::InvalidArgument(
-          "unknown parameter '" + key + "' for policy '" + spec.name +
-          "'; accepted: " +
-          (accepted.empty() ? "(none)" : JoinNames(accepted)));
-    }
-    if (value.type() == declared->type) {
-      merged[key] = value;
-    } else if (declared->type == ParamType::kDouble &&
-               value.type() == ParamType::kInt) {
-      merged[key] = ParamValue(static_cast<double>(value.AsInt()));
-    } else {
-      return Status::InvalidArgument(
-          "parameter '" + key + "' of policy '" + spec.name + "' expects " +
-          ParamTypeToString(declared->type) + ", got " +
-          ParamTypeToString(value.type()) + " (" + FormatParamValue(value) +
-          ")");
-    }
-  }
-  return entry->factory(PolicyParams(std::move(merged)));
+  SPES_ASSIGN_OR_RETURN(PolicyParams params,
+                        MergeSpecParams("policy", spec, entry->params));
+  return entry->factory(params);
 }
 
 Result<std::unique_ptr<Policy>> PolicyRegistry::CreateFromString(

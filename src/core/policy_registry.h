@@ -16,6 +16,10 @@
 // text reads as a number or bool — none of the built-in schemas has one —
 // would re-parse as that type).
 //
+// The typed-parameter machinery (ParamValue, ParamSpec, spec-string
+// grammar, default merging) is shared with the trace-transform registry
+// (trace/transform.h) and lives in core/param_spec.h.
+//
 // All failure modes are Result<>/Status-based: unknown policy names,
 // duplicate registration, unknown parameters, ill-typed parameters and
 // out-of-domain values never abort.
@@ -23,77 +27,24 @@
 #ifndef SPES_CORE_POLICY_REGISTRY_H_
 #define SPES_CORE_POLICY_REGISTRY_H_
 
-#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
-#include <variant>
 #include <vector>
 
 #include "common/status.h"
+#include "core/param_spec.h"
 #include "sim/policy.h"
 
 namespace spes {
 
-/// \brief Type tag of a policy parameter.
-enum class ParamType { kBool, kInt, kDouble, kString };
-
-/// \brief Stable lowercase name of a ParamType ("bool", "int", ...).
-const char* ParamTypeToString(ParamType type);
-
-/// \brief A typed parameter value: bool, int, double or string.
-///
-/// A dedicated class (rather than a bare std::variant) so that string
-/// literals construct a string value — `ParamValue("function")` — instead
-/// of silently converting the pointer to bool.
-class ParamValue {
- public:
-  ParamValue() : repr_(int64_t{0}) {}
-  ParamValue(bool value) : repr_(value) {}                  // NOLINT
-  ParamValue(int value) : repr_(int64_t{value}) {}          // NOLINT
-  ParamValue(int64_t value) : repr_(value) {}               // NOLINT
-  ParamValue(uint64_t value)                                // NOLINT
-      : repr_(static_cast<int64_t>(value)) {}
-  ParamValue(double value) : repr_(value) {}                // NOLINT
-  ParamValue(const char* value) : repr_(std::string(value)) {}  // NOLINT
-  ParamValue(std::string value) : repr_(std::move(value)) {}    // NOLINT
-
-  ParamType type() const;
-
-  /// \name Typed access; the value must hold the requested alternative.
-  /// @{
-  bool AsBool() const { return std::get<bool>(repr_); }
-  int64_t AsInt() const { return std::get<int64_t>(repr_); }
-  double AsDouble() const { return std::get<double>(repr_); }
-  const std::string& AsString() const { return std::get<std::string>(repr_); }
-  /// @}
-
-  bool operator==(const ParamValue& other) const = default;
-
- private:
-  std::variant<bool, int64_t, double, std::string> repr_;
-};
-
-/// \brief Renders a value in spec-string form ("true", "10", "0.5", ...).
-/// Doubles use the shortest round-trippable decimal form and always carry
-/// a '.' or exponent so they re-parse as doubles.
-std::string FormatParamValue(const ParamValue& value);
-
-/// \brief Declaration of one parameter a policy accepts.
-struct ParamSpec {
-  std::string name;
-  ParamType type = ParamType::kInt;
-  ParamValue default_value;
-  std::string description;
-};
-
 /// \brief A policy as data: canonical name plus parameter overrides.
 /// Parameters not listed take the registered defaults.
-struct PolicySpec {
-  std::string name;
-  std::map<std::string, ParamValue> params;
-};
+using PolicySpec = NamedSpec;
+
+/// \brief Validated parameters handed to a registered policy factory.
+using PolicyParams = ParamMap;
 
 /// \brief Parses `name{param=value,...}` (the braces are optional when no
 /// parameters are overridden). Values parse as bool (`true`/`false`),
@@ -104,48 +55,10 @@ Result<PolicySpec> ParsePolicySpec(const std::string& text);
 /// keys in lexicographic order; just `name` when no overrides.
 std::string FormatPolicySpec(const PolicySpec& spec);
 
-/// \brief Validated parameters handed to a registered factory: the
-/// registered defaults overlaid with the spec's (type-checked) overrides,
-/// so every declared parameter is present with its declared type.
-class PolicyParams {
- public:
-  explicit PolicyParams(std::map<std::string, ParamValue> values)
-      : values_(std::move(values)) {}
-
-  bool GetBool(const std::string& name) const;
-  int64_t GetInt(const std::string& name) const;
-  double GetDouble(const std::string& name) const;
-  const std::string& GetString(const std::string& name) const;
-
-  const std::map<std::string, ParamValue>& values() const { return values_; }
-
- private:
-  const ParamValue& At(const std::string& name) const;
-
-  std::map<std::string, ParamValue> values_;
-};
-
 /// \brief Builds a policy instance from validated parameters. May reject
 /// out-of-domain values (e.g. a non-positive capacity) with a Status.
 using RegistryFactory =
     std::function<Result<std::unique_ptr<Policy>>(const PolicyParams&)>;
-
-/// \brief Factory helper: fetches int parameter `name` and checks it lies
-/// in [min_value, max_value] (the default ceiling is INT_MAX, so the value
-/// also fits an `int` without truncation). Out-of-range values yield
-/// InvalidArgument naming the policy and parameter.
-Result<int64_t> IntParamInRange(const PolicyParams& params,
-                                const std::string& policy,
-                                const std::string& name, int64_t min_value,
-                                int64_t max_value = 2147483647);
-
-/// \brief Factory helper: fetches double parameter `name` and checks it
-/// lies in [min_value, max_value]; out-of-range (or non-finite) values
-/// yield InvalidArgument naming the policy and parameter.
-Result<double> DoubleParamInRange(const PolicyParams& params,
-                                  const std::string& policy,
-                                  const std::string& name, double min_value,
-                                  double max_value);
 
 /// \brief Name -> (schema, factory) table for provisioning policies.
 ///
@@ -180,6 +93,7 @@ class PolicyRegistry {
   Result<std::unique_ptr<Policy>> CreateFromString(
       const std::string& text) const;
 
+  /// \brief True when `name` is registered.
   bool Contains(const std::string& name) const;
 
   /// \brief Registered canonical names in lexicographic order.

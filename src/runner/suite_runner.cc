@@ -54,8 +54,9 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
             Status::InvalidArgument("policy factory returned null");
       } else {
         if (result.label.empty()) result.label = result.policy->name();
+        const Trace& workload = job.trace ? *job.trace : trace;
         Result<SimulationOutcome> outcome =
-            Simulate(trace, result.policy.get(), job.options);
+            Simulate(workload, result.policy.get(), job.options);
         if (outcome.ok()) {
           result.outcome = std::move(outcome).ValueOrDie();
         } else {
@@ -89,35 +90,70 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
   return results;
 }
 
+namespace {
+
+/// Shared spec -> job lowering: validation and registry errors become job
+/// preconditions so each slot (and the progress callback) reports the
+/// exact error while sibling specs still run.
+SuiteJob JobFromSpec(const ScenarioSpec& spec) {
+  SuiteJob job;
+  job.label = spec.label;
+  job.options = spec.options;
+  job.precondition = ValidateScenarioSpec(spec);
+  if (job.precondition.ok()) {
+    Result<std::unique_ptr<Policy>> built =
+        PolicyRegistry::Global().Create(spec.policy);
+    if (built.ok()) {
+      // SuiteJob factories are std::function (copyable), so the one-shot
+      // instance travels in a shared holder; each factory runs once.
+      auto holder = std::make_shared<std::unique_ptr<Policy>>(
+          std::move(built).ValueOrDie());
+      job.factory = [holder] { return std::move(*holder); };
+    } else {
+      job.precondition = built.status();
+    }
+  }
+  return job;
+}
+
+}  // namespace
+
 std::vector<JobResult> SuiteRunner::Run(
     const Trace& trace, const std::vector<ScenarioSpec>& specs) const {
   // Policies are built eagerly on the calling thread so registry errors
   // keep their precise message; Train()/Simulate() — the actual work —
-  // still runs on the pool. A bad spec becomes a job precondition, so its
-  // slot (and the progress callback) reports the exact error.
+  // still runs on the pool.
+  std::vector<SuiteJob> jobs;
+  jobs.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) jobs.push_back(JobFromSpec(spec));
+  return Run(trace, std::move(jobs));
+}
+
+std::vector<JobResult> SuiteRunner::Run(
+    const std::vector<ScenarioSpec>& specs) const {
+  // Each spec brings its own workload: realize source + transform chain
+  // through a per-batch TraceCache, so specs sharing a (source, chain)
+  // key share one realized trace. Realization runs on the calling thread
+  // — it is cached and ordering-sensitive — while the simulations fan
+  // out; the shared_ptr overrides keep every trace alive for the run.
+  TraceCache cache;
   std::vector<SuiteJob> jobs;
   jobs.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) {
-    SuiteJob job;
-    job.label = spec.label;
-    job.options = spec.options;
-    job.precondition = ValidateScenarioSpec(spec);
+    SuiteJob job = JobFromSpec(spec);
     if (job.precondition.ok()) {
-      Result<std::unique_ptr<Policy>> built =
-          PolicyRegistry::Global().Create(spec.policy);
-      if (built.ok()) {
-        // SuiteJob factories are std::function (copyable), so the one-shot
-        // instance travels in a shared holder; each factory runs once.
-        auto holder = std::make_shared<std::unique_ptr<Policy>>(
-            std::move(built).ValueOrDie());
-        job.factory = [holder] { return std::move(*holder); };
+      Result<std::shared_ptr<const Trace>> trace = cache.Get(spec.trace);
+      if (trace.ok()) {
+        job.trace = std::move(trace).ValueOrDie();
       } else {
-        job.precondition = built.status();
+        job.precondition = trace.status();
       }
     }
     jobs.push_back(std::move(job));
   }
-  return Run(trace, std::move(jobs));
+  // Every job carries its own trace; the common-trace argument is unused.
+  static const Trace kNoCommonTrace;
+  return Run(kNoCommonTrace, std::move(jobs));
 }
 
 std::vector<FleetMetrics> CollectMetrics(

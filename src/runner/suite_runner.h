@@ -38,6 +38,10 @@ struct SuiteJob {
   /// verbatim (used by the spec-batch overload to report precise
   /// validation/registry errors through the normal result path).
   Status precondition;
+  /// Workload override: when set, this job simulates against *this* trace
+  /// instead of the one passed to Run(). Set by the trace-less spec-batch
+  /// overload so one batch can span several (transformed) workloads.
+  std::shared_ptr<const Trace> trace;
 };
 
 /// \brief Outcome of one job. `outcome` is meaningful only when
@@ -82,6 +86,16 @@ class SuiteRunner {
   /// supplied trace is the workload for every slot.
   std::vector<JobResult> Run(const Trace& trace,
                              const std::vector<ScenarioSpec>& specs) const;
+
+  /// \brief Trace-less spec batch: every spec realizes its *own* trace
+  /// source with its transform chain applied, so one batch can sweep
+  /// policies across stressed workload variants as pure data. Specs
+  /// sharing a source + chain (see TraceSpecKey) share one realized
+  /// trace, materialized once on the calling thread; a spec whose source
+  /// or chain fails yields a JobResult carrying the precise error in its
+  /// slot while sibling specs still run. Results stay slot-indexed and
+  /// thread-count independent.
+  std::vector<JobResult> Run(const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Effective worker count for `num_jobs` jobs (>= 1).
   int EffectiveThreads(size_t num_jobs) const;

@@ -35,11 +35,13 @@ class MemSet {
     }
   }
 
+  /// \brief True when function `f` is currently loaded.
   bool Contains(size_t f) const { return loaded_[f] != 0; }
 
   /// \brief Number of loaded instances.
   size_t Count() const { return count_; }
 
+  /// \brief Total number of addressable functions [0, n).
   size_t Capacity() const { return loaded_.size(); }
 
   /// \brief Raw membership bytes (1 = loaded), for fast scans.

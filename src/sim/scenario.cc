@@ -6,6 +6,50 @@
 
 namespace spes {
 
+namespace {
+
+/// Serializes every generator field, so two configs share a cache key iff
+/// they generate bitwise-identical traces. Field order is fixed.
+std::string GeneratorFingerprint(const GeneratorConfig& config) {
+  const auto d = [](double value) {
+    return FormatParamValue(ParamValue(value));
+  };
+  return "generator{num_functions=" + std::to_string(config.num_functions) +
+         ",days=" + std::to_string(config.days) +
+         ",seed=" + std::to_string(config.seed) +
+         ",mean_functions_per_app=" + d(config.mean_functions_per_app) +
+         ",mean_apps_per_owner=" + d(config.mean_apps_per_owner) +
+         ",concept_shift_fraction=" + d(config.concept_shift_fraction) +
+         ",unseen_fraction=" + d(config.unseen_fraction) +
+         ",unseen_days=" + std::to_string(config.unseen_days) +
+         ",chain_app_fraction=" + d(config.chain_app_fraction) +
+         ",chain_follow_probability=" + d(config.chain_follow_probability) +
+         ",chain_max_lag=" + std::to_string(config.chain_max_lag) +
+         ",intensity_zipf_exponent=" + d(config.intensity_zipf_exponent) +
+         "}";
+}
+
+}  // namespace
+
+std::string TraceSpecKey(const TraceSpec& spec) {
+  std::string key;
+  switch (spec.source) {
+    case TraceSpec::Source::kProvided:
+      key = "provided";
+      break;
+    case TraceSpec::Source::kGenerator:
+      key = GeneratorFingerprint(spec.generator);
+      break;
+    case TraceSpec::Source::kAzureCsvDir:
+      key = "csv{dir=" + spec.csv_dir + "}";
+      break;
+  }
+  if (!spec.transforms.empty()) {
+    key += " | " + FormatTransformChain(spec.transforms);
+  }
+  return key;
+}
+
 Status ValidateScenarioSpec(const ScenarioSpec& spec) {
   if (spec.policy.name.empty()) {
     return Status::InvalidArgument(
@@ -15,24 +59,28 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec) {
 }
 
 Result<Trace> RealizeTrace(const TraceSpec& spec) {
-  switch (spec.source) {
-    case TraceSpec::Source::kProvided:
-      return Status::InvalidArgument(
-          "TraceSpec.source is kProvided (no materializable source); pass "
-          "the trace via RunScenario(trace, spec) or ScenarioSession");
-    case TraceSpec::Source::kGenerator: {
-      SPES_ASSIGN_OR_RETURN(GeneratedTrace generated,
-                            GenerateTrace(spec.generator));
-      return std::move(generated.trace);
-    }
-    case TraceSpec::Source::kAzureCsvDir:
-      if (spec.csv_dir.empty()) {
+  Result<Trace> realized = [&spec]() -> Result<Trace> {
+    switch (spec.source) {
+      case TraceSpec::Source::kProvided:
         return Status::InvalidArgument(
-            "TraceSpec.csv_dir must not be empty for Source::kAzureCsvDir");
+            "TraceSpec.source is kProvided (no materializable source); pass "
+            "the trace via RunScenario(trace, spec) or ScenarioSession");
+      case TraceSpec::Source::kGenerator: {
+        SPES_ASSIGN_OR_RETURN(GeneratedTrace generated,
+                              GenerateTrace(spec.generator));
+        return std::move(generated.trace);
       }
-      return ReadAzureTraceDir(spec.csv_dir);
-  }
-  return Status::Internal("unhandled TraceSpec::Source");
+      case TraceSpec::Source::kAzureCsvDir:
+        if (spec.csv_dir.empty()) {
+          return Status::InvalidArgument(
+              "TraceSpec.csv_dir must not be empty for Source::kAzureCsvDir");
+        }
+        return ReadAzureTraceDir(spec.csv_dir);
+    }
+    return Status::Internal("unhandled TraceSpec::Source");
+  }();
+  if (!realized.ok() || spec.transforms.empty()) return realized;
+  return ApplyTransforms(std::move(realized).ValueOrDie(), spec.transforms);
 }
 
 namespace {
@@ -66,9 +114,53 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec) {
   return RunValidated(trace, spec);
 }
 
+Result<std::shared_ptr<const Trace>> TraceCache::Get(const TraceSpec& spec) {
+  const std::string key = TraceSpecKey(spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) return it->second;
+  }
+  // Realize outside the lock: trace builds are the expensive part and
+  // distinct keys should not serialize on each other. A racing double
+  // realization of the same key is benign (both are bitwise identical;
+  // the first insert wins).
+  SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(spec));
+  auto shared = std::make_shared<const Trace>(std::move(trace));
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_key_.emplace(key, std::move(shared)).first->second;
+}
+
+size_t TraceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_key_.size();
+}
+
 Result<ScenarioSession> ScenarioSession::Open(const TraceSpec& source) {
   SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(source));
   return ScenarioSession(std::move(trace));
+}
+
+Result<std::shared_ptr<const Trace>> ScenarioSession::TransformedTrace(
+    const std::vector<TransformSpec>& chain) const {
+  if (chain.empty()) return trace_;
+  const std::string key = FormatTransformChain(chain);
+  {
+    std::lock_guard<std::mutex> lock(variants_->mu);
+    auto it = variants_->by_chain.find(key);
+    if (it != variants_->by_chain.end()) return it->second;
+  }
+  SPES_ASSIGN_OR_RETURN(Trace transformed, ApplyTransforms(*trace_, chain));
+  auto shared = std::make_shared<const Trace>(std::move(transformed));
+  std::lock_guard<std::mutex> lock(variants_->mu);
+  return variants_->by_chain.emplace(key, std::move(shared)).first->second;
+}
+
+Result<ScenarioOutcome> ScenarioSession::Run(const ScenarioSpec& spec) const {
+  SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  SPES_ASSIGN_OR_RETURN(std::shared_ptr<const Trace> trace,
+                        TransformedTrace(spec.trace.transforms));
+  return RunValidated(*trace, spec);
 }
 
 }  // namespace spes

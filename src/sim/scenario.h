@@ -2,29 +2,37 @@
 //
 // A ScenarioSpec captures everything one figure point needs — where the
 // trace comes from (generator config or an Azure-format CSV directory),
-// the train/simulate window, the engine knobs, and the policy as a
-// registry spec (core/policy_registry.h). RunScenario() realizes the
+// an ordered chain of trace transforms (trace/transform.h) applied after
+// realization, the train/simulate window, the engine knobs, and the policy
+// as a registry spec (core/policy_registry.h). RunScenario() realizes the
 // trace, builds the policy and replays it; a ScenarioSession caches one
-// realized trace so many specs can run against it; and SuiteRunner
+// realized trace — plus every transformed variant it is asked for — so
+// many specs can run against it; a TraceCache shares realized traces
+// across specs keyed on source + transform chain; and SuiteRunner
 // (runner/suite_runner.h) accepts a whole vector<ScenarioSpec> so a figure
-// sweep is a batch of data, not hand-wired Simulate() calls.
+// sweep — including a sweep over stressed workload variants — is a batch
+// of data, not hand-wired Simulate() calls.
 
 #ifndef SPES_SIM_SCENARIO_H_
 #define SPES_SIM_SCENARIO_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "core/policy_registry.h"
 #include "sim/engine.h"
 #include "trace/generator.h"
 #include "trace/trace.h"
+#include "trace/transform.h"
 
 namespace spes {
 
-/// \brief Where a scenario's workload comes from.
+/// \brief Where a scenario's workload comes from, plus how it is stressed.
 struct TraceSpec {
   enum class Source {
     /// No materializable source: the trace is supplied at run time via
@@ -40,6 +48,20 @@ struct TraceSpec {
   GeneratorConfig generator;
   std::string csv_dir;
 
+  /// Transform chain applied, in order, after the source is realized
+  /// (trace/transform.h). Empty means the raw source trace.
+  std::vector<TransformSpec> transforms;
+
+  /// \brief Fluent chain builder: appends one transform step.
+  ///   TraceSpec::FromGenerator(cfg)
+  ///       .Then({"load_scale", {{"factor", 2.0}}})
+  ///       .Then({"inject_burst", {{"at", 720}}});
+  TraceSpec& Then(TransformSpec transform) {
+    transforms.push_back(std::move(transform));
+    return *this;
+  }
+
+  /// \brief A generator-backed spec (no transforms).
   static TraceSpec FromGenerator(const GeneratorConfig& config) {
     TraceSpec spec;
     spec.source = Source::kGenerator;
@@ -47,6 +69,7 @@ struct TraceSpec {
     return spec;
   }
 
+  /// \brief An Azure-CSV-backed spec (no transforms).
   static TraceSpec FromAzureCsvDir(std::string dir) {
     TraceSpec spec;
     spec.source = Source::kAzureCsvDir;
@@ -54,6 +77,12 @@ struct TraceSpec {
     return spec;
   }
 };
+
+/// \brief Canonical cache key of a trace spec: the source fingerprint
+/// (every generator field, or the CSV directory) plus the formatted
+/// transform chain. Equal keys realize bitwise-identical traces, so the
+/// key is what TraceCache and ScenarioSession deduplicate on.
+std::string TraceSpecKey(const TraceSpec& spec);
 
 /// \brief One simulation scenario, fully described as data.
 struct ScenarioSpec {
@@ -69,8 +98,9 @@ struct ScenarioSpec {
 /// source problems surface later, from RealizeTrace().
 Status ValidateScenarioSpec(const ScenarioSpec& spec);
 
-/// \brief Materializes the spec's trace source. Source::kProvided is an
-/// error here — such specs only run with an externally supplied trace.
+/// \brief Materializes the spec's trace source and applies its transform
+/// chain. Source::kProvided is an error here — such specs only run with
+/// an externally supplied trace.
 Result<Trace> RealizeTrace(const TraceSpec& spec);
 
 /// \brief Outcome of one scenario: the simulation result plus the trained
@@ -81,35 +111,72 @@ struct ScenarioOutcome {
 };
 
 /// \brief Runs `spec` against an externally supplied trace (the spec's
-/// trace source is ignored): validates, builds the policy through
-/// PolicyRegistry::Global(), and simulates.
+/// trace source and transforms are ignored): validates, builds the policy
+/// through PolicyRegistry::Global(), and simulates.
 Result<ScenarioOutcome> RunScenario(const Trace& trace,
                                     const ScenarioSpec& spec);
 
-/// \brief One-shot entry point: realizes the spec's trace source, then
-/// runs as above.
+/// \brief One-shot entry point: realizes the spec's trace source, applies
+/// its transform chain, then runs as above.
 Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec);
 
+/// \brief Realized-trace cache shared across specs: Get() materializes
+/// each distinct (source, transform chain) — see TraceSpecKey() — exactly
+/// once and hands out shared, immutable traces. Thread-safe; the
+/// trace-less SuiteRunner::Run(specs) overload uses one per batch so a
+/// sweep over N stressed variants of one source realizes the source once
+/// per variant, not once per spec.
+class TraceCache {
+ public:
+  /// \brief The realized trace for `spec`, materializing on first use.
+  /// Source::kProvided yields InvalidArgument (nothing to realize).
+  Result<std::shared_ptr<const Trace>> Get(const TraceSpec& spec);
+
+  /// \brief Number of distinct realized traces held.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Trace>> by_key_;
+};
+
 /// \brief A realized workload that many scenarios run against. Opening a
-/// session materializes the trace once; Run() then costs only the
-/// simulation. The session is read-only after construction, so concurrent
-/// Run() calls (e.g. through SuiteRunner) are safe.
+/// session materializes the trace once (including the opening spec's own
+/// transform chain); Run() then costs only the simulation — except that a
+/// spec whose TraceSpec carries transforms runs against the session's
+/// base trace with that chain applied, cached per distinct chain. The
+/// base trace is read-only and the variant cache is internally locked, so
+/// concurrent Run() calls (e.g. through SuiteRunner) are safe.
 class ScenarioSession {
  public:
   /// \brief Wraps an already-built trace (hand-crafted fleets).
-  explicit ScenarioSession(Trace trace) : trace_(std::move(trace)) {}
+  explicit ScenarioSession(Trace trace)
+      : trace_(std::make_shared<const Trace>(std::move(trace))),
+        variants_(std::make_shared<VariantCache>()) {}
 
-  /// \brief Materializes `source` into a session.
+  /// \brief Materializes `source` (with its transforms) into a session.
   static Result<ScenarioSession> Open(const TraceSpec& source);
 
-  const Trace& trace() const { return trace_; }
+  /// \brief The session's base (untransformed) trace.
+  const Trace& trace() const { return *trace_; }
 
-  Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const {
-    return RunScenario(trace_, spec);
-  }
+  /// \brief Runs `spec` against the base trace, with spec.trace.transforms
+  /// (if any) applied on top — the spec's trace *source* is ignored.
+  Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const;
+
+  /// \brief The base trace with `chain` applied, realized at most once
+  /// per distinct chain (keyed by FormatTransformChain).
+  Result<std::shared_ptr<const Trace>> TransformedTrace(
+      const std::vector<TransformSpec>& chain) const;
 
  private:
-  Trace trace_;
+  struct VariantCache {
+    std::mutex mu;
+    std::map<std::string, std::shared_ptr<const Trace>> by_chain;
+  };
+
+  std::shared_ptr<const Trace> trace_;
+  std::shared_ptr<VariantCache> variants_;
 };
 
 }  // namespace spes

@@ -49,6 +49,7 @@ enum class PatternKind : uint8_t {
 
 inline constexpr int kNumPatternKinds = 10;
 
+/// \brief Stable lowercase name of a PatternKind ("always-warm", ...).
 const char* PatternKindToString(PatternKind kind);
 
 /// \brief Knobs for the synthetic fleet. Defaults reproduce the paper's

@@ -24,6 +24,8 @@ struct InvocationHistogram {
   int64_t total_functions = 0;
   uint64_t total_invocations = 0;
 };
+
+/// \brief Builds the Fig. 3 decade histogram over per-function totals.
 InvocationHistogram ComputeInvocationHistogram(const Trace& trace);
 
 /// \brief Fig. 5: fraction of functions per trigger type.

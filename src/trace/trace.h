@@ -70,9 +70,13 @@ class Trace {
   /// \brief Appends a function; its counts must span num_minutes().
   Status Add(FunctionTrace function);
 
+  /// \brief Common horizon of every function, in minutes.
   int num_minutes() const { return num_minutes_; }
+  /// \brief Number of functions in the fleet.
   size_t num_functions() const { return functions_.size(); }
+  /// \brief All function traces, in insertion order.
   const std::vector<FunctionTrace>& functions() const { return functions_; }
+  /// \brief The i-th function trace (unchecked index).
   const FunctionTrace& function(size_t i) const { return functions_[i]; }
 
   /// \brief Index of the function with the given hashed name, or -1.
@@ -88,8 +92,9 @@ class Trace {
   std::span<const uint32_t> Slice(size_t function_index, int begin,
                                   int end) const;
 
-  /// \brief Number of distinct owners / apps in the fleet.
+  /// \brief Number of distinct owners in the fleet.
   size_t CountOwners() const;
+  /// \brief Number of distinct applications in the fleet.
   size_t CountApps() const;
 
  private:

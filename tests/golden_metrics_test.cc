@@ -19,7 +19,9 @@
 #include "core/spes_policy.h"
 #include "policies/fixed_keepalive.h"
 #include "sim/engine.h"
+#include "sim/scenario.h"
 #include "trace/generator.h"
+#include "trace/transform.h"
 
 namespace spes {
 namespace {
@@ -161,6 +163,42 @@ TEST(GoldenMetricsTest,
   ExpectBitwiseIdenticalBehaviour(direct_outcome, registry_outcome);
   EXPECT_EQ(registry_outcome.metrics.total_cold_starts, 1574u);
   EXPECT_EQ(SeriesSum(registry_outcome.memory_series), 210020u);
+}
+
+TEST(GoldenMetricsTest, TransformedChainReproducesGoldenValues) {
+  // The golden fleet under a stress chain: 2x load plus a flash crowd in
+  // the simulation window. Pins that the transform pipeline itself is
+  // deterministic end to end — the chain realizes the exact same workload
+  // (and therefore the exact same simulation) on every run.
+  GeneratorConfig config;
+  config.num_functions = 150;
+  config.days = 4;
+  config.seed = 99;
+
+  ScenarioSpec spec;
+  spec.trace = TraceSpec::FromGenerator(config);
+  spec.trace.transforms =
+      ParseTransformChain(
+          "load_scale{factor=2.0} | "
+          "inject_burst{at=2900,width=15,amplitude=40,fraction=0.25,seed=7}")
+          .ValueOrDie();
+  spec.policy = {"fixed_keepalive", {{"minutes", 10}}};
+  spec.options.train_minutes = 2 * kMinutesPerDay;
+
+  const ScenarioOutcome run = RunScenario(spec).ValueOrDie();
+  const FleetMetrics& m = run.outcome.metrics;
+  EXPECT_EQ(m.policy_name, "Fixed-10min");
+  EXPECT_EQ(m.total_invocations, 1031468u);
+  EXPECT_EQ(m.total_cold_starts, 1588u);
+  EXPECT_EQ(m.wasted_memory_minutes, 79913u);
+  EXPECT_EQ(m.loaded_instance_minutes, 210407u);
+  EXPECT_EQ(m.max_memory, 91u);
+  ASSERT_EQ(run.outcome.memory_series.size(), 2880u);
+  EXPECT_EQ(SeriesSum(run.outcome.memory_series), 210407u);
+
+  // And the same spec realizes bitwise the same workload again.
+  const ScenarioOutcome again = RunScenario(spec).ValueOrDie();
+  ExpectBitwiseIdenticalBehaviour(run.outcome, again.outcome);
 }
 
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {

@@ -31,20 +31,29 @@ SimOptions Options() {
   return options;
 }
 
+SuiteJob MakeJob(PolicyFactory factory, const SimOptions& options) {
+  SuiteJob job;
+  job.factory = std::move(factory);
+  job.options = options;
+  return job;
+}
+
 std::vector<SuiteJob> PolicyJobs(const SimOptions& options) {
   std::vector<SuiteJob> jobs;
-  jobs.push_back({"", [] { return std::make_unique<SpesPolicy>(); }, options});
-  jobs.push_back({"", [] { return std::make_unique<DefusePolicy>(); },
-                  options});
-  jobs.push_back({"", [] {
-                    return std::make_unique<HybridHistogramPolicy>(
-                        HybridGranularity::kFunction);
-                  },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
-                  options});
-  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); },
-                  options});
+  jobs.push_back(
+      MakeJob([] { return std::make_unique<SpesPolicy>(); }, options));
+  jobs.push_back(
+      MakeJob([] { return std::make_unique<DefusePolicy>(); }, options));
+  jobs.push_back(MakeJob(
+      [] {
+        return std::make_unique<HybridHistogramPolicy>(
+            HybridGranularity::kFunction);
+      },
+      options));
+  jobs.push_back(MakeJob(
+      [] { return std::make_unique<FixedKeepAlivePolicy>(10); }, options));
+  jobs.push_back(
+      MakeJob([] { return std::make_unique<OraclePolicy>(); }, options));
   return jobs;
 }
 
@@ -116,14 +125,15 @@ TEST(SuiteRunnerTest, FailingJobDoesNotPoisonSiblings) {
   bad.train_minutes = fleet.trace.num_minutes() + 1;  // rejected by engine
 
   std::vector<SuiteJob> jobs;
-  jobs.push_back({"", [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
-                  good});
-  jobs.push_back({"bad-window",
-                  [] { return std::make_unique<FixedKeepAlivePolicy>(10); },
-                  bad});
-  jobs.push_back({"null-factory",
-                  []() -> std::unique_ptr<Policy> { return nullptr; }, good});
-  jobs.push_back({"", [] { return std::make_unique<OraclePolicy>(); }, good});
+  jobs.push_back(MakeJob(
+      [] { return std::make_unique<FixedKeepAlivePolicy>(10); }, good));
+  jobs.push_back(MakeJob(
+      [] { return std::make_unique<FixedKeepAlivePolicy>(10); }, bad));
+  jobs.back().label = "bad-window";
+  jobs.push_back(
+      MakeJob([]() -> std::unique_ptr<Policy> { return nullptr; }, good));
+  jobs.back().label = "null-factory";
+  jobs.push_back(MakeJob([] { return std::make_unique<OraclePolicy>(); }, good));
 
   SuiteRunnerOptions runner_options;
   runner_options.num_threads = 4;

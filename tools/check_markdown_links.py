@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links.
+
+Scans the repository's markdown files (README.md, ROADMAP.md, CHANGES.md,
+docs/*.md) for inline links and validates every *local* target: the linked
+file or directory must exist relative to the linking file, and a `#anchor`
+on a markdown target must match one of its headings (GitHub slug rules,
+simplified). External links (http/https/mailto) are not fetched — CI must
+not flake on the network.
+
+Usage: tools/check_markdown_links.py [repo_root]
+Exit status is non-zero if any link is broken; each problem is printed as
+`file:line: message`.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces to dashes, drop
+    punctuation except dashes and underscores."""
+    heading = heading.strip().lower()
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def markdown_files(root: str):
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md",
+                 "PAPERS.md", "SNIPPETS.md", "ISSUE.md"):
+        path = os.path.join(root, name)
+        if os.path.isfile(path):
+            yield path
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def collect_anchors(path: str):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def iter_links(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield lineno, match.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    problems = []
+    checked = 0
+
+    for md_path in markdown_files(root):
+        rel_md = os.path.relpath(md_path, root)
+        for lineno, target in iter_links(md_path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            link_path, _, anchor = target.partition("#")
+            if link_path:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(md_path), link_path))
+            else:
+                resolved = md_path  # pure in-page anchor
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{rel_md}:{lineno}: broken link '{target}' "
+                    f"({os.path.relpath(resolved, root)} does not exist)")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if anchor not in collect_anchors(resolved):
+                    problems.append(
+                        f"{rel_md}:{lineno}: broken anchor '#{anchor}' in "
+                        f"'{target}' (no such heading in "
+                        f"{os.path.relpath(resolved, root)})")
+
+    for problem in problems:
+        print(problem)
+    print(f"checked {checked} local links, {len(problems)} broken")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
