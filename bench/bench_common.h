@@ -9,14 +9,80 @@
 #define SPES_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/env.h"
+#include "common/table.h"
 #include "sim/engine.h"
 #include "trace/generator.h"
 
 namespace spes {
 namespace bench {
+
+/// \brief How a bench emits its tables: human-diffable ASCII (default),
+/// or machine-readable CSV / JSON-lines artifacts via `--format=csv|json`.
+enum class OutputFormat { kPretty, kCsv, kJson };
+
+/// \brief Parses `--format=csv|json|pretty` from argv; exits with a usage
+/// message on an unknown format or flag so CI fails loudly, not quietly
+/// with a half-parsed artifact.
+inline OutputFormat BenchFormat(int argc, char** argv) {
+  OutputFormat format = OutputFormat::kPretty;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--format=", 9) == 0) {
+      const char* value = arg + 9;
+      if (std::strcmp(value, "pretty") == 0) {
+        format = OutputFormat::kPretty;
+      } else if (std::strcmp(value, "csv") == 0) {
+        format = OutputFormat::kCsv;
+      } else if (std::strcmp(value, "json") == 0) {
+        format = OutputFormat::kJson;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --format value '%s' (expected pretty, csv or "
+                     "json)\n",
+                     value);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument '%s' (only --format=... is "
+                           "accepted)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return format;
+}
+
+/// \brief True when the format wants the human chatter (banners, fits,
+/// commentary) suppressed so the artifact is cleanly parseable.
+inline bool MachineReadable(OutputFormat format) {
+  return format != OutputFormat::kPretty;
+}
+
+/// \brief Emits one named table in the chosen format: pretty prints the
+/// title + ASCII table; csv prints a `# title` comment + CSV; json prints
+/// one JSON-lines object `{"table": title, "rows": [...]}` per table.
+inline void EmitTable(const std::string& title, const Table& table,
+                      OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kPretty:
+      std::printf("%s\n\n", title.c_str());
+      table.Print();
+      std::printf("\n");
+      return;
+    case OutputFormat::kCsv:
+      std::printf("# %s\n%s\n", title.c_str(), table.ToCsv().c_str());
+      return;
+    case OutputFormat::kJson:
+      std::printf("{\"table\":%s,\"rows\":%s}\n", JsonEscape(title).c_str(),
+                  table.ToJson().c_str());
+      return;
+  }
+}
 
 /// \brief Scale knobs resolved from the environment.
 inline GeneratorConfig DefaultGeneratorConfig() {

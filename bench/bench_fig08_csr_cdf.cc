@@ -3,6 +3,9 @@
 // Paper: SPES's CDF lies left of every baseline; Q3-CSR drops from 0.215
 // (Defuse, the best baseline) to 0.108 (-49.77%), and by 64.06%-89.20%
 // vs the other baselines; 57.99% of functions see no cold start at all.
+//
+// `--format=csv|json` emits the two tables as machine-readable artifacts
+// (bench_common.h) instead of pretty-printing them.
 
 #include <cstdio>
 
@@ -10,21 +13,23 @@
 #include "bench/bench_policies.h"
 #include "metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spes;
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_fig08_csr_cdf",
-                "Fig. 8 — CDF of function-wise cold-start rate (RQ1)",
-                config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_fig08_csr_cdf",
+                  "Fig. 8 — CDF of function-wise cold-start rate (RQ1)",
+                  config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
   const bench::SuiteResult suite = bench::RunPolicySuite(fleet.trace, options);
   const std::vector<FleetMetrics> metrics = bench::SuiteMetrics(suite);
 
-  std::printf("CSR value at CDF fractions (lower is better):\n\n");
-  BuildCsrCdfTable(metrics).Print();
+  bench::EmitTable("CSR value at CDF fractions (lower is better)",
+                   BuildCsrCdfTable(metrics), format);
 
-  std::printf("\nQ3-CSR (75th percentile) reductions achieved by SPES:\n\n");
   const double spes_q3 = metrics[0].q3_csr;
   Table table({"baseline", "Q3-CSR", "SPES Q3-CSR", "reduction"});
   for (size_t i = 1; i < metrics.size(); ++i) {
@@ -33,10 +38,13 @@ int main() {
                   FormatPercent(RelativeReduction(metrics[i].q3_csr, spes_q3),
                                 2)});
   }
-  table.Print();
+  bench::EmitTable("Q3-CSR (75th percentile) reductions achieved by SPES",
+                   table, format);
 
-  std::printf("\nexpected shape (paper): SPES's CDF dominates; Q3-CSR about"
-              "\nhalved vs the best baseline (Defuse: -49.77%%) and reduced"
-              "\n64-89%% vs the rest; largest zero-cold share.\n");
+  if (!bench::MachineReadable(format)) {
+    std::printf("expected shape (paper): SPES's CDF dominates; Q3-CSR about"
+                "\nhalved vs the best baseline (Defuse: -49.77%%) and reduced"
+                "\n64-89%% vs the rest; largest zero-cold share.\n");
+  }
   return 0;
 }

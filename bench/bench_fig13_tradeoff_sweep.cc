@@ -6,10 +6,17 @@
 //
 // The (policy config) grid is embarrassingly parallel and purely
 // declarative: a vector<ScenarioSpec> — one registry-built "spes" spec per
-// grid point — fanned out through SuiteRunner. The grid is run twice —
-// serial (1 thread) and parallel — to show the wall-clock win and prove
-// the tables are identical: results are collected by slot index, so thread
-// count cannot reorder or perturb them.
+// grid point. It runs three ways and must produce identical tables:
+//   serial    — SuiteRunner, 1 worker thread, one trace walk per policy;
+//   parallel  — SuiteRunner, N worker threads, one trace walk per policy;
+//   lockstep  — SuiteRunner::RunLockstep: ONE SimStream walks the trace
+//               once, all 11 policies advancing as lanes over a shared
+//               per-minute arrival decode (sim/stream.h).
+// Results are collected by slot index, so neither thread count nor the
+// execution strategy can reorder or perturb them.
+//
+// `--format=csv|json` emits the sweep tables as machine-readable
+// artifacts (bench_common.h) instead of pretty-printing them.
 
 #include <chrono>
 #include <cstdio>
@@ -35,20 +42,23 @@ struct SweepPoint {
   double q3_csr;
 };
 
-void PrintSweep(const char* title, const std::vector<SweepPoint>& points,
-                const char* paper_fit) {
-  std::printf("%s\n\n", title);
+Table SweepTable(const std::vector<SweepPoint>& points) {
   Table table({"value", "norm memory", "Q3-CSR"});
-  std::vector<double> xs, ys;
   for (const SweepPoint& p : points) {
     table.AddRow({std::to_string(p.parameter), FormatDouble(p.norm_memory, 4),
                   FormatDouble(p.q3_csr, 4)});
+  }
+  return table;
+}
+
+void PrintFit(const std::vector<SweepPoint>& points, const char* paper_fit) {
+  std::vector<double> xs, ys;
+  for (const SweepPoint& p : points) {
     xs.push_back(p.norm_memory);
     ys.push_back(p.q3_csr);
   }
-  table.Print();
   const LinearFit fit = FitLine(xs, ys);
-  std::printf("\nlinear fit: y = %.4f x + %.4f (R^2 = %.3f)\n", fit.slope,
+  std::printf("linear fit: y = %.4f x + %.4f (R^2 = %.3f)\n", fit.slope,
               fit.intercept, fit.r_squared);
   std::printf("paper fit : %s\n\n", paper_fit);
 }
@@ -80,14 +90,19 @@ struct GridRun {
   double wall_seconds = 0.0;
 };
 
+enum class Strategy { kPooled, kLockstep };
+
 GridRun RunGrid(const Trace& trace, const SimOptions& options,
-                int num_threads) {
+                int num_threads, Strategy strategy) {
   SuiteRunnerOptions runner_options;
   runner_options.num_threads = num_threads;
   SuiteRunner runner(runner_options);
 
   const auto start = std::chrono::steady_clock::now();
-  std::vector<JobResult> results = runner.Run(trace, MakeGrid(options));
+  std::vector<JobResult> results =
+      strategy == Strategy::kLockstep
+          ? runner.RunLockstep(trace, MakeGrid(options))
+          : runner.Run(trace, MakeGrid(options));
   const auto stop = std::chrono::steady_clock::now();
 
   GridRun run;
@@ -111,52 +126,75 @@ bool SameTable(const GridRun& a, const GridRun& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
+  const bool pretty = !bench::MachineReadable(format);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_fig13_tradeoff_sweep",
-                "Fig. 13 — trading off resources and latency (RQ3)", config);
+  if (pretty) {
+    bench::Banner("bench_fig13_tradeoff_sweep",
+                  "Fig. 13 — trading off resources and latency (RQ3)",
+                  config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
   SuiteRunner probe({bench::DefaultBenchThreads(), nullptr});
   const int parallel_threads = probe.EffectiveThreads(MakeGrid(options).size());
 
-  const GridRun serial = RunGrid(fleet.trace, options, 1);
-  const GridRun parallel = RunGrid(fleet.trace, options, parallel_threads);
+  const GridRun serial =
+      RunGrid(fleet.trace, options, 1, Strategy::kPooled);
+  const GridRun parallel =
+      RunGrid(fleet.trace, options, parallel_threads, Strategy::kPooled);
+  const GridRun lockstep =
+      RunGrid(fleet.trace, options, 1, Strategy::kLockstep);
 
-  std::printf("grid: %zu configs | serial %.2fs | %d threads %.2fs "
-              "(speedup %.2fx) | tables identical: %s\n\n",
-              serial.metrics.size(), serial.wall_seconds, parallel_threads,
-              parallel.wall_seconds,
-              serial.wall_seconds / parallel.wall_seconds,
-              SameTable(serial, parallel) ? "yes" : "NO — BUG");
+  const bool identical =
+      SameTable(serial, parallel) && SameTable(serial, lockstep);
+  if (pretty) {
+    std::printf(
+        "grid: %zu configs | serial %.2fs | %d threads %.2fs (speedup "
+        "%.2fx) | lockstep (1 trace walk) %.2fs | tables identical: %s\n\n",
+        serial.metrics.size(), serial.wall_seconds, parallel_threads,
+        parallel.wall_seconds, serial.wall_seconds / parallel.wall_seconds,
+        lockstep.wall_seconds, identical ? "yes" : "NO — BUG");
+  }
+  if (!identical) {
+    std::fprintf(stderr, "BUG: grid strategies disagree\n");
+    return 1;
+  }
 
-  const double base_memory = parallel.metrics[0].average_memory;
-  std::printf("reference (theta_prewarm=2, scaler=1): memory %.1f, "
-              "Q3-CSR %.4f\n\n",
-              base_memory, parallel.metrics[0].q3_csr);
+  const double base_memory = lockstep.metrics[0].average_memory;
+  if (pretty) {
+    std::printf("reference (theta_prewarm=2, scaler=1): memory %.1f, "
+                "Q3-CSR %.4f\n\n",
+                base_memory, lockstep.metrics[0].q3_csr);
+  }
 
   std::vector<SweepPoint> prewarm_points;
   for (size_t i = 0; i < std::size(kPrewarmValues); ++i) {
-    const FleetMetrics& m = parallel.metrics[1 + i];
+    const FleetMetrics& m = lockstep.metrics[1 + i];
     prewarm_points.push_back({kPrewarmValues[i],
                               m.average_memory / base_memory, m.q3_csr});
   }
-  PrintSweep("(a) theta_prewarm in {1, 2, 3, 5, 10}:", prewarm_points,
-             "y = -0.1845 x + 0.3163");
+  bench::EmitTable("(a) theta_prewarm in {1, 2, 3, 5, 10}",
+                   SweepTable(prewarm_points), format);
+  if (pretty) PrintFit(prewarm_points, "y = -0.1845 x + 0.3163");
 
   std::vector<SweepPoint> givenup_points;
   for (size_t i = 0; i < std::size(kGivenupScalers); ++i) {
-    const FleetMetrics& m = parallel.metrics[1 + std::size(kPrewarmValues) + i];
+    const FleetMetrics& m =
+        lockstep.metrics[1 + std::size(kPrewarmValues) + i];
     givenup_points.push_back({kGivenupScalers[i],
                               m.average_memory / base_memory, m.q3_csr});
   }
-  PrintSweep("(b) theta_givenup scaler in {1..5}:", givenup_points,
-             "y = -0.0427 x + 0.1686");
-
-  std::printf("expected shape (paper): memory and Q3-CSR roughly linear in"
-              "\ntheta_prewarm; growing theta_givenup buys much less cold-"
-              "\nstart reduction per unit of memory (idle functions should"
-              "\nbe evicted promptly).\n");
+  bench::EmitTable("(b) theta_givenup scaler in {1..5}",
+                   SweepTable(givenup_points), format);
+  if (pretty) {
+    PrintFit(givenup_points, "y = -0.0427 x + 0.1686");
+    std::printf("expected shape (paper): memory and Q3-CSR roughly linear in"
+                "\ntheta_prewarm; growing theta_givenup buys much less cold-"
+                "\nstart reduction per unit of memory (idle functions should"
+                "\nbe evicted promptly).\n");
+  }
   return 0;
 }

@@ -15,11 +15,14 @@
 #include "bench/bench_policies.h"
 #include "metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spes;
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_rq2_overhead",
-                "RQ2 — provisioning overhead per simulated minute", config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_rq2_overhead",
+                  "RQ2 — provisioning overhead per simulated minute", config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
   // Serial by default: this bench measures time, so jobs must not contend.
@@ -43,9 +46,11 @@ int main() {
                   FormatDouble(m.overhead_seconds_per_minute, 6),
                   complexity[i]});
   }
-  table.Print();
-  std::printf("\nexpected shape (paper): fixed keep-alive cheapest; SPES's"
-              "\nrule-based overhead is inconsequential relative to typical"
-              "\nserverless platform latencies.\n");
+  bench::EmitTable("provisioning overhead per policy", table, format);
+  if (!bench::MachineReadable(format)) {
+    std::printf("expected shape (paper): fixed keep-alive cheapest; SPES's"
+                "\nrule-based overhead is inconsequential relative to typical"
+                "\nserverless platform latencies.\n");
+  }
   return 0;
 }

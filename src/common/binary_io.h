@@ -1,0 +1,144 @@
+// Little-endian binary (de)serialization for checkpoint blobs.
+//
+// BinaryWriter appends fixed-width primitives to a std::string;
+// BinaryReader consumes them with bounds checking, turning truncated or
+// corrupt input into InvalidArgument instead of undefined behaviour. Both
+// sides fix the byte order, so blobs written on one host parse on any
+// other. Used by SimStream checkpoints and the checkpointable policies.
+
+#ifndef SPES_COMMON_BINARY_IO_H_
+#define SPES_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spes {
+
+/// \brief Append-only little-endian encoder.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutU32(uint32_t v) { PutFixed(v); }
+  void PutU64(uint64_t v) { PutFixed(v); }
+  void PutI32(int32_t v) { PutFixed(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutFixed(static_cast<uint64_t>(v)); }
+
+  /// \brief Exact bit pattern of the double (IEEE-754, little-endian), so
+  /// a round trip is bitwise lossless.
+  void PutDouble(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed(bits);
+  }
+
+  /// \brief Length-prefixed byte string.
+  void PutBytes(const std::string& bytes) {
+    PutU64(bytes.size());
+    out_.append(bytes);
+  }
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  template <typename U>
+  void PutFixed(U v) {
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::string out_;
+};
+
+/// \brief Bounds-checked little-endian decoder over a borrowed buffer.
+/// The buffer must outlive the reader.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& in) : in_(in) {}
+
+  Result<uint8_t> U8() {
+    SPES_RETURN_NOT_OK(Need(1));
+    return static_cast<uint8_t>(in_[pos_++]);
+  }
+  Result<bool> Bool() {
+    SPES_ASSIGN_OR_RETURN(const uint8_t v, U8());
+    return v != 0;
+  }
+  Result<uint32_t> U32() { return Fixed<uint32_t>(); }
+  Result<uint64_t> U64() { return Fixed<uint64_t>(); }
+  Result<int32_t> I32() {
+    SPES_ASSIGN_OR_RETURN(const uint32_t v, Fixed<uint32_t>());
+    return static_cast<int32_t>(v);
+  }
+  Result<int64_t> I64() {
+    SPES_ASSIGN_OR_RETURN(const uint64_t v, Fixed<uint64_t>());
+    return static_cast<int64_t>(v);
+  }
+  Result<double> Double() {
+    SPES_ASSIGN_OR_RETURN(const uint64_t bits, Fixed<uint64_t>());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> Bytes() {
+    SPES_ASSIGN_OR_RETURN(const uint64_t size, U64());
+    SPES_RETURN_NOT_OK(Need(size));
+    std::string bytes = in_.substr(pos_, size);
+    pos_ += size;
+    return bytes;
+  }
+
+  /// \brief A length announced in the blob, validated against the bytes
+  /// actually remaining so a corrupt count cannot drive a huge allocation.
+  /// `min_element_bytes` is the smallest encoding of one element.
+  Result<uint64_t> Length(uint64_t min_element_bytes) {
+    SPES_ASSIGN_OR_RETURN(const uint64_t count, U64());
+    if (min_element_bytes > 0 &&
+        count > (in_.size() - pos_) / min_element_bytes) {
+      return Status::InvalidArgument(
+          "corrupt blob: element count (=" + std::to_string(count) +
+          ") exceeds the remaining " +
+          std::to_string(in_.size() - pos_) + " bytes");
+    }
+    return count;
+  }
+
+  bool AtEnd() const { return pos_ == in_.size(); }
+  size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  Status Need(uint64_t bytes) const {
+    if (bytes > in_.size() - pos_) {
+      return Status::InvalidArgument(
+          "truncated blob: need " + std::to_string(bytes) +
+          " more bytes at offset " + std::to_string(pos_) + ", have " +
+          std::to_string(in_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  template <typename U>
+  Result<U> Fixed() {
+    SPES_RETURN_NOT_OK(Need(sizeof(U)));
+    U v = 0;
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(static_cast<uint8_t>(in_[pos_ + i])) << (8 * i);
+    }
+    pos_ += sizeof(U);
+    return v;
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+};
+
+}  // namespace spes
+
+#endif  // SPES_COMMON_BINARY_IO_H_

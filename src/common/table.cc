@@ -45,6 +45,88 @@ std::string Table::ToString() const {
 
 void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
 
+namespace {
+
+/// Quotes a CSV cell only when it needs it (comma, quote or newline).
+std::string CsvCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Table::ToCsv() const {
+  auto render_row = [](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvCell(row[c]);
+    }
+    out += '\n';
+    return out;
+  };
+  std::string out = render_row(headers_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Table::ToJson() const {
+  std::string out = "[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += ',';
+      out += JsonEscape(headers_[c]);
+      out += ':';
+      out += JsonEscape(rows_[r][c]);
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
 std::string FormatDouble(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);

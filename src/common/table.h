@@ -23,6 +23,17 @@ class Table {
   /// \brief Renders the table with a header separator line.
   std::string ToString() const;
 
+  /// \brief RFC-4180-style CSV: header row then data rows; cells
+  /// containing commas, quotes or newlines are quoted with doubled
+  /// quotes. Machine-readable counterpart of ToString() for artifacts.
+  std::string ToCsv() const;
+
+  /// \brief JSON array of row objects keyed by header, e.g.
+  /// `[{"policy":"SPES","Q3-CSR":"0.0516"}, ...]`. Cell values are
+  /// emitted as JSON strings exactly as formatted (no numeric
+  /// re-parsing), so output is stable across locales and runs.
+  std::string ToJson() const;
+
   /// \brief Renders and writes to stdout.
   void Print() const;
 
@@ -32,6 +43,11 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// \brief Renders `s` as a quoted JSON string literal (escapes quotes,
+/// backslashes and control characters). Shared by Table::ToJson and the
+/// bench harness JSON envelopes.
+std::string JsonEscape(const std::string& s);
 
 /// \brief Formats a double with the given number of decimals.
 std::string FormatDouble(double value, int decimals);

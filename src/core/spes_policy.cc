@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
+#include "common/binary_io.h"
 #include "common/stats.h"
 #include "core/policy_registry.h"
 #include "core/validation.h"
@@ -549,6 +551,194 @@ void SpesPolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
     }
     if (st.current_wt >= GivenUpThreshold(st.model.type)) mem->Remove(f);
   }
+}
+
+namespace {
+
+void PutI64Vector(BinaryWriter* w, const std::vector<int64_t>& values) {
+  w->PutU64(values.size());
+  for (int64_t v : values) w->PutI64(v);
+}
+
+Result<std::vector<int64_t>> GetI64Vector(BinaryReader* r) {
+  SPES_ASSIGN_OR_RETURN(const uint64_t n, r->Length(8));
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SPES_ASSIGN_OR_RETURN(const int64_t v, r->I64());
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+Result<std::string> SpesPolicy::SaveState() const {
+  BinaryWriter w;
+  w.PutU64(states_.size());
+  for (const FunctionState& st : states_) {
+    w.PutU8(static_cast<uint8_t>(st.model.type));
+    PutI64Vector(&w, st.model.values);
+    w.PutI64(st.model.range_lo);
+    w.PutI64(st.model.range_hi);
+    w.PutBool(st.model.continuous);
+    w.PutDouble(st.model.offline_wt_stddev);
+    w.PutI32(st.model.forgotten_prefix_minutes);
+    w.PutI32(st.last_arrival);
+    w.PutI32(st.current_wt);
+    w.PutBool(st.seen_in_training);
+    w.PutI32(st.corr_hold_until);
+    w.PutI64(st.next_predicted);
+    PutI64Vector(&w, st.online_wts);
+    w.PutI32(st.adjust_cursor);
+  }
+  w.PutU64(links_by_candidate_.size());
+  for (const std::vector<CorrelationLink>& links : links_by_candidate_) {
+    w.PutU64(links.size());
+    for (const CorrelationLink& link : links) {
+      w.PutU32(link.target);
+      w.PutU32(link.candidate);
+      w.PutI32(link.lag);
+      w.PutDouble(link.cor);
+    }
+  }
+  w.PutU64(online_corr_.size());
+  for (const OnlineCorrState& corr : online_corr_) {
+    w.PutU32(corr.target);
+    w.PutU64(corr.candidates.size());
+    for (uint32_t c : corr.candidates) w.PutU32(c);
+    for (uint8_t a : corr.active) w.PutU8(a);
+    for (int32_t n : corr.co_count) w.PutI32(n);
+    w.PutI32(corr.target_arrivals);
+    w.PutI32(corr.grants_since_arrival);
+  }
+  w.PutI64(forgetting_recategorized_);
+  w.PutI64(online_recategorized_);
+  return w.Take();
+}
+
+Status SpesPolicy::RestoreState(const std::string& blob) {
+  // Parse into temporaries and commit only at the end, so a truncated or
+  // corrupt blob leaves the policy untouched.
+  BinaryReader r(blob);
+  // Minimal encoded FunctionState: 71 bytes (all scalars + two empty
+  // vectors) — keeps a corrupt count from driving a huge reserve().
+  SPES_ASSIGN_OR_RETURN(const uint64_t n, r.Length(71));
+  // The blob must describe the fleet this policy was trained on: every
+  // OnMinute path indexes states_/invoked_now_ by function id, so a
+  // size mismatch (or any out-of-range id below) would be heap OOB.
+  if (n != states_.size()) {
+    return Status::InvalidArgument(
+        "spes state blob describes (=" + std::to_string(n) +
+        ") functions but this policy was trained on (=" +
+        std::to_string(states_.size()) + ")");
+  }
+  std::vector<FunctionState> states;
+  states.reserve(n);
+  for (uint64_t f = 0; f < n; ++f) {
+    FunctionState st;
+    SPES_ASSIGN_OR_RETURN(const uint8_t type, r.U8());
+    if (type >= kNumFunctionTypes) {
+      return Status::InvalidArgument(
+          "spes state blob holds function type (=" + std::to_string(type) +
+          "), valid types are [0, " + std::to_string(kNumFunctionTypes) +
+          ")");
+    }
+    st.model.type = static_cast<FunctionType>(type);
+    SPES_ASSIGN_OR_RETURN(st.model.values, GetI64Vector(&r));
+    SPES_ASSIGN_OR_RETURN(st.model.range_lo, r.I64());
+    SPES_ASSIGN_OR_RETURN(st.model.range_hi, r.I64());
+    SPES_ASSIGN_OR_RETURN(st.model.continuous, r.Bool());
+    SPES_ASSIGN_OR_RETURN(st.model.offline_wt_stddev, r.Double());
+    SPES_ASSIGN_OR_RETURN(st.model.forgotten_prefix_minutes, r.I32());
+    SPES_ASSIGN_OR_RETURN(st.last_arrival, r.I32());
+    SPES_ASSIGN_OR_RETURN(st.current_wt, r.I32());
+    SPES_ASSIGN_OR_RETURN(st.seen_in_training, r.Bool());
+    SPES_ASSIGN_OR_RETURN(st.corr_hold_until, r.I32());
+    SPES_ASSIGN_OR_RETURN(st.next_predicted, r.I64());
+    SPES_ASSIGN_OR_RETURN(st.online_wts, GetI64Vector(&r));
+    SPES_ASSIGN_OR_RETURN(st.adjust_cursor, r.I32());
+    states.push_back(std::move(st));
+  }
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_candidates, r.Length(8));
+  if (num_candidates != n) {
+    return Status::InvalidArgument(
+        "spes state blob has (=" + std::to_string(num_candidates) +
+        ") link lists for (=" + std::to_string(n) + ") functions");
+  }
+  std::vector<std::vector<CorrelationLink>> links_by_candidate(num_candidates);
+  for (uint64_t c = 0; c < num_candidates; ++c) {
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_links, r.Length(20));
+    links_by_candidate[c].reserve(num_links);
+    for (uint64_t k = 0; k < num_links; ++k) {
+      CorrelationLink link;
+      SPES_ASSIGN_OR_RETURN(link.target, r.U32());
+      SPES_ASSIGN_OR_RETURN(link.candidate, r.U32());
+      SPES_ASSIGN_OR_RETURN(link.lag, r.I32());
+      SPES_ASSIGN_OR_RETURN(link.cor, r.Double());
+      if (link.target >= n || link.candidate >= n) {
+        return Status::InvalidArgument(
+            "spes state blob holds correlation link with function id (=" +
+            std::to_string(std::max(link.target, link.candidate)) +
+            ") outside the fleet (=" + std::to_string(n) + " functions)");
+      }
+      links_by_candidate[c].push_back(link);
+    }
+  }
+  // Minimal encoded OnlineCorrState: 20 bytes (target + empty candidate
+  // list + the two counters).
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_corr, r.Length(20));
+  std::vector<OnlineCorrState> online_corr;
+  online_corr.reserve(num_corr);
+  for (uint64_t i = 0; i < num_corr; ++i) {
+    OnlineCorrState corr;
+    SPES_ASSIGN_OR_RETURN(corr.target, r.U32());
+    if (corr.target >= n) {
+      return Status::InvalidArgument(
+          "spes state blob holds online-correlation target (=" +
+          std::to_string(corr.target) + ") outside the fleet (=" +
+          std::to_string(n) + " functions)");
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_cand, r.Length(9));
+    corr.candidates.reserve(num_cand);
+    for (uint64_t k = 0; k < num_cand; ++k) {
+      SPES_ASSIGN_OR_RETURN(const uint32_t c, r.U32());
+      if (c >= n) {
+        return Status::InvalidArgument(
+            "spes state blob holds online-correlation candidate (=" +
+            std::to_string(c) + ") outside the fleet (=" +
+            std::to_string(n) + " functions)");
+      }
+      corr.candidates.push_back(c);
+    }
+    corr.active.reserve(num_cand);
+    for (uint64_t k = 0; k < num_cand; ++k) {
+      SPES_ASSIGN_OR_RETURN(const uint8_t a, r.U8());
+      corr.active.push_back(a);
+    }
+    corr.co_count.reserve(num_cand);
+    for (uint64_t k = 0; k < num_cand; ++k) {
+      SPES_ASSIGN_OR_RETURN(const int32_t v, r.I32());
+      corr.co_count.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(corr.target_arrivals, r.I32());
+    SPES_ASSIGN_OR_RETURN(corr.grants_since_arrival, r.I32());
+    online_corr.push_back(std::move(corr));
+  }
+  int64_t forgetting = 0, online = 0;
+  SPES_ASSIGN_OR_RETURN(forgetting, r.I64());
+  SPES_ASSIGN_OR_RETURN(online, r.I64());
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("spes state blob has trailing bytes");
+  }
+
+  states_ = std::move(states);
+  links_by_candidate_ = std::move(links_by_candidate);
+  online_corr_ = std::move(online_corr);
+  invoked_now_.assign(states_.size(), 0);
+  forgetting_recategorized_ = forgetting;
+  online_recategorized_ = online;
+  return Status::OK();
 }
 
 std::array<int64_t, kNumFunctionTypes> SpesPolicy::CountByType() const {

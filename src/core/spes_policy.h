@@ -45,6 +45,17 @@ class SpesPolicy : public Policy {
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
+  /// \name Checkpointing: every field OnMinute() mutates — per-function
+  /// states (including the predictive models, which drift under S2/S3),
+  /// correlation links, online-correlation trackers and the adaptive
+  /// counters. The config is NOT serialized; restore into a policy
+  /// constructed with the same SpesConfig.
+  /// @{
+  bool SupportsCheckpoint() const override { return true; }
+  Result<std::string> SaveState() const override;
+  Status RestoreState(const std::string& blob) override;
+  /// @}
+
   /// \brief Current type of function `f` (may change online via S3).
   FunctionType TypeOf(size_t f) const { return states_[f].model.type; }
 

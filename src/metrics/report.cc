@@ -88,6 +88,47 @@ std::vector<TypeBreakdownRow> BreakdownByType(
   return rows;
 }
 
+Table BuildTimelineTable(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<MinuteSample>>& series) {
+  std::vector<std::string> headers{"minute"};
+  for (size_t k = 0; k < series.size(); ++k) {
+    const std::string label = (k < labels.size() && !labels[k].empty())
+                                  ? labels[k]
+                                  : "lane" + std::to_string(k);
+    headers.push_back(label + " loaded");
+    headers.push_back(label + " cold");
+  }
+  Table table(std::move(headers));
+  size_t rows = 0;
+  for (const std::vector<MinuteSample>& lane : series) {
+    rows = std::max(rows, lane.size());
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    // Lanes captured by one observer on one stream share their minutes;
+    // take the row's minute from the first lane that has this sample.
+    std::string minute = "-";
+    for (const std::vector<MinuteSample>& lane : series) {
+      if (i < lane.size()) {
+        minute = std::to_string(lane[i].minute);
+        break;
+      }
+    }
+    std::vector<std::string> cells{std::move(minute)};
+    for (const std::vector<MinuteSample>& lane : series) {
+      if (i < lane.size()) {
+        cells.push_back(std::to_string(lane[i].loaded_instances));
+        cells.push_back(std::to_string(lane[i].cold_starts));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
+    }
+    table.AddRow(std::move(cells));
+  }
+  return table;
+}
+
 Table BuildTypeBreakdownTable(const std::vector<TypeBreakdownRow>& rows) {
   Table table({"type", "functions", "invocations", "cold-starts", "mean-CSR",
                "WMT/invocation"});

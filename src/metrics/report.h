@@ -10,6 +10,7 @@
 #include "common/table.h"
 #include "core/spes_policy.h"
 #include "sim/accounting.h"
+#include "sim/observers.h"
 
 namespace spes {
 
@@ -42,6 +43,15 @@ Table BuildTypeBreakdownTable(const std::vector<TypeBreakdownRow>& rows);
 
 /// \brief Relative improvement (a - b) / a, e.g. CSR reduction vs baseline.
 double RelativeReduction(double baseline, double improved);
+
+/// \brief Minute-by-minute table from a TimeSeriesObserver capture: one
+/// row per sampled minute, and per lane a "<label> loaded" and
+/// "<label> cold" column (cumulative cold starts). Lanes must be sampled
+/// on the same minutes (they are, when captured by one observer on one
+/// stream); `labels` must match the lane count, empty labels fall back
+/// to "lane<k>".
+Table BuildTimelineTable(const std::vector<std::string>& labels,
+                         const std::vector<std::vector<MinuteSample>>& series);
 
 }  // namespace spes
 

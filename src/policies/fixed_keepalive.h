@@ -28,6 +28,13 @@ class FixedKeepAlivePolicy : public Policy {
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
+  /// \name Checkpointing: the window plus per-function last arrivals.
+  /// @{
+  bool SupportsCheckpoint() const override { return true; }
+  Result<std::string> SaveState() const override;
+  Status RestoreState(const std::string& blob) override;
+  /// @}
+
   int keepalive_minutes() const { return keepalive_minutes_; }
 
  private:

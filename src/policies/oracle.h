@@ -30,6 +30,20 @@ class OraclePolicy : public Policy {
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
+  /// \name Checkpointing: the oracle keeps no online-mutable state (its
+  /// only member is the trace bound at Train()), so its blob is empty.
+  /// @{
+  bool SupportsCheckpoint() const override { return true; }
+  Result<std::string> SaveState() const override { return std::string(); }
+  Status RestoreState(const std::string& blob) override {
+    return blob.empty()
+               ? Status::OK()
+               : Status::InvalidArgument(
+                     "oracle state blob must be empty, got " +
+                     std::to_string(blob.size()) + " bytes");
+  }
+  /// @}
+
  private:
   const Trace* trace_ = nullptr;
 };

@@ -1,13 +1,51 @@
 #include "runner/suite_runner.h"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 
 #include "sim/scenario.h"
+#include "sim/stream.h"
 
 namespace spes {
+
+namespace {
+
+/// Scopes an observer to one lane of a stream: views from other lanes
+/// are filtered out and the surviving views are presented as a
+/// single-lane stream (lane 0, num_lanes 1). A spec's observers thus
+/// behave identically whether the batch ran pooled (one single-lane
+/// stream per job) or lockstep (grouped multi-lane streams), and the
+/// stock observers (TimeSeriesObserver, ProgressObserver) work
+/// unchanged for any slot.
+class LaneScopedObserver : public SimObserver {
+ public:
+  LaneScopedObserver(SimObserver* inner, size_t stream_lane)
+      : inner_(inner), stream_lane_(stream_lane) {}
+
+  void OnStreamStart(const StreamInfo& info) override {
+    StreamInfo scoped = info;
+    scoped.num_lanes = 1;
+    inner_->OnStreamStart(scoped);
+  }
+  bool OnMinute(const MinuteView& view) override {
+    if (view.lane != stream_lane_) return true;
+    MinuteView scoped = view;
+    scoped.lane = 0;
+    return inner_->OnMinute(scoped);
+  }
+  void OnStreamEnd(size_t lane, const SimulationOutcome& outcome) override {
+    if (lane == stream_lane_) inner_->OnStreamEnd(0, outcome);
+  }
+
+ private:
+  SimObserver* inner_;
+  size_t stream_lane_;
+};
+
+}  // namespace
 
 SuiteRunner::SuiteRunner(SuiteRunnerOptions options)
     : options_(std::move(options)) {}
@@ -55,12 +93,23 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
       } else {
         if (result.label.empty()) result.label = result.policy->name();
         const Trace& workload = job.trace ? *job.trace : trace;
-        Result<SimulationOutcome> outcome =
-            Simulate(workload, result.policy.get(), job.options);
-        if (outcome.ok()) {
-          result.outcome = std::move(outcome).ValueOrDie();
+        // Open the job's own stream so per-job observers ride along;
+        // without observers this is exactly Simulate(). The stream is
+        // already single-lane, so observers attach directly.
+        Result<SimStream> stream =
+            SimStream::Create(workload, result.policy.get(), job.options);
+        if (stream.ok()) {
+          for (SimObserver* observer : job.observers) {
+            stream.ValueOrDie().AddObserver(observer);
+          }
+          Result<SimulationOutcome> outcome = stream.ValueOrDie().Finish();
+          if (outcome.ok()) {
+            result.outcome = std::move(outcome).ValueOrDie();
+          } else {
+            result.status = outcome.status();
+          }
         } else {
-          result.status = outcome.status();
+          result.status = stream.status();
         }
       }
     }
@@ -99,6 +148,7 @@ SuiteJob JobFromSpec(const ScenarioSpec& spec) {
   SuiteJob job;
   job.label = spec.label;
   job.options = spec.options;
+  job.observers = spec.observers;
   job.precondition = ValidateScenarioSpec(spec);
   if (job.precondition.ok()) {
     Result<std::unique_ptr<Policy>> built =
@@ -127,6 +177,93 @@ std::vector<JobResult> SuiteRunner::Run(
   jobs.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) jobs.push_back(JobFromSpec(spec));
   return Run(trace, std::move(jobs));
+}
+
+std::vector<JobResult> SuiteRunner::RunLockstep(
+    const Trace& trace, const std::vector<ScenarioSpec>& specs) const {
+  std::vector<JobResult> results(specs.size());
+
+  // Lower every spec through the same JobFromSpec path as the pooled
+  // batches (slot isolation: a bad spec only fails its own JobResult),
+  // then group the healthy slots by engine options — lockstep lanes
+  // share one cursor, so only identical windows can ride one stream.
+  std::vector<std::unique_ptr<Policy>> policies(specs.size());
+  std::vector<std::vector<size_t>> groups;
+  std::vector<std::string> group_keys;
+  for (size_t slot = 0; slot < specs.size(); ++slot) {
+    const ScenarioSpec& spec = specs[slot];
+    JobResult& result = results[slot];
+    SuiteJob job = JobFromSpec(spec);
+    result.label = job.label;
+    result.status = job.precondition;
+    if (!result.status.ok()) continue;
+    policies[slot] = job.factory();
+    if (result.label.empty()) result.label = policies[slot]->name();
+    const std::string key = std::to_string(spec.options.train_minutes) + "|" +
+                            std::to_string(spec.options.end_minute) + "|" +
+                            (spec.options.pin_executing_functions ? "1" : "0");
+    size_t group = group_keys.size();
+    for (size_t g = 0; g < group_keys.size(); ++g) {
+      if (group_keys[g] == key) {
+        group = g;
+        break;
+      }
+    }
+    if (group == group_keys.size()) {
+      group_keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[group].push_back(slot);
+  }
+
+  size_t finished = 0;
+  auto report = [&](size_t slot) {
+    if (options_.progress) {
+      options_.progress(++finished, specs.size(), results[slot]);
+    }
+  };
+  // Failed slots report first, in slot order, so `finished` stays
+  // monotonic over the whole batch.
+  for (size_t slot = 0; slot < specs.size(); ++slot) {
+    if (!results[slot].status.ok()) report(slot);
+  }
+
+  for (const std::vector<size_t>& group : groups) {
+    std::vector<Policy*> lanes;
+    lanes.reserve(group.size());
+    for (size_t slot : group) lanes.push_back(policies[slot].get());
+    Result<SimStream> created =
+        SimStream::Create(trace, std::move(lanes), specs[group[0]].options);
+    if (created.ok()) {
+      SimStream& stream = created.ValueOrDie();
+      std::vector<std::unique_ptr<LaneScopedObserver>> scoped;
+      for (size_t k = 0; k < group.size(); ++k) {
+        for (SimObserver* observer : specs[group[k]].observers) {
+          if (observer == nullptr) continue;
+          scoped.push_back(
+              std::make_unique<LaneScopedObserver>(observer, k));
+          stream.AddObserver(scoped.back().get());
+        }
+      }
+      Result<std::vector<SimulationOutcome>> outcomes = stream.FinishAll();
+      if (outcomes.ok()) {
+        std::vector<SimulationOutcome>& group_outcomes =
+            outcomes.ValueOrDie();
+        for (size_t k = 0; k < group.size(); ++k) {
+          results[group[k]].outcome = std::move(group_outcomes[k]);
+        }
+      } else {
+        for (size_t slot : group) results[slot].status = outcomes.status();
+      }
+    } else {
+      for (size_t slot : group) results[slot].status = created.status();
+    }
+    for (size_t slot : group) {
+      results[slot].policy = std::move(policies[slot]);
+      report(slot);
+    }
+  }
+  return results;
 }
 
 std::vector<JobResult> SuiteRunner::Run(

@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "sim/engine.h"
+#include "sim/observer.h"
 #include "sim/policy.h"
 #include "trace/trace.h"
 
@@ -42,6 +43,11 @@ struct SuiteJob {
   /// instead of the one passed to Run(). Set by the trace-less spec-batch
   /// overload so one batch can span several (transformed) workloads.
   std::shared_ptr<const Trace> trace;
+  /// Per-minute observers attached to the job's stream (borrowed; null
+  /// entries ignored). Populated from ScenarioSpec::observers by the
+  /// spec-batch overloads. Jobs run concurrently, so an observer shared
+  /// by several jobs must be thread-safe — or give each spec its own.
+  std::vector<SimObserver*> observers;
 };
 
 /// \brief Outcome of one job. `outcome` is meaningful only when
@@ -86,6 +92,25 @@ class SuiteRunner {
   /// supplied trace is the workload for every slot.
   std::vector<JobResult> Run(const Trace& trace,
                              const std::vector<ScenarioSpec>& specs) const;
+
+  /// \brief Lockstep spec batch: instead of fanning one Simulate() per
+  /// spec across threads, specs sharing identical SimOptions become lanes
+  /// of ONE multi-policy SimStream, so each distinct window walks the
+  /// trace once — one arrival decode per minute serves every policy in
+  /// the group. Runs on the calling thread (the parallelism is across
+  /// lanes within the walk, not across jobs). Results are slot-indexed
+  /// and bitwise identical to Run(trace, specs); an invalid spec fails
+  /// only its slot. Each spec's observers see only their own spec's run,
+  /// presented as a single-lane stream (MinuteView::lane == 0, exactly
+  /// as in the pooled Run) — but note that lanes in a window group share
+  /// one cursor, so an early stop requested by ANY spec's observer halts
+  /// that whole group and its sibling slots return partial-window
+  /// outcomes (with OK status). The
+  /// progress callback fires per slot, in slot order, as each group
+  /// completes. Spec trace sources are ignored — `trace` is the workload
+  /// for every slot.
+  std::vector<JobResult> RunLockstep(
+      const Trace& trace, const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Trace-less spec batch: every spec realizes its *own* trace
   /// source with its transform chain applied, so one batch can sweep

@@ -40,6 +40,16 @@ struct FunctionAccount {
   }
 };
 
+/// \brief Monotone fleet-wide counters the streaming engine maintains
+/// incrementally, so observers get O(1) live totals each minute without
+/// re-summing the per-function accounts.
+struct LiveTotals {
+  uint64_t invocations = 0;
+  uint64_t cold_starts = 0;
+  uint64_t loaded_instance_minutes = 0;
+  uint64_t wasted_memory_minutes = 0;
+};
+
 /// \brief Aggregate metrics for one policy run.
 struct FleetMetrics {
   std::string policy_name;

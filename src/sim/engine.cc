@@ -1,25 +1,26 @@
 #include "sim/engine.h"
 
-#include <algorithm>
-#include <chrono>
+#include <string>
+
+#include "sim/stream.h"
 
 namespace spes {
 
 Status ValidateSimOptions(const SimOptions& options) {
   if (options.train_minutes < 0) {
     return Status::InvalidArgument(
-        "SimOptions.train_minutes must be non-negative, got " +
-        std::to_string(options.train_minutes));
+        "SimOptions.train_minutes (=" + std::to_string(options.train_minutes) +
+        ") must be non-negative");
   }
   if (options.end_minute < 0) {
     return Status::InvalidArgument(
-        "SimOptions.end_minute must be non-negative, got " +
-        std::to_string(options.end_minute));
+        "SimOptions.end_minute (=" + std::to_string(options.end_minute) +
+        ") must be non-negative");
   }
   if (options.end_minute > 0 && options.end_minute < options.train_minutes) {
     return Status::InvalidArgument(
-        "SimOptions.end_minute (" + std::to_string(options.end_minute) +
-        ") must not precede SimOptions.train_minutes (" +
+        "SimOptions.end_minute (=" + std::to_string(options.end_minute) +
+        ") must not precede SimOptions.train_minutes (=" +
         std::to_string(options.train_minutes) + ")");
   }
   return Status::OK();
@@ -27,83 +28,12 @@ Status ValidateSimOptions(const SimOptions& options) {
 
 Result<SimulationOutcome> Simulate(const Trace& trace, Policy* policy,
                                    const SimOptions& options) {
-  if (policy == nullptr) {
-    return Status::InvalidArgument("policy must not be null");
-  }
-  SPES_RETURN_NOT_OK(ValidateSimOptions(options));
-  const int horizon = trace.num_minutes();
-  if (options.train_minutes > horizon) {
-    return Status::InvalidArgument(
-        "SimOptions.train_minutes (" + std::to_string(options.train_minutes) +
-        ") exceeds the trace horizon (" + std::to_string(horizon) +
-        " minutes)");
-  }
-  // end_minute == 0 means the trace horizon; a larger request clamps to it
-  // (a policy cannot be replayed past the recorded trace).
-  const int end = options.end_minute > 0
-                      ? std::min(options.end_minute, horizon)
-                      : horizon;
-  const size_t n = trace.num_functions();
-
-  policy->Train(trace, options.train_minutes);
-
-  SimulationOutcome outcome;
-  outcome.accounts.assign(n, FunctionAccount{});
-  outcome.memory_series.reserve(
-      static_cast<size_t>(end - options.train_minutes));
-
-  MemSet mem(n);
-  std::vector<Invocation> arrivals;
-  std::vector<uint8_t> invoked_now(n, 0);
-  double overhead_seconds = 0.0;
-
-  for (int t = options.train_minutes; t < end; ++t) {
-    // Gather this minute's arrivals.
-    arrivals.clear();
-    for (size_t f = 0; f < n; ++f) {
-      const uint32_t c = trace.function(f).counts[static_cast<size_t>(t)];
-      invoked_now[f] = c > 0 ? 1 : 0;
-      if (c > 0) {
-        arrivals.push_back(
-            {static_cast<uint32_t>(f), c});
-      }
-    }
-
-    // 1-2. Cold-start accounting, then execution pins the instance.
-    for (const Invocation& inv : arrivals) {
-      FunctionAccount& acc = outcome.accounts[inv.function];
-      acc.invocations += inv.count;
-      acc.invoked_minutes += 1;
-      if (!mem.Contains(inv.function)) acc.cold_starts += 1;
-      mem.Add(inv.function);
-    }
-
-    // 3. Policy step (timed).
-    const auto start = std::chrono::steady_clock::now();
-    policy->OnMinute(t, arrivals, &mem);
-    const auto stop = std::chrono::steady_clock::now();
-    overhead_seconds +=
-        std::chrono::duration<double>(stop - start).count();
-
-    if (options.pin_executing_functions) {
-      for (const Invocation& inv : arrivals) mem.Add(inv.function);
-    }
-
-    // 4. Residency accounting.
-    const std::vector<uint8_t>& loaded = mem.raw();
-    for (size_t f = 0; f < n; ++f) {
-      if (!loaded[f]) continue;
-      FunctionAccount& acc = outcome.accounts[f];
-      acc.loaded_minutes += 1;
-      if (!invoked_now[f]) acc.wasted_minutes += 1;
-    }
-    outcome.memory_series.push_back(static_cast<uint32_t>(mem.Count()));
-  }
-
-  outcome.metrics = ComputeFleetMetrics(policy->name(), outcome.accounts,
-                                        outcome.memory_series,
-                                        overhead_seconds);
-  return outcome;
+  // The batch entry point is a full-window streaming session: open a
+  // single-lane SimStream and drain it. All simulation semantics live in
+  // sim/stream.cc.
+  SPES_ASSIGN_OR_RETURN(SimStream stream,
+                        SimStream::Create(trace, policy, options));
+  return stream.Finish();
 }
 
 }  // namespace spes

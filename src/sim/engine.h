@@ -48,6 +48,11 @@ Status ValidateSimOptions(const SimOptions& options);
 /// Deterministic given (trace, policy behaviour); only the overhead
 /// measurement depends on the wall clock.
 ///
+/// Simulate() is a thin wrapper that opens a full-window SimStream
+/// (sim/stream.h) and drains it; the loop above lives in the stream. Use
+/// SimStream directly for incremental stepping, observers, checkpoints
+/// or lockstep multi-policy runs.
+///
 /// This is the low-level entry point, kept as a compatibility shim for
 /// callers that construct Policy instances by hand. New code should
 /// describe the run as a ScenarioSpec and use RunScenario() from

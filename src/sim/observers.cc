@@ -1,0 +1,41 @@
+#include "sim/observers.h"
+
+namespace spes {
+
+void TimeSeriesObserver::OnStreamStart(const StreamInfo& info) {
+  start_minute_ = info.start_minute;
+  series_.assign(info.num_lanes, {});
+}
+
+bool TimeSeriesObserver::OnMinute(const MinuteView& view) {
+  if ((view.minute - start_minute_) % stride_ != 0) return true;
+  if (view.lane >= series_.size()) series_.resize(view.lane + 1);
+  MinuteSample sample;
+  sample.minute = view.minute;
+  sample.loaded_instances = view.loaded_instances();
+  sample.invocations = view.totals.invocations;
+  sample.cold_starts = view.totals.cold_starts;
+  series_[view.lane].push_back(sample);
+  return true;
+}
+
+void ProgressObserver::OnStreamStart(const StreamInfo& info) { info_ = info; }
+
+bool ProgressObserver::OnMinute(const MinuteView& view) {
+  if (view.lane != 0) return true;
+  const int simulated = view.minute - info_.start_minute + 1;
+  const int window = info_.end_minute - info_.start_minute;
+  if (simulated % every_minutes_ != 0 && view.minute + 1 != info_.end_minute) {
+    return true;
+  }
+  std::fprintf(out_,
+               "minute %d/%d | %s: %u loaded, %llu cold starts, %llu "
+               "invocations\n",
+               simulated, window, view.policy->name().c_str(),
+               view.loaded_instances(),
+               static_cast<unsigned long long>(view.totals.cold_starts),
+               static_cast<unsigned long long>(view.totals.invocations));
+  return true;
+}
+
+}  // namespace spes

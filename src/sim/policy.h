@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/memset.h"
 #include "trace/trace.h"
 
@@ -44,6 +45,28 @@ class Policy {
   /// minute's invoked functions with counts.
   virtual void OnMinute(int t, const std::vector<Invocation>& arrivals,
                         MemSet* mem) = 0;
+
+  /// \name Checkpoint support (opt-in)
+  ///
+  /// A checkpointable policy can serialize everything OnMinute() mutates
+  /// into an opaque blob and later restore it, so a SimStream holding the
+  /// policy can snapshot mid-window and resume bit-for-bit (sim/stream.h).
+  /// RestoreState() is called on a policy that was constructed with the
+  /// same parameters and Train()ed on the same trace and window as the one
+  /// that produced the blob; it only needs to reinstate online-mutable
+  /// state. The default implementation opts out.
+  /// @{
+  virtual bool SupportsCheckpoint() const { return false; }
+  virtual Result<std::string> SaveState() const {
+    return Status::NotImplemented("policy '" + name() +
+                                  "' does not support checkpointing");
+  }
+  virtual Status RestoreState(const std::string& blob) {
+    (void)blob;
+    return Status::NotImplemented("policy '" + name() +
+                                  "' does not support checkpointing");
+  }
+  /// @}
 };
 
 }  // namespace spes

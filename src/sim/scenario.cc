@@ -85,18 +85,98 @@ Result<Trace> RealizeTrace(const TraceSpec& spec) {
 
 namespace {
 
-/// Shared core: build the policy and simulate. Both public entry points
-/// validate exactly once before calling this.
-Result<ScenarioOutcome> RunValidated(const Trace& trace,
+/// Shared core: build the policy, open the stream with the spec's
+/// observers attached. Public entry points validate exactly once before
+/// calling this.
+Result<ScenarioStream> OpenValidated(const Trace& trace,
                                      const ScenarioSpec& spec) {
   SPES_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
                         PolicyRegistry::Global().Create(spec.policy));
-  SPES_ASSIGN_OR_RETURN(SimulationOutcome outcome,
-                        Simulate(trace, policy.get(), spec.options));
+  SPES_ASSIGN_OR_RETURN(SimStream stream,
+                        SimStream::Create(trace, policy.get(), spec.options));
+  for (SimObserver* observer : spec.observers) stream.AddObserver(observer);
+  return ScenarioStream{std::move(policy), std::move(stream)};
+}
+
+/// Shared core: open and drain the stream.
+Result<ScenarioOutcome> RunValidated(const Trace& trace,
+                                     const ScenarioSpec& spec) {
+  SPES_ASSIGN_OR_RETURN(ScenarioStream open, OpenValidated(trace, spec));
+  SPES_ASSIGN_OR_RETURN(SimulationOutcome outcome, open.stream.Finish());
   ScenarioOutcome result;
   result.outcome = std::move(outcome);
-  result.policy = std::move(policy);
+  result.policy = std::move(open.policy);
   return result;
+}
+
+/// Lockstep core over a realized workload: validates the spec line-up,
+/// builds every policy, runs one multi-lane stream.
+Result<std::vector<ScenarioOutcome>> RunLockstepValidatedTrace(
+    const Trace& trace, const std::vector<ScenarioSpec>& specs) {
+  std::vector<ScenarioOutcome> results;
+  if (specs.empty()) return results;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Status status = ValidateScenarioSpec(specs[i]);
+    if (!status.ok()) {
+      return Status(status.code(), "lockstep spec " + std::to_string(i) +
+                                       (specs[i].label.empty()
+                                            ? ""
+                                            : " ('" + specs[i].label + "')") +
+                                       ": " + status.message());
+    }
+    const SimOptions& a = specs[i].options;
+    const SimOptions& b = specs[0].options;
+    if (a.train_minutes != b.train_minutes) {
+      return Status::InvalidArgument(
+          "lockstep lanes share one cursor: spec " + std::to_string(i) +
+          " train_minutes (=" + std::to_string(a.train_minutes) +
+          ") differs from spec 0 (=" + std::to_string(b.train_minutes) + ")");
+    }
+    if (a.end_minute != b.end_minute) {
+      return Status::InvalidArgument(
+          "lockstep lanes share one cursor: spec " + std::to_string(i) +
+          " end_minute (=" + std::to_string(a.end_minute) +
+          ") differs from spec 0 (=" + std::to_string(b.end_minute) + ")");
+    }
+    if (a.pin_executing_functions != b.pin_executing_functions) {
+      return Status::InvalidArgument(
+          "lockstep lanes share one engine: spec " + std::to_string(i) +
+          " pin_executing_functions differs from spec 0");
+    }
+  }
+  std::vector<std::unique_ptr<Policy>> policies;
+  std::vector<Policy*> lanes;
+  policies.reserve(specs.size());
+  lanes.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    Result<std::unique_ptr<Policy>> built =
+        PolicyRegistry::Global().Create(specs[i].policy);
+    if (!built.ok()) {
+      Status status = built.status();
+      return Status(status.code(), "lockstep spec " + std::to_string(i) +
+                                       ": " + status.message());
+    }
+    policies.push_back(std::move(built).ValueOrDie());
+    lanes.push_back(policies.back().get());
+  }
+  SPES_ASSIGN_OR_RETURN(
+      SimStream stream,
+      SimStream::Create(trace, std::move(lanes), specs[0].options));
+  for (const ScenarioSpec& spec : specs) {
+    for (SimObserver* observer : spec.observers) {
+      stream.AddObserver(observer);
+    }
+  }
+  SPES_ASSIGN_OR_RETURN(std::vector<SimulationOutcome> outcomes,
+                        stream.FinishAll());
+  results.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ScenarioOutcome result;
+    result.outcome = std::move(outcomes[i]);
+    result.policy = std::move(policies[i]);
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 }  // namespace
@@ -112,6 +192,17 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec) {
   SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
   SPES_ASSIGN_OR_RETURN(const Trace trace, RealizeTrace(spec.trace));
   return RunValidated(trace, spec);
+}
+
+Result<ScenarioStream> OpenScenario(const Trace& trace,
+                                    const ScenarioSpec& spec) {
+  SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  return OpenValidated(trace, spec);
+}
+
+Result<std::vector<ScenarioOutcome>> RunLockstep(
+    const Trace& trace, const std::vector<ScenarioSpec>& specs) {
+  return RunLockstepValidatedTrace(trace, specs);
 }
 
 Result<std::shared_ptr<const Trace>> TraceCache::Get(const TraceSpec& spec) {
@@ -161,6 +252,26 @@ Result<ScenarioOutcome> ScenarioSession::Run(const ScenarioSpec& spec) const {
   SPES_ASSIGN_OR_RETURN(std::shared_ptr<const Trace> trace,
                         TransformedTrace(spec.trace.transforms));
   return RunValidated(*trace, spec);
+}
+
+Result<std::vector<ScenarioOutcome>> ScenarioSession::RunLockstep(
+    const std::vector<ScenarioSpec>& specs) const {
+  if (specs.empty()) return std::vector<ScenarioOutcome>{};
+  // Lockstep lanes share one workload, so every spec must request the
+  // same stressed variant of the session's base trace.
+  const std::string chain = FormatTransformChain(specs[0].trace.transforms);
+  for (size_t i = 1; i < specs.size(); ++i) {
+    const std::string other = FormatTransformChain(specs[i].trace.transforms);
+    if (other != chain) {
+      return Status::InvalidArgument(
+          "lockstep lanes share one workload: spec " + std::to_string(i) +
+          " transform chain (=\"" + other + "\") differs from spec 0 (=\"" +
+          chain + "\")");
+    }
+  }
+  SPES_ASSIGN_OR_RETURN(std::shared_ptr<const Trace> trace,
+                        TransformedTrace(specs[0].trace.transforms));
+  return RunLockstepValidatedTrace(*trace, specs);
 }
 
 }  // namespace spes

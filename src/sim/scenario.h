@@ -26,6 +26,8 @@
 #include "common/status.h"
 #include "core/policy_registry.h"
 #include "sim/engine.h"
+#include "sim/observer.h"
+#include "sim/stream.h"
 #include "trace/generator.h"
 #include "trace/trace.h"
 #include "trace/transform.h"
@@ -91,6 +93,11 @@ struct ScenarioSpec {
   TraceSpec trace;
   PolicySpec policy;
   SimOptions options;
+  /// Observers attached to the run's SimStream (borrowed; must outlive
+  /// the run). Every entry point — RunScenario, ScenarioSession::Run,
+  /// OpenScenario, the lockstep batch forms and the SuiteRunner spec
+  /// batches — honours them; null entries are ignored.
+  std::vector<SimObserver*> observers;
 };
 
 /// \brief Up-front spec validation: an empty policy name or invalid
@@ -119,6 +126,33 @@ Result<ScenarioOutcome> RunScenario(const Trace& trace,
 /// \brief One-shot entry point: realizes the spec's trace source, applies
 /// its transform chain, then runs as above.
 Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec);
+
+/// \brief An open, incrementally drivable scenario: the registry-built
+/// policy plus the SimStream over it, with the spec's observers already
+/// attached. Move-only; the trace must outlive it.
+struct ScenarioStream {
+  std::unique_ptr<Policy> policy;
+  SimStream stream;
+};
+
+/// \brief Opens `spec` as a stream over an externally supplied trace (the
+/// spec's trace source and transforms are ignored, like RunScenario):
+/// validate, build the policy, train it, position the cursor — but leave
+/// the driving (Step/RunUntil/Checkpoint/Finish) to the caller.
+Result<ScenarioStream> OpenScenario(const Trace& trace,
+                                    const ScenarioSpec& spec);
+
+/// \brief Lockstep batch form: every spec becomes one lane of a single
+/// SimStream, so the whole sweep walks `trace` ONCE — one shared arrival
+/// decode per minute — instead of once per policy. Requirements, each
+/// yielding InvalidArgument naming the offending spec and values:
+/// every spec must validate, and every spec must carry the same
+/// SimOptions as specs[0] (lockstep lanes share one cursor). The specs'
+/// trace sources/transforms are ignored; the union of all specs'
+/// observers is attached (MinuteView::lane tells runs apart). Outcomes
+/// are returned in spec order.
+Result<std::vector<ScenarioOutcome>> RunLockstep(
+    const Trace& trace, const std::vector<ScenarioSpec>& specs);
 
 /// \brief Realized-trace cache shared across specs: Get() materializes
 /// each distinct (source, transform chain) — see TraceSpecKey() — exactly
@@ -163,6 +197,14 @@ class ScenarioSession {
   /// \brief Runs `spec` against the base trace, with spec.trace.transforms
   /// (if any) applied on top — the spec's trace *source* is ignored.
   Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const;
+
+  /// \brief Lockstep batch over the session's workload: one SimStream,
+  /// one trace walk, N policy lanes (see the free RunLockstep above). On
+  /// top of its requirements, every spec must carry the same transform
+  /// chain (the lanes share one realized workload); the shared chain is
+  /// applied through the session's variant cache.
+  Result<std::vector<ScenarioOutcome>> RunLockstep(
+      const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief The base trace with `chain` applied, realized at most once
   /// per distinct chain (keyed by FormatTransformChain).

@@ -1,0 +1,480 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace spes {
+
+namespace {
+
+/// Format tag of the serialized checkpoint byte stream.
+constexpr char kCheckpointMagic[] = "SPESCKPT";
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+SimStream::SimStream(const Trace& trace, const SimOptions& options, int end)
+    : trace_(&trace),
+      options_(options),
+      start_(options.train_minutes),
+      end_(end),
+      cursor_(options.train_minutes),
+      invoked_now_(trace.num_functions(), 0) {}
+
+Result<SimStream> SimStream::Create(const Trace& trace, Policy* policy,
+                                    const SimOptions& options) {
+  return Create(trace, std::vector<Policy*>{policy}, options);
+}
+
+Result<SimStream> SimStream::Create(const Trace& trace,
+                                    std::vector<Policy*> policies,
+                                    const SimOptions& options) {
+  if (policies.empty()) {
+    return Status::InvalidArgument("a SimStream needs at least one policy");
+  }
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (policies[i] == nullptr) {
+      return Status::InvalidArgument(
+          policies.size() == 1
+              ? "policy must not be null"
+              : "policy must not be null (lane " + std::to_string(i) + ")");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (policies[j] == policies[i]) {
+        return Status::InvalidArgument(
+            "lockstep lanes must hold distinct policy instances (lanes " +
+            std::to_string(j) + " and " + std::to_string(i) +
+            " share one)");
+      }
+    }
+  }
+  SPES_RETURN_NOT_OK(ValidateSimOptions(options));
+  const int horizon = trace.num_minutes();
+  if (options.train_minutes > horizon) {
+    return Status::InvalidArgument(
+        "SimOptions.train_minutes (=" + std::to_string(options.train_minutes) +
+        ") exceeds the trace horizon (=" + std::to_string(horizon) +
+        " minutes)");
+  }
+  // end_minute == 0 means the trace horizon; a larger request clamps to it
+  // (a policy cannot be replayed past the recorded trace).
+  const int end = options.end_minute > 0
+                      ? std::min(options.end_minute, horizon)
+                      : horizon;
+
+  SimStream stream(trace, options, end);
+  const size_t n = trace.num_functions();
+  stream.lanes_.reserve(policies.size());
+  for (Policy* policy : policies) {
+    policy->Train(trace, options.train_minutes);
+    Lane lane;
+    lane.policy = policy;
+    lane.mem = MemSet(n);
+    lane.accounts.assign(n, FunctionAccount{});
+    lane.memory_series.reserve(static_cast<size_t>(end -
+                                                   options.train_minutes));
+    stream.lanes_.push_back(std::move(lane));
+  }
+  return stream;
+}
+
+void SimStream::AddObserver(SimObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void SimStream::StepLocked() {
+  const int t = cursor_;
+  const size_t n = trace_->num_functions();
+
+  // Decode this minute's arrivals ONCE; every lane shares the decode.
+  arrivals_.clear();
+  for (size_t f = 0; f < n; ++f) {
+    const uint32_t c = trace_->function(f).counts[static_cast<size_t>(t)];
+    invoked_now_[f] = c > 0 ? 1 : 0;
+    if (c > 0) {
+      arrivals_.push_back({static_cast<uint32_t>(f), c});
+    }
+  }
+  ++minutes_decoded_;
+
+  bool stop_requested = false;
+  for (size_t lane_index = 0; lane_index < lanes_.size(); ++lane_index) {
+    Lane& lane = lanes_[lane_index];
+
+    // 1-2. Cold-start accounting, then execution pins the instance.
+    for (const Invocation& inv : arrivals_) {
+      FunctionAccount& acc = lane.accounts[inv.function];
+      acc.invocations += inv.count;
+      acc.invoked_minutes += 1;
+      lane.totals.invocations += inv.count;
+      if (!lane.mem.Contains(inv.function)) {
+        acc.cold_starts += 1;
+        lane.totals.cold_starts += 1;
+      }
+      lane.mem.Add(inv.function);
+    }
+
+    // 3. Policy step (timed for the RQ2 overhead measurement).
+    const auto start = std::chrono::steady_clock::now();
+    lane.policy->OnMinute(t, arrivals_, &lane.mem);
+    const auto stop = std::chrono::steady_clock::now();
+    lane.overhead_seconds +=
+        std::chrono::duration<double>(stop - start).count();
+
+    if (options_.pin_executing_functions) {
+      for (const Invocation& inv : arrivals_) lane.mem.Add(inv.function);
+    }
+
+    // 4. Residency accounting.
+    const std::vector<uint8_t>& loaded = lane.mem.raw();
+    for (size_t f = 0; f < n; ++f) {
+      if (!loaded[f]) continue;
+      FunctionAccount& acc = lane.accounts[f];
+      acc.loaded_minutes += 1;
+      lane.totals.loaded_instance_minutes += 1;
+      if (!invoked_now_[f]) {
+        acc.wasted_minutes += 1;
+        lane.totals.wasted_memory_minutes += 1;
+      }
+    }
+    lane.memory_series.push_back(static_cast<uint32_t>(lane.mem.Count()));
+
+    if (!observers_.empty()) {
+      MinuteView view;
+      view.minute = t;
+      view.lane = lane_index;
+      view.policy = lane.policy;
+      view.arrivals = &arrivals_;
+      view.mem = &lane.mem;
+      view.accounts = &lane.accounts;
+      view.memory_series = &lane.memory_series;
+      view.totals = lane.totals;
+      for (SimObserver* observer : observers_) {
+        if (!observer->OnMinute(view)) stop_requested = true;
+      }
+    }
+  }
+
+  ++cursor_;
+  if (stop_requested) stopped_ = true;
+}
+
+Status SimStream::Step() {
+  if (finished_) {
+    return Status::OutOfRange("SimStream was consumed by Finish()");
+  }
+  if (stopped_) {
+    return Status::OutOfRange(
+        "SimStream was stopped early at minute (=" + std::to_string(cursor_) +
+        ")");
+  }
+  if (cursor_ >= end_) {
+    return Status::OutOfRange(
+        "SimStream is exhausted: cursor (=" + std::to_string(cursor_) +
+        ") reached end_minute (=" + std::to_string(end_) + ")");
+  }
+  EnsureStarted();
+  StepLocked();
+  return Status::OK();
+}
+
+void SimStream::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  StreamInfo info;
+  info.train_minutes = options_.train_minutes;
+  info.start_minute = start_;
+  info.end_minute = end_;
+  info.num_lanes = lanes_.size();
+  info.num_functions = trace_->num_functions();
+  for (SimObserver* observer : observers_) observer->OnStreamStart(info);
+}
+
+Status SimStream::RunUntil(int minute) {
+  if (finished_) {
+    return Status::OutOfRange("SimStream was consumed by Finish()");
+  }
+  const int target = std::min(minute, end_);
+  while (cursor_ < target && !stopped_) {
+    SPES_RETURN_NOT_OK(Step());
+  }
+  return Status::OK();
+}
+
+FleetMetrics SimStream::SnapshotMetrics(size_t lane_index) const {
+  const Lane& lane = lanes_[lane_index];
+  return ComputeFleetMetrics(lane.policy->name(), lane.accounts,
+                             lane.memory_series, lane.overhead_seconds);
+}
+
+Result<std::vector<SimulationOutcome>> SimStream::FinishAll() {
+  if (finished_) {
+    return Status::OutOfRange("SimStream was already consumed by Finish()");
+  }
+  // Even a zero-step window (train == horizon, or a stream restored at
+  // its end) pairs OnStreamStart with OnStreamEnd, so observers always
+  // get their sizing hook before any other callback.
+  EnsureStarted();
+  SPES_RETURN_NOT_OK(RunToEnd());
+  finished_ = true;
+  std::vector<SimulationOutcome> outcomes;
+  outcomes.reserve(lanes_.size());
+  for (Lane& lane : lanes_) {
+    SimulationOutcome outcome;
+    outcome.metrics = ComputeFleetMetrics(lane.policy->name(), lane.accounts,
+                                          lane.memory_series,
+                                          lane.overhead_seconds);
+    outcome.accounts = std::move(lane.accounts);
+    outcome.memory_series = std::move(lane.memory_series);
+    outcomes.push_back(std::move(outcome));
+  }
+  for (SimObserver* observer : observers_) {
+    for (size_t lane = 0; lane < outcomes.size(); ++lane) {
+      observer->OnStreamEnd(lane, outcomes[lane]);
+    }
+  }
+  return outcomes;
+}
+
+Result<SimulationOutcome> SimStream::Finish() {
+  if (lanes_.size() != 1) {
+    return Status::InvalidArgument(
+        "Finish() requires a single-lane stream (this one has " +
+        std::to_string(lanes_.size()) + " lanes); use FinishAll()");
+  }
+  SPES_ASSIGN_OR_RETURN(std::vector<SimulationOutcome> outcomes, FinishAll());
+  return std::move(outcomes[0]);
+}
+
+Result<SimCheckpoint> SimStream::Checkpoint() const {
+  if (finished_) {
+    return Status::OutOfRange(
+        "cannot Checkpoint a stream consumed by Finish()");
+  }
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (!lanes_[i].policy->SupportsCheckpoint()) {
+      return Status::NotImplemented(
+          "policy '" + lanes_[i].policy->name() + "' (lane " +
+          std::to_string(i) + ") does not support checkpointing");
+    }
+  }
+  SimCheckpoint checkpoint;
+  checkpoint.cursor = cursor_;
+  checkpoint.train_minutes = options_.train_minutes;
+  checkpoint.end_minute = end_;
+  checkpoint.pin_executing_functions = options_.pin_executing_functions;
+  checkpoint.num_functions = trace_->num_functions();
+  checkpoint.stopped = stopped_;
+  checkpoint.lanes.reserve(lanes_.size());
+  for (const Lane& lane : lanes_) {
+    SimCheckpoint::Lane out;
+    out.policy_name = lane.policy->name();
+    out.accounts = lane.accounts;
+    out.memory_series = lane.memory_series;
+    out.loaded = lane.mem.raw();
+    out.totals = lane.totals;
+    out.overhead_seconds = lane.overhead_seconds;
+    SPES_ASSIGN_OR_RETURN(out.policy_state, lane.policy->SaveState());
+    checkpoint.lanes.push_back(std::move(out));
+  }
+  return checkpoint;
+}
+
+Status SimStream::Restore(const SimCheckpoint& checkpoint) {
+  if (finished_) {
+    return Status::OutOfRange("cannot Restore a stream consumed by Finish()");
+  }
+  const size_t n = trace_->num_functions();
+  if (checkpoint.num_functions != n) {
+    return Status::InvalidArgument(
+        "checkpoint num_functions (=" +
+        std::to_string(checkpoint.num_functions) +
+        ") does not match this stream's trace (=" + std::to_string(n) + ")");
+  }
+  if (checkpoint.train_minutes != options_.train_minutes) {
+    return Status::InvalidArgument(
+        "checkpoint train_minutes (=" +
+        std::to_string(checkpoint.train_minutes) +
+        ") does not match this stream (=" +
+        std::to_string(options_.train_minutes) + ")");
+  }
+  if (checkpoint.end_minute != end_) {
+    return Status::InvalidArgument(
+        "checkpoint end_minute (=" + std::to_string(checkpoint.end_minute) +
+        ") does not match this stream (=" + std::to_string(end_) + ")");
+  }
+  if (checkpoint.pin_executing_functions !=
+      options_.pin_executing_functions) {
+    return Status::InvalidArgument(
+        "checkpoint pin_executing_functions (=" +
+        std::string(checkpoint.pin_executing_functions ? "true" : "false") +
+        ") does not match this stream");
+  }
+  if (checkpoint.cursor < start_ || checkpoint.cursor > end_) {
+    return Status::InvalidArgument(
+        "checkpoint cursor (=" + std::to_string(checkpoint.cursor) +
+        ") is outside this stream's window [" + std::to_string(start_) +
+        ", " + std::to_string(end_) + "]");
+  }
+  if (checkpoint.lanes.size() != lanes_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has (=" + std::to_string(checkpoint.lanes.size()) +
+        ") lanes but this stream has (=" + std::to_string(lanes_.size()) +
+        ")");
+  }
+  const size_t expected_series =
+      static_cast<size_t>(checkpoint.cursor - start_);
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const SimCheckpoint::Lane& in = checkpoint.lanes[i];
+    if (in.policy_name != lanes_[i].policy->name()) {
+      return Status::InvalidArgument(
+          "checkpoint lane " + std::to_string(i) + " holds policy '" +
+          in.policy_name + "' but this stream has '" +
+          lanes_[i].policy->name() + "'");
+    }
+    if (in.accounts.size() != n || in.loaded.size() != n) {
+      return Status::InvalidArgument(
+          "checkpoint lane " + std::to_string(i) +
+          " is sized for (=" + std::to_string(in.accounts.size()) +
+          ") functions, expected (=" + std::to_string(n) + ")");
+    }
+    if (in.memory_series.size() != expected_series) {
+      return Status::InvalidArgument(
+          "checkpoint lane " + std::to_string(i) + " memory series has (=" +
+          std::to_string(in.memory_series.size()) +
+          ") entries but the cursor implies (=" +
+          std::to_string(expected_series) + ")");
+    }
+  }
+
+  // Shape checks all passed; hand the policies their state, then reinstate
+  // the engine-side counters. A RestoreState failure here (e.g. a corrupt
+  // policy blob) leaves the stream in an unspecified mix of old and new
+  // state — callers must discard the stream on a non-OK Restore.
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    SPES_RETURN_NOT_OK(
+        lanes_[i].policy->RestoreState(checkpoint.lanes[i].policy_state));
+  }
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    const SimCheckpoint::Lane& in = checkpoint.lanes[i];
+    Lane& lane = lanes_[i];
+    lane.accounts = in.accounts;
+    lane.memory_series = in.memory_series;
+    lane.totals = in.totals;
+    lane.overhead_seconds = in.overhead_seconds;
+    MemSet mem(n);
+    for (size_t f = 0; f < n; ++f) {
+      if (in.loaded[f]) mem.Add(f);
+    }
+    lane.mem = std::move(mem);
+  }
+  cursor_ = checkpoint.cursor;
+  stopped_ = checkpoint.stopped;
+  return Status::OK();
+}
+
+std::string SerializeCheckpoint(const SimCheckpoint& checkpoint) {
+  BinaryWriter w;
+  w.PutBytes(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutI32(checkpoint.cursor);
+  w.PutI32(checkpoint.train_minutes);
+  w.PutI32(checkpoint.end_minute);
+  w.PutBool(checkpoint.pin_executing_functions);
+  w.PutU64(checkpoint.num_functions);
+  w.PutBool(checkpoint.stopped);
+  w.PutU64(checkpoint.lanes.size());
+  for (const SimCheckpoint::Lane& lane : checkpoint.lanes) {
+    w.PutBytes(lane.policy_name);
+    w.PutU64(lane.accounts.size());
+    for (const FunctionAccount& acc : lane.accounts) {
+      w.PutU64(acc.invocations);
+      w.PutU64(acc.invoked_minutes);
+      w.PutU64(acc.cold_starts);
+      w.PutU64(acc.loaded_minutes);
+      w.PutU64(acc.wasted_minutes);
+    }
+    w.PutU64(lane.memory_series.size());
+    for (uint32_t v : lane.memory_series) w.PutU32(v);
+    w.PutU64(lane.loaded.size());
+    for (uint8_t v : lane.loaded) w.PutU8(v);
+    w.PutU64(lane.totals.invocations);
+    w.PutU64(lane.totals.cold_starts);
+    w.PutU64(lane.totals.loaded_instance_minutes);
+    w.PutU64(lane.totals.wasted_memory_minutes);
+    w.PutDouble(lane.overhead_seconds);
+    w.PutBytes(lane.policy_state);
+  }
+  return w.Take();
+}
+
+Result<SimCheckpoint> ParseCheckpoint(const std::string& bytes) {
+  BinaryReader r(bytes);
+  SPES_ASSIGN_OR_RETURN(const std::string magic, r.Bytes());
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument(
+        "not a SPES checkpoint (bad magic tag)");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version (=" + std::to_string(version) +
+        "), expected (=" + std::to_string(kCheckpointVersion) + ")");
+  }
+  SimCheckpoint checkpoint;
+  SPES_ASSIGN_OR_RETURN(checkpoint.cursor, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.train_minutes, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.end_minute, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.pin_executing_functions, r.Bool());
+  SPES_ASSIGN_OR_RETURN(checkpoint.num_functions, r.U64());
+  SPES_ASSIGN_OR_RETURN(checkpoint.stopped, r.Bool());
+  // Minimal encoded lane: 80 bytes (empty name/blob/vector prefixes +
+  // totals + overhead) — bounds reserve() against corrupt counts.
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_lanes, r.Length(80));
+  checkpoint.lanes.reserve(num_lanes);
+  for (uint64_t i = 0; i < num_lanes; ++i) {
+    SimCheckpoint::Lane lane;
+    SPES_ASSIGN_OR_RETURN(lane.policy_name, r.Bytes());
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_accounts, r.Length(40));
+    lane.accounts.reserve(num_accounts);
+    for (uint64_t k = 0; k < num_accounts; ++k) {
+      FunctionAccount acc;
+      SPES_ASSIGN_OR_RETURN(acc.invocations, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.invoked_minutes, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.cold_starts, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.loaded_minutes, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.wasted_minutes, r.U64());
+      lane.accounts.push_back(acc);
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_series, r.Length(4));
+    lane.memory_series.reserve(num_series);
+    for (uint64_t k = 0; k < num_series; ++k) {
+      SPES_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+      lane.memory_series.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_loaded, r.Length(1));
+    lane.loaded.reserve(num_loaded);
+    for (uint64_t k = 0; k < num_loaded; ++k) {
+      SPES_ASSIGN_OR_RETURN(const uint8_t v, r.U8());
+      lane.loaded.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(lane.totals.invocations, r.U64());
+    SPES_ASSIGN_OR_RETURN(lane.totals.cold_starts, r.U64());
+    SPES_ASSIGN_OR_RETURN(lane.totals.loaded_instance_minutes, r.U64());
+    SPES_ASSIGN_OR_RETURN(lane.totals.wasted_memory_minutes, r.U64());
+    SPES_ASSIGN_OR_RETURN(lane.overhead_seconds, r.Double());
+    SPES_ASSIGN_OR_RETURN(lane.policy_state, r.Bytes());
+    checkpoint.lanes.push_back(std::move(lane));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(r.remaining()) +
+        " trailing bytes");
+  }
+  return checkpoint;
+}
+
+}  // namespace spes

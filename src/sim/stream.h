@@ -1,0 +1,193 @@
+// SimStream: the incremental, observable simulation session the engine is
+// built on.
+//
+// A stream is opened over a trace and one or more policies, then driven
+// minute-by-minute: Step() simulates one minute, RunUntil(t) advances to an
+// absolute minute, Finish()/FinishAll() run to the end of the window and
+// return the outcome(s). The §V-A semantics of the batch engine — train
+// prefix, per-minute policy step, engine-side cold-start accounting,
+// execution pinning — are preserved bit-for-bit; Simulate() in sim/engine.h
+// is now a thin wrapper over a full-window stream.
+//
+// Three capabilities come with the session form:
+//   * SimObserver hooks (sim/observer.h): per-minute callbacks with the
+//     lane's arrivals, MemSet and incremental counters — time-series
+//     capture, live snapshots, progress, early stop.
+//   * Checkpoint()/Restore(): snapshot the engine cursor, per-function
+//     accounts and (for checkpointable policies) the policy-visible state;
+//     SerializeCheckpoint()/ParseCheckpoint() turn snapshots into bytes
+//     for cross-process resume.
+//   * Lockstep lanes: N policies advance over ONE shared arrival decode
+//     per minute, so a policy sweep walks the trace once instead of once
+//     per policy.
+
+#ifndef SPES_SIM_STREAM_H_
+#define SPES_SIM_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/accounting.h"
+#include "sim/engine.h"
+#include "sim/memset.h"
+#include "sim/observer.h"
+#include "sim/policy.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief A resumable snapshot of a SimStream: the cursor plus, per lane,
+/// every counter the engine maintains and the policy's serialized state.
+/// Produced by SimStream::Checkpoint(), consumed by SimStream::Restore();
+/// SerializeCheckpoint()/ParseCheckpoint() round-trip it through bytes.
+struct SimCheckpoint {
+  /// Next minute to simulate when resumed.
+  int cursor = 0;
+  /// The window the stream was created with (validated on Restore).
+  int train_minutes = 0;
+  int end_minute = 0;  ///< resolved end (never 0 unless the window is empty)
+  bool pin_executing_functions = true;
+  uint64_t num_functions = 0;
+  bool stopped = false;  ///< an early stop was requested before the snapshot
+
+  struct Lane {
+    std::string policy_name;  ///< Policy::name(), validated on Restore
+    std::vector<FunctionAccount> accounts;
+    std::vector<uint32_t> memory_series;
+    std::vector<uint8_t> loaded;  ///< MemSet membership bytes
+    LiveTotals totals;
+    double overhead_seconds = 0.0;
+    std::string policy_state;  ///< Policy::SaveState() blob
+  };
+  std::vector<Lane> lanes;
+};
+
+/// \brief Byte form of a checkpoint (magic-tagged, little-endian).
+std::string SerializeCheckpoint(const SimCheckpoint& checkpoint);
+
+/// \brief Parses bytes produced by SerializeCheckpoint(); truncated or
+/// corrupt input yields InvalidArgument instead of undefined behaviour.
+Result<SimCheckpoint> ParseCheckpoint(const std::string& bytes);
+
+/// \brief An incremental simulation session. Create() trains the
+/// policy/policies and positions the cursor at the first simulated minute.
+/// The trace, policies and observers are borrowed and must outlive the
+/// stream. Not thread-safe; drive each stream from one thread.
+class SimStream {
+ public:
+  /// \brief Single-policy stream. Fails like Simulate() on a null policy,
+  /// an invalid window, or a train window past the trace horizon.
+  static Result<SimStream> Create(const Trace& trace, Policy* policy,
+                                  const SimOptions& options);
+
+  /// \brief Lockstep multi-policy stream: every lane advances over one
+  /// shared arrival decode per minute. Lanes must be distinct, non-null
+  /// policy instances (each lane owns its MemSet and counters).
+  static Result<SimStream> Create(const Trace& trace,
+                                  std::vector<Policy*> policies,
+                                  const SimOptions& options);
+
+  /// \brief Attaches a per-minute observer (borrowed). Must be called
+  /// before the first Step(); OnStreamStart fires at that first step.
+  void AddObserver(SimObserver* observer);
+
+  /// \name Cursor state
+  /// @{
+  int cursor() const { return cursor_; }          ///< next minute to run
+  int start_minute() const { return start_; }     ///< == train_minutes
+  int end_minute() const { return end_; }         ///< resolved end
+  size_t num_lanes() const { return lanes_.size(); }
+  const Policy* policy(size_t lane) const { return lanes_[lane].policy; }
+  /// Minutes decoded so far: one arrival decode serves every lane, so
+  /// this counts simulated minutes, not minutes x lanes.
+  int64_t minutes_decoded() const { return minutes_decoded_; }
+  /// True once the cursor reached end_minute(), an observer (or
+  /// RequestStop) halted the stream, or Finish()/FinishAll() consumed it.
+  bool done() const { return finished_ || stopped_ || cursor_ >= end_; }
+  /// True when the stream halted before end_minute().
+  bool stopped_early() const { return stopped_; }
+  /// @}
+
+  /// \brief Simulates one minute across all lanes. OutOfRange once done().
+  Status Step();
+
+  /// \brief Steps until the cursor reaches min(minute, end_minute()) or an
+  /// observer stops the stream. A minute at or before the cursor is a
+  /// no-op. OutOfRange if the stream was already consumed by Finish().
+  Status RunUntil(int minute);
+
+  /// \brief Convenience: RunUntil(end_minute()).
+  Status RunToEnd() { return RunUntil(end_); }
+
+  /// \brief Live fleet metrics of one lane over the minutes simulated so
+  /// far (wall-clock overhead included). O(n) — fine per snapshot, use an
+  /// observer with LiveTotals for per-minute monitoring.
+  FleetMetrics SnapshotMetrics(size_t lane) const;
+
+  /// \brief Runs to the end of the window (unless already stopped) and
+  /// returns the single lane's outcome, consuming the stream. Requires a
+  /// single-lane stream; lockstep streams use FinishAll().
+  Result<SimulationOutcome> Finish();
+
+  /// \brief Runs to the end of the window (unless already stopped) and
+  /// returns every lane's outcome in lane order, consuming the stream.
+  Result<std::vector<SimulationOutcome>> FinishAll();
+
+  /// \brief Halts the stream as if an observer returned false; done()
+  /// becomes true and Finish() returns the partial-window outcome.
+  void RequestStop() { stopped_ = true; }
+
+  /// \brief Snapshot of the cursor, per-lane counters and policy state.
+  /// Every lane's policy must support checkpointing (NotImplemented
+  /// naming the first lane that does not, otherwise). Fails once the
+  /// stream has been consumed by Finish()/FinishAll().
+  Result<SimCheckpoint> Checkpoint() const;
+
+  /// \brief Rewinds/forwards this stream to `checkpoint`. The stream must
+  /// have been created over the same trace, window and policy line-up as
+  /// the checkpoint's origin (validated field by field, InvalidArgument
+  /// naming the mismatch); policies are handed their serialized state.
+  /// After a successful restore the stream continues from
+  /// checkpoint.cursor exactly as the original would have.
+  Status Restore(const SimCheckpoint& checkpoint);
+
+ private:
+  struct Lane {
+    Policy* policy = nullptr;
+    MemSet mem{0};
+    std::vector<FunctionAccount> accounts;
+    std::vector<uint32_t> memory_series;
+    LiveTotals totals;
+    double overhead_seconds = 0.0;
+  };
+
+  SimStream(const Trace& trace, const SimOptions& options, int end);
+
+  /// Delivers OnStreamStart exactly once, before any other callback.
+  void EnsureStarted();
+
+  /// One simulated minute for every lane over a single arrival decode.
+  void StepLocked();
+
+  const Trace* trace_;
+  SimOptions options_;
+  int start_;
+  int end_;
+  int cursor_;
+  bool started_ = false;   ///< OnStreamStart delivered
+  bool stopped_ = false;   ///< early stop requested
+  bool finished_ = false;  ///< outcomes moved out
+  int64_t minutes_decoded_ = 0;
+  std::vector<Lane> lanes_;
+  std::vector<SimObserver*> observers_;
+
+  // Per-minute scratch, reused across steps.
+  std::vector<Invocation> arrivals_;
+  std::vector<uint8_t> invoked_now_;
+};
+
+}  // namespace spes
+
+#endif  // SPES_SIM_STREAM_H_

@@ -67,12 +67,14 @@ TEST(EngineTest, WindowErrorsNameTheBadField) {
   Trace trace = MakeTrace({{1, 0, 1}});
   FixedKeepAlivePolicy policy(10);
 
+  // Every window error carries the rejected value(s), not just the field
+  // name, in the uniform `field (=value)` form.
   SimOptions negative_train;
   negative_train.train_minutes = -3;
   const auto train_result = Simulate(trace, &policy, negative_train);
   ASSERT_FALSE(train_result.ok());
   EXPECT_EQ(train_result.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(train_result.status().message().find("train_minutes"),
+  EXPECT_NE(train_result.status().message().find("train_minutes (=-3)"),
             std::string::npos);
 
   SimOptions end_before_train;
@@ -81,14 +83,26 @@ TEST(EngineTest, WindowErrorsNameTheBadField) {
   const auto end_result = Simulate(trace, &policy, end_before_train);
   ASSERT_FALSE(end_result.ok());
   EXPECT_EQ(end_result.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(end_result.status().message().find("end_minute"),
+  EXPECT_NE(end_result.status().message().find("end_minute (=1)"),
+            std::string::npos);
+  EXPECT_NE(end_result.status().message().find("train_minutes (=2)"),
+            std::string::npos);
+
+  SimOptions negative_end;
+  negative_end.train_minutes = 0;
+  negative_end.end_minute = -7;
+  const auto negative_end_result = Simulate(trace, &policy, negative_end);
+  ASSERT_FALSE(negative_end_result.ok());
+  EXPECT_NE(negative_end_result.status().message().find("end_minute (=-7)"),
             std::string::npos);
 
   SimOptions beyond_horizon;
   beyond_horizon.train_minutes = 99;
   const auto horizon_result = Simulate(trace, &policy, beyond_horizon);
   ASSERT_FALSE(horizon_result.ok());
-  EXPECT_NE(horizon_result.status().message().find("trace horizon"),
+  EXPECT_NE(horizon_result.status().message().find("train_minutes (=99)"),
+            std::string::npos);
+  EXPECT_NE(horizon_result.status().message().find("trace horizon (=3"),
             std::string::npos);
 }
 

@@ -18,8 +18,10 @@
 #include "core/policy_registry.h"
 #include "core/spes_policy.h"
 #include "policies/fixed_keepalive.h"
+#include "runner/suite_runner.h"
 #include "sim/engine.h"
 #include "sim/scenario.h"
+#include "sim/stream.h"
 #include "trace/generator.h"
 #include "trace/transform.h"
 
@@ -28,15 +30,23 @@ namespace {
 
 /// The golden fleet: small enough to simulate in well under a second,
 /// large enough to exercise every generator archetype and SPES rule.
-SimulationOutcome RunGoldenFleet(Policy* policy) {
+Trace GoldenTrace() {
   GeneratorConfig config;
   config.num_functions = 150;
   config.days = 4;
   config.seed = 99;
-  const GeneratedTrace fleet = GenerateTrace(config).ValueOrDie();
+  return std::move(GenerateTrace(config).ValueOrDie().trace);
+}
+
+SimOptions GoldenOptions() {
   SimOptions options;
   options.train_minutes = 2 * kMinutesPerDay;
-  return Simulate(fleet.trace, policy, options).ValueOrDie();
+  return options;
+}
+
+SimulationOutcome RunGoldenFleet(Policy* policy) {
+  const Trace fleet = GoldenTrace();
+  return Simulate(fleet, policy, GoldenOptions()).ValueOrDie();
 }
 
 uint64_t SeriesSum(const std::vector<uint32_t>& series) {
@@ -199,6 +209,148 @@ TEST(GoldenMetricsTest, TransformedChainReproducesGoldenValues) {
   // And the same spec realizes bitwise the same workload again.
   const ScenarioOutcome again = RunScenario(spec).ValueOrDie();
   ExpectBitwiseIdenticalBehaviour(run.outcome, again.outcome);
+}
+
+// ---------------------------------------------------------------------
+// Streaming-vs-batch equivalence: the SimStream session API must
+// reproduce the Simulate() goldens above bit for bit, however the
+// window is driven — full run, checkpoint + restore at mid-window, or
+// lockstep multi-policy lanes.
+// ---------------------------------------------------------------------
+
+TEST(GoldenMetricsTest, StreamedFullRunMatchesBatchGoldens) {
+  const Trace fleet = GoldenTrace();
+
+  SpesPolicy spes;
+  SimStream spes_stream =
+      SimStream::Create(fleet, &spes, GoldenOptions()).ValueOrDie();
+  const SimulationOutcome spes_outcome = spes_stream.Finish().ValueOrDie();
+  EXPECT_EQ(spes_outcome.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(spes_outcome.memory_series), 212568u);
+
+  SpesPolicy spes_batch;
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&spes_batch), spes_outcome);
+
+  // Step-by-step driving is the same engine: alternate single steps and
+  // RunUntil hops, then finish.
+  FixedKeepAlivePolicy fixed(10);
+  SimStream fixed_stream =
+      SimStream::Create(fleet, &fixed, GoldenOptions()).ValueOrDie();
+  EXPECT_TRUE(fixed_stream.Step().ok());
+  EXPECT_TRUE(fixed_stream.RunUntil(3 * kMinutesPerDay).ok());
+  EXPECT_TRUE(fixed_stream.Step().ok());
+  const SimulationOutcome fixed_outcome =
+      fixed_stream.Finish().ValueOrDie();
+  EXPECT_EQ(fixed_outcome.metrics.total_cold_starts, 1574u);
+  EXPECT_EQ(SeriesSum(fixed_outcome.memory_series), 210020u);
+
+  FixedKeepAlivePolicy fixed_batch(10);
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&fixed_batch),
+                                  fixed_outcome);
+}
+
+TEST(GoldenMetricsTest, CheckpointRestoreMidWindowMatchesBatchGoldens) {
+  const Trace fleet = GoldenTrace();
+  // Mid-window: one simulated day in, one to go.
+  const int midpoint = 3 * kMinutesPerDay;
+
+  {
+    SpesPolicy original;
+    SimStream first =
+        SimStream::Create(fleet, &original, GoldenOptions()).ValueOrDie();
+    EXPECT_TRUE(first.RunUntil(midpoint).ok());
+    // Through bytes, as a cross-process resume would go.
+    const std::string bytes =
+        SerializeCheckpoint(first.Checkpoint().ValueOrDie());
+
+    SpesPolicy fresh;
+    SimStream second =
+        SimStream::Create(fleet, &fresh, GoldenOptions()).ValueOrDie();
+    EXPECT_TRUE(
+        second.Restore(ParseCheckpoint(bytes).ValueOrDie()).ok());
+    const SimulationOutcome resumed = second.Finish().ValueOrDie();
+    EXPECT_EQ(resumed.metrics.total_cold_starts, 631u);
+    EXPECT_EQ(resumed.metrics.wasted_memory_minutes, 82418u);
+    EXPECT_EQ(SeriesSum(resumed.memory_series), 212568u);
+
+    SpesPolicy batch;
+    ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&batch), resumed);
+  }
+  {
+    FixedKeepAlivePolicy original(10);
+    SimStream first =
+        SimStream::Create(fleet, &original, GoldenOptions()).ValueOrDie();
+    EXPECT_TRUE(first.RunUntil(midpoint).ok());
+    const SimCheckpoint checkpoint = first.Checkpoint().ValueOrDie();
+
+    FixedKeepAlivePolicy fresh(10);
+    SimStream second =
+        SimStream::Create(fleet, &fresh, GoldenOptions()).ValueOrDie();
+    EXPECT_TRUE(second.Restore(checkpoint).ok());
+    const SimulationOutcome resumed = second.Finish().ValueOrDie();
+    EXPECT_EQ(resumed.metrics.total_cold_starts, 1574u);
+    EXPECT_EQ(SeriesSum(resumed.memory_series), 210020u);
+
+    FixedKeepAlivePolicy batch(10);
+    ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&batch), resumed);
+  }
+}
+
+TEST(GoldenMetricsTest, LockstepLanesMatchBatchGoldensOverOneTraceWalk) {
+  const Trace fleet = GoldenTrace();
+  SpesPolicy spes;
+  FixedKeepAlivePolicy fixed(10);
+  SimStream stream =
+      SimStream::Create(fleet, {&spes, &fixed}, GoldenOptions())
+          .ValueOrDie();
+  const std::vector<SimulationOutcome> outcomes =
+      stream.FinishAll().ValueOrDie();
+
+  // One shared arrival decode per minute for both lanes.
+  EXPECT_EQ(stream.minutes_decoded(), 2880);
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(outcomes[0].memory_series), 212568u);
+  EXPECT_EQ(outcomes[1].metrics.total_cold_starts, 1574u);
+  EXPECT_EQ(SeriesSum(outcomes[1].memory_series), 210020u);
+
+  SpesPolicy spes_batch;
+  FixedKeepAlivePolicy fixed_batch(10);
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&spes_batch), outcomes[0]);
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&fixed_batch), outcomes[1]);
+}
+
+TEST(GoldenMetricsTest, Fig13StyleLockstepSweepMatchesPerPolicyGoldens) {
+  // A miniature Fig. 13 sweep routed through SuiteRunner::RunLockstep:
+  // one trace walk for the whole grid, results bitwise identical to the
+  // per-policy thread-pool path and anchored to the goldens above.
+  const Trace fleet = GoldenTrace();
+  std::vector<ScenarioSpec> grid;
+  for (const char* spec : {"spes", "spes{theta_prewarm=5}",
+                           "fixed_keepalive{minutes=10}"}) {
+    ScenarioSpec scenario;
+    scenario.policy = ParsePolicySpec(spec).ValueOrDie();
+    scenario.options = GoldenOptions();
+    grid.push_back(std::move(scenario));
+  }
+
+  SuiteRunner runner({1, nullptr});
+  const std::vector<JobResult> pooled = runner.Run(fleet, grid);
+  const std::vector<JobResult> lockstep = runner.RunLockstep(fleet, grid);
+
+  ASSERT_EQ(pooled.size(), lockstep.size());
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    ASSERT_TRUE(pooled[i].status.ok()) << pooled[i].status.ToString();
+    ASSERT_TRUE(lockstep[i].status.ok()) << lockstep[i].status.ToString();
+    EXPECT_EQ(pooled[i].label, lockstep[i].label);
+    ExpectBitwiseIdenticalBehaviour(pooled[i].outcome, lockstep[i].outcome);
+  }
+  // Anchor against the absolute goldens, not just each other.
+  EXPECT_EQ(lockstep[0].outcome.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(lockstep[0].outcome.memory_series), 212568u);
+  EXPECT_EQ(lockstep[2].outcome.metrics.total_cold_starts, 1574u);
+  EXPECT_EQ(SeriesSum(lockstep[2].outcome.memory_series), 210020u);
 }
 
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {

@@ -11,6 +11,7 @@
 #include "policies/fixed_keepalive.h"
 #include "policies/hybrid_histogram.h"
 #include "policies/oracle.h"
+#include "sim/observers.h"
 #include "sim/scenario.h"
 #include "trace/generator.h"
 
@@ -179,6 +180,108 @@ TEST(SuiteRunnerTest, ProgressReportsEveryJobExactlyOnce) {
   runner.Run(fleet.trace, PolicyJobs(Options()));
   EXPECT_EQ(calls.load(), 5u);
   EXPECT_EQ(last_total, 5u);
+}
+
+TEST(SuiteRunnerLockstepTest, MixedWindowsGroupAndFailedSlotsAreIsolated) {
+  const GeneratedTrace fleet = MakeFleet();
+  SimOptions day1;
+  day1.train_minutes = kMinutesPerDay;
+  SimOptions day2;
+  day2.train_minutes = 2 * kMinutesPerDay;
+
+  // Two window groups plus one broken slot in the middle: the lockstep
+  // runner forms one stream per distinct window and the bad spec fails
+  // only its own slot.
+  std::vector<ScenarioSpec> specs(5);
+  specs[0].policy = {"fixed_keepalive", {{"minutes", 10}}};
+  specs[0].options = day1;
+  specs[1].policy = {"oracle", {}};
+  specs[1].options = day2;
+  specs[2].policy = {"no_such_policy", {}};
+  specs[2].options = day1;
+  specs[3].policy = {"oracle", {}};
+  specs[3].options = day1;
+  specs[4].policy = {"fixed_keepalive", {{"minutes", 10}}};
+  specs[4].options = day2;
+
+  size_t progress_calls = 0;
+  size_t last_finished = 0;
+  SuiteRunnerOptions runner_options;
+  runner_options.progress = [&](size_t finished, size_t total,
+                                const JobResult&) {
+    ++progress_calls;
+    EXPECT_EQ(finished, last_finished + 1);
+    last_finished = finished;
+    EXPECT_EQ(total, 5u);
+  };
+  SuiteRunner runner(runner_options);
+  const std::vector<JobResult> lockstep =
+      runner.RunLockstep(fleet.trace, specs);
+  EXPECT_EQ(progress_calls, 5u);
+
+  ASSERT_EQ(lockstep.size(), 5u);
+  EXPECT_EQ(lockstep[2].status.code(), StatusCode::kNotFound);
+  EXPECT_NE(lockstep[2].status.message().find("no_such_policy"),
+            std::string::npos);
+
+  // Every healthy slot is bitwise identical to the thread-pool path
+  // (compared through a fresh runner so the progress expectations above
+  // only see the lockstep batch).
+  const std::vector<JobResult> pooled = SuiteRunner().Run(fleet.trace, specs);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_TRUE(lockstep[i].status.ok()) << lockstep[i].status.ToString();
+    EXPECT_EQ(lockstep[i].label, pooled[i].label);
+    EXPECT_EQ(lockstep[i].outcome.memory_series,
+              pooled[i].outcome.memory_series);
+    EXPECT_EQ(lockstep[i].outcome.metrics.total_cold_starts,
+              pooled[i].outcome.metrics.total_cold_starts);
+    // The trained policy instance is kept alive for breakdowns.
+    EXPECT_NE(lockstep[i].policy, nullptr);
+  }
+}
+
+TEST(SuiteRunnerLockstepTest, SpecObserversAreSlotScoped) {
+  const GeneratedTrace fleet = MakeFleet();
+  SimOptions options;
+  options.train_minutes = kMinutesPerDay;
+
+  // Three specs in one window group; only spec 2 carries observers. They
+  // must see exactly their own spec's run, presented as a single-lane
+  // stream — so the stock observers work for any slot.
+  std::vector<ScenarioSpec> specs(3);
+  specs[0].policy = {"fixed_keepalive", {{"minutes", 10}}};
+  specs[1].policy = {"oracle", {}};
+  specs[2].policy = {"fixed_keepalive", {{"minutes", 3}}};
+  for (ScenarioSpec& spec : specs) spec.options = options;
+
+  size_t minutes_seen = 0;
+  CallbackObserver observer([&](const MinuteView& view) {
+    EXPECT_EQ(view.lane, 0u);
+    EXPECT_EQ(view.policy->name(), "Fixed-3min");
+    ++minutes_seen;
+    return true;
+  });
+  TimeSeriesObserver capture(60);
+  specs[2].observers = {&observer, &capture};
+
+  SuiteRunner runner;
+  const std::vector<JobResult> results =
+      runner.RunLockstep(fleet.trace, specs);
+  for (const JobResult& r : results) ASSERT_TRUE(r.status.ok());
+  const size_t window =
+      static_cast<size_t>(fleet.trace.num_minutes() - kMinutesPerDay);
+  EXPECT_EQ(minutes_seen, window);
+  // The stock capture observer fills lane 0 of its own virtual stream.
+  ASSERT_EQ(capture.series().size(), 1u);
+  EXPECT_EQ(capture.series()[0].size(), window / 60);
+
+  // The thread-pool spec batch honours observers too (each job opens its
+  // own stream) with the same single-lane presentation.
+  minutes_seen = 0;
+  const std::vector<JobResult> pooled = runner.Run(fleet.trace, specs);
+  for (const JobResult& r : pooled) ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(minutes_seen, window);
 }
 
 TEST(SuiteRunnerTest, EmptyJobListReturnsEmpty) {

@@ -11,6 +11,7 @@
 
 #include "policies/fixed_keepalive.h"
 #include "runner/suite_runner.h"
+#include "sim/observers.h"
 #include "sim/scenario.h"
 #include "trace/azure_csv.h"
 #include "trace/generator.h"
@@ -189,6 +190,123 @@ TEST(SuiteRunnerSpecBatchTest, InvalidSlotsKeepPreciseErrorsAndSiblingsRun) {
   EXPECT_NE(results[2].status.message().find("minuets"), std::string::npos);
   EXPECT_TRUE(results[3].status.ok());
   EXPECT_EQ(results[3].label, "Oracle");
+}
+
+TEST(ScenarioObserverTest, SpecObserversRideEveryEntryPoint) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  ScenarioSpec spec = SmallScenario({"fixed_keepalive", {{"minutes", 5}}});
+
+  size_t run_minutes = 0;
+  CallbackObserver counter([&](const MinuteView& view) {
+    (void)view;
+    ++run_minutes;
+    return true;
+  });
+  spec.observers = {&counter, nullptr};  // null entries are ignored
+
+  const int window = fleet.trace.num_minutes() - kMinutesPerDay;
+  ASSERT_TRUE(RunScenario(fleet.trace, spec).ok());
+  EXPECT_EQ(run_minutes, static_cast<size_t>(window));
+
+  run_minutes = 0;
+  ScenarioSession session(fleet.trace);
+  ASSERT_TRUE(session.Run(spec).ok());
+  EXPECT_EQ(run_minutes, static_cast<size_t>(window));
+
+  // OpenScenario hands back the stream un-drained; the observer fires as
+  // the caller drives it.
+  run_minutes = 0;
+  ScenarioStream open = OpenScenario(fleet.trace, spec).ValueOrDie();
+  ASSERT_TRUE(open.stream.RunUntil(kMinutesPerDay + 10).ok());
+  EXPECT_EQ(run_minutes, 10u);
+}
+
+TEST(RunLockstepTest, MatchesPerPolicyRunsOverOneWalk) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(SmallScenario({"fixed_keepalive", {{"minutes", 10}}}));
+  specs.push_back(SmallScenario({"oracle", {}}));
+  specs.push_back(SmallScenario({"fixed_keepalive", {{"minutes", 3}}}));
+
+  const std::vector<ScenarioOutcome> lockstep =
+      RunLockstep(fleet.trace, specs).ValueOrDie();
+  ASSERT_EQ(lockstep.size(), 3u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioOutcome solo =
+        RunScenario(fleet.trace, specs[i]).ValueOrDie();
+    EXPECT_EQ(lockstep[i].outcome.memory_series,
+              solo.outcome.memory_series);
+    EXPECT_EQ(lockstep[i].outcome.metrics.total_cold_starts,
+              solo.outcome.metrics.total_cold_starts);
+    // The trained policy instance comes back, as with RunScenario.
+    ASSERT_NE(lockstep[i].policy, nullptr);
+    EXPECT_EQ(lockstep[i].policy->name(),
+              lockstep[i].outcome.metrics.policy_name);
+  }
+}
+
+TEST(RunLockstepTest, RejectsMismatchedWindowsNamingSpecAndValues) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(SmallScenario({"oracle", {}}));
+  specs.push_back(SmallScenario({"oracle", {}}));
+  specs[1].options.train_minutes = 2 * kMinutesPerDay;
+
+  const auto result = RunLockstep(fleet.trace, specs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("spec 1"), std::string::npos);
+  EXPECT_NE(result.status().message().find("(=2880)"), std::string::npos);
+  EXPECT_NE(result.status().message().find("(=1440)"), std::string::npos);
+}
+
+TEST(RunLockstepTest, RejectsInvalidSpecNamingSlotAndLabel) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(SmallScenario({"oracle", {}}));
+  specs.push_back(SmallScenario({"", {}}));
+  specs[1].label = "broken";
+
+  const auto result = RunLockstep(fleet.trace, specs);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("lockstep spec 1"),
+            std::string::npos);
+  EXPECT_NE(result.status().message().find("broken"), std::string::npos);
+
+  EXPECT_TRUE(RunLockstep(fleet.trace, {}).ValueOrDie().empty());
+}
+
+TEST(RunLockstepTest, SessionLockstepRequiresOneSharedChain) {
+  const GeneratedTrace fleet =
+      GenerateTrace(SmallFleetConfig()).ValueOrDie();
+  ScenarioSession session(fleet.trace);
+
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(SmallScenario({"oracle", {}}));
+  specs.push_back(SmallScenario({"fixed_keepalive", {{"minutes", 10}}}));
+  specs[0].trace.transforms =
+      ParseTransformChain("load_scale{factor=2.0}").ValueOrDie();
+
+  const auto mismatch = session.RunLockstep(specs);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.status().message().find("transform chain"),
+            std::string::npos);
+
+  // With the chain shared, the lockstep run matches per-spec session runs
+  // on the same stressed workload.
+  specs[1].trace.transforms = specs[0].trace.transforms;
+  const std::vector<ScenarioOutcome> lockstep =
+      session.RunLockstep(specs).ValueOrDie();
+  ASSERT_EQ(lockstep.size(), 2u);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScenarioOutcome solo = session.Run(specs[i]).ValueOrDie();
+    EXPECT_EQ(lockstep[i].outcome.memory_series,
+              solo.outcome.memory_series);
+  }
 }
 
 TEST(SuiteRunnerSpecBatchTest, ResultsAreIdenticalAtAnyThreadCount) {

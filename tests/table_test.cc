@@ -39,6 +39,46 @@ TEST(FormatPercentTest, ConvertsFraction) {
   EXPECT_EQ(FormatPercent(1.0, 0), "100%");
 }
 
+TEST(TableCsvTest, RendersHeaderAndRows) {
+  Table table({"policy", "Q3-CSR"});
+  table.AddRow({"SPES", "0.1080"});
+  table.AddRow({"Fixed-10min", "0.2150"});
+  EXPECT_EQ(table.ToCsv(),
+            "policy,Q3-CSR\nSPES,0.1080\nFixed-10min,0.2150\n");
+}
+
+TEST(TableCsvTest, QuotesCellsThatNeedIt) {
+  Table table({"name", "note"});
+  table.AddRow({"a,b", "say \"hi\""});
+  table.AddRow({"line\nbreak", "plain"});
+  EXPECT_EQ(table.ToCsv(),
+            "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n\"line\nbreak\","
+            "plain\n");
+}
+
+TEST(TableJsonTest, RendersRowObjectsKeyedByHeader) {
+  Table table({"policy", "Q3-CSR"});
+  table.AddRow({"SPES", "0.1080"});
+  table.AddRow({"Fixed-10min", "0.2150"});
+  EXPECT_EQ(table.ToJson(),
+            "[{\"policy\":\"SPES\",\"Q3-CSR\":\"0.1080\"},"
+            "{\"policy\":\"Fixed-10min\",\"Q3-CSR\":\"0.2150\"}]");
+}
+
+TEST(TableJsonTest, EscapesSpecialCharacters) {
+  Table table({"k\"ey"});
+  table.AddRow({"back\\slash\nand\ttab"});
+  EXPECT_EQ(table.ToJson(),
+            "[{\"k\\\"ey\":\"back\\\\slash\\nand\\ttab\"}]");
+  EXPECT_EQ(JsonEscape(std::string("\x01")), "\"\\u0001\"");
+}
+
+TEST(TableJsonTest, EmptyTableIsAnEmptyArray) {
+  Table table({"a", "b"});
+  EXPECT_EQ(table.ToJson(), "[]");
+  EXPECT_EQ(table.ToCsv(), "a,b\n");
+}
+
 TEST(AsciiBarTest, WidthAndFill) {
   EXPECT_EQ(AsciiBar(0.0, 4), "    ");
   EXPECT_EQ(AsciiBar(1.0, 4), "####");
