@@ -1,0 +1,183 @@
+// Cluster scaling sweep: node counts x routers under a burst-storm
+// workload. Every point is a plain ScenarioSpec whose TraceSpec carries
+// the stress chain and whose `cluster` block names the topology and
+// router, so the whole sweep is pure data through the trace-less
+// SuiteRunner overload — the stressed trace realizes once, cluster jobs
+// fan out across threads, and the tables are bitwise identical at any
+// thread count.
+//
+// Per-node capacity is num_functions / nodes (total fleet capacity stays
+// constant as the cluster grows), so sharding exposes the cost of
+// routing-unaware pre-warming: every node's policy warms its full
+// predicted set, and the capacity pressure + LRU eviction trims what the
+// router never sends there. A second table replays the 4-node cluster
+// under a drain/fail/add timeline to price node-lifecycle re-routing.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench/bench_policies.h"
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "metrics/report.h"
+#include "runner/suite_runner.h"
+#include "sim/scenario.h"
+#include "trace/transform.h"
+
+namespace {
+
+using namespace spes;
+
+std::vector<TransformSpec> BurstStorm(int train_minutes) {
+  return ParseTransformChain(
+             "load_scale{factor=2.0} | inject_burst{at=" +
+             std::to_string(train_minutes + 240) +
+             ",width=30,amplitude=60,fraction=0.2,seed=13}")
+      .ValueOrDie();
+}
+
+ScenarioSpec ClusterPoint(const GeneratorConfig& config,
+                          const SimOptions& options, int nodes,
+                          const std::string& router,
+                          const std::string& events = "") {
+  ScenarioSpec spec;
+  spec.label = std::to_string(nodes) + " / " + router;
+  spec.trace = TraceSpec::FromGenerator(config);
+  spec.trace.transforms = BurstStorm(options.train_minutes);
+  spec.policy = {"spes", {}};
+  spec.options = options;
+  spec.cluster = ClusterSpec{};
+  spec.cluster->nodes = nodes;
+  spec.cluster->node_capacity =
+      std::max(8, config.num_functions / std::max(1, nodes));
+  spec.cluster->router = ParseRouterSpec(router).ValueOrDie();
+  spec.cluster->events = ParseNodeEventTimeline(events).ValueOrDie();
+  return spec;
+}
+
+struct SweepRun {
+  std::vector<JobResult> results;
+  double wall_seconds = 0.0;
+};
+
+SweepRun RunSweep(const std::vector<ScenarioSpec>& specs, int num_threads) {
+  SuiteRunnerOptions runner_options;
+  runner_options.num_threads = num_threads;
+  SuiteRunner runner(runner_options);
+  const auto start = std::chrono::steady_clock::now();
+  SweepRun run;
+  run.results = runner.Run(specs);
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const JobResult& result : run.results) result.status.CheckOK();
+  return run;
+}
+
+bool SameTables(const SweepRun& a, const SweepRun& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].outcome.memory_series !=
+            b.results[i].outcome.memory_series ||
+        a.results[i].outcome.metrics.total_cold_starts !=
+            b.results[i].outcome.metrics.total_cold_starts ||
+        a.results[i].cluster->reroutes != b.results[i].cluster->reroutes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t SumPressure(const ClusterOutcome& cluster) {
+  uint64_t total = 0;
+  for (const NodeOutcome& node : cluster.nodes) {
+    total += node.pressure_evictions;
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
+  const GeneratorConfig config = bench::DefaultGeneratorConfig();
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_cluster_scaling",
+                  "cluster extension — node counts x routers under a "
+                  "burst storm",
+                  config);
+  }
+  const SimOptions options = bench::DefaultSimOptions(config);
+
+  const std::vector<int> node_counts = {1, 2, 4, 8};
+  const std::vector<std::string> routers = {"hash", "least_loaded",
+                                            "locality{pressure=0.9}"};
+  std::vector<ScenarioSpec> specs;
+  for (int nodes : node_counts) {
+    for (const std::string& router : routers) {
+      specs.push_back(ClusterPoint(config, options, nodes, router));
+    }
+  }
+  // Node lifecycle pricing: the 4-node hash cluster loses node 1 early in
+  // the simulated window, drains node 2 mid-window, and grows a
+  // replacement — every change re-routes a share of the fleet.
+  const int t0 = options.train_minutes;
+  specs.push_back(ClusterPoint(
+      config, options, 4, "hash",
+      "fail{at=" + std::to_string(t0 + 300) + ",node=1} | drain{at=" +
+          std::to_string(t0 + 900) + ",node=2} | add{at=" +
+          std::to_string(t0 + 900) + "}"));
+  specs.back().label = "4 / hash + fail,drain,add";
+
+  SuiteRunner probe({bench::DefaultBenchThreads(), nullptr});
+  const int parallel_threads = probe.EffectiveThreads(specs.size());
+
+  const SweepRun serial = RunSweep(specs, 1);
+  const SweepRun parallel = RunSweep(specs, parallel_threads);
+  if (!bench::MachineReadable(format)) {
+    std::printf("sweep: %zu cluster jobs | serial %.2fs | %d threads %.2fs "
+                "(speedup %.2fx) | tables identical: %s\n\n",
+                specs.size(), serial.wall_seconds, parallel_threads,
+                parallel.wall_seconds,
+                serial.wall_seconds / parallel.wall_seconds,
+                SameTables(serial, parallel) ? "yes" : "NO — BUG");
+  }
+
+  Table table({"nodes", "router", "cold starts", "Q3-CSR", "avg mem", "WMT",
+               "pressure evict", "reroutes", "inv CV", "peak/mean"});
+  for (const JobResult& result : parallel.results) {
+    const FleetMetrics& m = result.outcome.metrics;
+    const ClusterOutcome& cluster = *result.cluster;
+    const ClusterImbalance imbalance = ComputeClusterImbalance(cluster);
+    const size_t slash = result.label.find(" / ");
+    table.AddRow({result.label.substr(0, slash),
+                  result.label.substr(slash + 3),
+                  std::to_string(m.total_cold_starts),
+                  FormatDouble(m.q3_csr, 4), FormatDouble(m.average_memory, 1),
+                  std::to_string(m.wasted_memory_minutes),
+                  std::to_string(SumPressure(cluster)),
+                  std::to_string(cluster.reroutes),
+                  FormatDouble(imbalance.invocation_cv, 3),
+                  FormatDouble(imbalance.invocation_peak_ratio, 2)});
+  }
+  bench::EmitTable("cluster scaling: nodes x router under the burst storm",
+                   table, format);
+
+  // Per-node breakdown of the lifecycle scenario.
+  const JobResult& lifecycle = parallel.results.back();
+  bench::EmitTable("per-node breakdown: " + lifecycle.label,
+                   BuildClusterNodeTable(*lifecycle.cluster), format);
+
+  if (!bench::MachineReadable(format)) {
+    std::printf(
+        "\nexpected shape: a single node reproduces the plain engine; more\n"
+        "nodes split each policy's arrival view (cold starts rise) while\n"
+        "per-node caps squeeze routing-unaware pre-warming (pressure\n"
+        "evictions rise with node count). locality spills before the cap\n"
+        "bites; hash pays mod-N re-route storms on fail/add events.\n");
+  }
+  return 0;
+}

@@ -9,11 +9,14 @@
 #include "core/spes_policy.h"
 #include "metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spes;
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_fig10_csr_by_type",
-                "Fig. 10 — average cold-start rate of each type", config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_fig10_csr_by_type",
+                  "Fig. 10 — average cold-start rate of each type", config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
@@ -31,8 +34,11 @@ int main() {
                   FormatDouble(row.mean_csr, 4),
                   AsciiBar(row.mean_csr, 40)});
   }
-  table.Print();
-  std::printf("\nexpected shape (paper): unknown >> pulsed/possible > the"
-              "\ndeterministic types; always-warm/regular/dense near zero.\n");
+  bench::EmitTable("Fig. 10 — mean cold-start rate by SPES type", table,
+                   format);
+  if (!bench::MachineReadable(format)) {
+    std::printf("expected shape (paper): unknown >> pulsed/possible > the"
+                "\ndeterministic types; always-warm/regular/dense near zero.\n");
+  }
   return 0;
 }

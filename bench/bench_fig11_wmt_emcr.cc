@@ -9,11 +9,14 @@
 #include "bench/bench_policies.h"
 #include "metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spes;
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_fig11_wmt_emcr",
-                "Fig. 11 — wasted memory time and EMCR (RQ2)", config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_fig11_wmt_emcr",
+                  "Fig. 11 — wasted memory time and EMCR (RQ2)", config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
   const bench::SuiteResult suite = bench::RunPolicySuite(fleet.trace, options);
@@ -32,8 +35,10 @@ int main() {
                       ? "-"
                       : FormatPercent(RelativeReduction(wmt, spes_wmt), 2)});
   }
-  table.Print();
-  std::printf("\nexpected shape (paper): SPES lowest WMT (every baseline"
-              "\n> 1.0 normalized) and highest EMCR.\n");
+  bench::EmitTable("Fig. 11 — wasted memory time and EMCR", table, format);
+  if (!bench::MachineReadable(format)) {
+    std::printf("expected shape (paper): SPES lowest WMT (every baseline"
+                "\n> 1.0 normalized) and highest EMCR.\n");
+  }
   return 0;
 }

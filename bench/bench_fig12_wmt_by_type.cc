@@ -11,11 +11,14 @@
 #include "core/spes_policy.h"
 #include "metrics/report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spes;
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_fig12_wmt_by_type",
-                "Fig. 12 — ratio of WMT of each function type", config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_fig12_wmt_by_type",
+                  "Fig. 12 — ratio of WMT of each function type", config);
+  }
   const GeneratedTrace fleet = bench::MakeFleet(config);
   const SimOptions options = bench::DefaultSimOptions(config);
 
@@ -38,9 +41,12 @@ int main() {
          AsciiBar(max_ratio > 0 ? row.wmt_per_invocation / max_ratio : 0.0,
                   40)});
   }
-  table.Print();
-  std::printf("\nexpected shape (paper): rare-but-predicted types (possible,"
-              "\ncorrelated) pay the highest WMT per invocation; always-warm,"
-              "\nsuccessive and dense are nearly free.\n");
+  bench::EmitTable("Fig. 12 — WMT per invocation by SPES type", table,
+                   format);
+  if (!bench::MachineReadable(format)) {
+    std::printf("expected shape (paper): rare-but-predicted types (possible,"
+                "\ncorrelated) pay the highest WMT per invocation; always-warm,"
+                "\nsuccessive and dense are nearly free.\n");
+  }
   return 0;
 }

@@ -109,11 +109,15 @@ bool SameTables(const SweepRun& a, const SweepRun& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::OutputFormat format = bench::BenchFormat(argc, argv);
   const GeneratorConfig config = bench::DefaultGeneratorConfig();
-  bench::Banner("bench_stress_transforms",
-                "Fig. 13-style sweep under transformed (stressed) workloads",
-                config);
+  if (!bench::MachineReadable(format)) {
+    bench::Banner("bench_stress_transforms",
+                  "Fig. 13-style sweep under transformed (stressed) "
+                  "workloads",
+                  config);
+  }
   const SimOptions options = bench::DefaultSimOptions(config);
   const std::vector<ScenarioSpec> specs = MakeSweep(config, options);
 
@@ -122,12 +126,14 @@ int main() {
 
   const SweepRun serial = RunSweep(specs, 1);
   const SweepRun parallel = RunSweep(specs, parallel_threads);
-  std::printf("sweep: %zu specs | serial %.2fs | %d threads %.2fs "
-              "(speedup %.2fx) | tables identical: %s\n\n",
-              specs.size(), serial.wall_seconds, parallel_threads,
-              parallel.wall_seconds,
-              serial.wall_seconds / parallel.wall_seconds,
-              SameTables(serial, parallel) ? "yes" : "NO — BUG");
+  if (!bench::MachineReadable(format)) {
+    std::printf("sweep: %zu specs | serial %.2fs | %d threads %.2fs "
+                "(speedup %.2fx) | tables identical: %s\n\n",
+                specs.size(), serial.wall_seconds, parallel_threads,
+                parallel.wall_seconds,
+                serial.wall_seconds / parallel.wall_seconds,
+                SameTables(serial, parallel) ? "yes" : "NO — BUG");
+  }
 
   Table table({"scenario", "invocations", "cold starts", "Q3-CSR",
                "avg memory", "WMT"});
@@ -138,12 +144,15 @@ int main() {
                   FormatDouble(m.q3_csr, 4), FormatDouble(m.average_memory, 1),
                   std::to_string(m.wasted_memory_minutes)});
   }
-  table.Print();
+  bench::EmitTable("stressed-workload sweep (transform chains)", table,
+                   format);
 
-  std::printf(
-      "\nexpected shape: doubled load and the burst raise memory and cold\n"
-      "starts; the drift storm degrades SPES's trained categories mid-\n"
-      "window; thinning shrinks the workload. The theta_prewarm rows show\n"
-      "Fig. 13's resource/latency trade-off persisting under stress.\n");
+  if (!bench::MachineReadable(format)) {
+    std::printf(
+        "\nexpected shape: doubled load and the burst raise memory and cold\n"
+        "starts; the drift storm degrades SPES's trained categories mid-\n"
+        "window; thinning shrinks the workload. The theta_prewarm rows show\n"
+        "Fig. 13's resource/latency trade-off persisting under stress.\n");
+  }
   return 0;
 }

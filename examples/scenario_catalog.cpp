@@ -1,9 +1,10 @@
-// Scenario catalog: registry introspection. Lists every registered policy
-// and every registered trace transform with its typed parameter schema and
-// defaults — the complete vocabulary available to ScenarioSpecs and spec
-// strings — then runs one default-parameter scenario per policy on a small
-// generated fleet, and finally one *transformed* scenario end-to-end (the
-// same fleet under 2x load with an injected burst).
+// Scenario catalog: registry introspection. Lists every registered policy,
+// every registered trace transform and every registered cluster router
+// with its typed parameter schema and defaults — the complete vocabulary
+// available to ScenarioSpecs and spec strings — then runs one
+// default-parameter scenario per policy on a small generated fleet, and
+// finally one *transformed* scenario end-to-end (the same fleet under 2x
+// load with an injected burst).
 //
 // Build & run:
 //   cmake -B build && cmake --build build -j
@@ -12,6 +13,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/table.h"
 #include "core/policy_registry.h"
 #include "metrics/report.h"
@@ -44,6 +46,7 @@ void PrintSchema(const std::string& name, const std::string& summary,
 int main() {
   const PolicyRegistry& policies = PolicyRegistry::Global();
   const TransformRegistry& transforms = TransformRegistry::Global();
+  const RouterRegistry& routers = RouterRegistry::Global();
 
   // 1. The catalog: every canonical name with its parameter schema.
   std::printf("registered policies\n");
@@ -57,6 +60,13 @@ int main() {
   std::printf("===========================\n\n");
   for (const std::string& name : transforms.Names()) {
     const TransformRegistry::Entry* entry = transforms.Find(name);
+    PrintSchema(name, entry->summary, entry->params);
+  }
+
+  std::printf("registered cluster routers\n");
+  std::printf("==========================\n\n");
+  for (const std::string& name : routers.Names()) {
+    const RouterRegistry::Entry* entry = routers.Find(name);
     PrintSchema(name, entry->summary, entry->params);
   }
 
@@ -100,8 +110,11 @@ int main() {
   stressed.policy.name = "spes";
   stressed.options = options;
   stressed.trace.transforms = ParseTransformChain(kChain).ValueOrDie();
-  const ScenarioOutcome base =
-      session.Run({"spes / base", {}, {"spes", {}}, options}).ValueOrDie();
+  ScenarioSpec baseline;
+  baseline.label = "spes / base";
+  baseline.policy.name = "spes";
+  baseline.options = options;
+  const ScenarioOutcome base = session.Run(baseline).ValueOrDie();
   const ScenarioOutcome burst = session.Run(stressed).ValueOrDie();
   Table stress({"scenario", "invocations", "cold starts", "Q3-CSR",
                 "avg memory"});

@@ -1,0 +1,630 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace spes {
+
+namespace {
+
+/// Typed accessor over a parsed node-event spec: `name` must be a declared
+/// int parameter of the event kind; errors mirror the registry wording.
+/// The ceiling keeps every accepted value representable as an `int`, so
+/// the NodeEvent fields never truncate.
+Result<int64_t> EventIntParam(const NamedSpec& spec, const std::string& name,
+                              bool required, int64_t min_value) {
+  constexpr int64_t kMaxValue = 2147483647;
+  auto it = spec.params.find(name);
+  if (it == spec.params.end()) {
+    if (!required) return int64_t{-1};
+    return Status::InvalidArgument("node event '" + spec.name +
+                                   "' is missing required parameter '" +
+                                   name + "'");
+  }
+  if (it->second.type() != ParamType::kInt) {
+    return Status::InvalidArgument(
+        "node event '" + spec.name + "' parameter '" + name +
+        "' expects int, got " + ParamTypeToString(it->second.type()) + " (=" +
+        FormatParamValue(it->second) + ")");
+  }
+  const int64_t value = it->second.AsInt();
+  if (value < min_value || value > kMaxValue) {
+    return Status::InvalidArgument(
+        "node event '" + spec.name + "' parameter '" + name + "' (=" +
+        std::to_string(value) + ") must be in [" +
+        std::to_string(min_value) + ", " + std::to_string(kMaxValue) + "]");
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* NodeEventKindToString(NodeEvent::Kind kind) {
+  switch (kind) {
+    case NodeEvent::Kind::kAdd:
+      return "add";
+    case NodeEvent::Kind::kDrain:
+      return "drain";
+    case NodeEvent::Kind::kFail:
+      return "fail";
+  }
+  return "unknown";
+}
+
+Result<NodeEvent> ParseNodeEvent(const std::string& text) {
+  SPES_ASSIGN_OR_RETURN(const NamedSpec spec,
+                        ParseNamedSpec(text, "node event"));
+  NodeEvent event;
+  if (spec.name == "add") {
+    event.kind = NodeEvent::Kind::kAdd;
+  } else if (spec.name == "drain") {
+    event.kind = NodeEvent::Kind::kDrain;
+  } else if (spec.name == "fail") {
+    event.kind = NodeEvent::Kind::kFail;
+  } else {
+    return Status::InvalidArgument("unknown node event '" + spec.name +
+                                   "'; expected add, drain or fail");
+  }
+  const bool is_add = event.kind == NodeEvent::Kind::kAdd;
+  for (const auto& [key, value] : spec.params) {
+    (void)value;
+    const bool known =
+        key == "at" || (is_add ? key == "capacity" : key == "node");
+    if (!known) {
+      return Status::InvalidArgument("node event '" + spec.name +
+                                     "' does not accept parameter '" + key +
+                                     "'");
+    }
+  }
+  SPES_ASSIGN_OR_RETURN(const int64_t at,
+                        EventIntParam(spec, "at", /*required=*/true, 0));
+  event.minute = static_cast<int>(at);
+  if (is_add) {
+    SPES_ASSIGN_OR_RETURN(
+        const int64_t capacity,
+        EventIntParam(spec, "capacity", /*required=*/false, 0));
+    event.capacity = static_cast<int>(capacity);
+  } else {
+    SPES_ASSIGN_OR_RETURN(const int64_t node,
+                          EventIntParam(spec, "node", /*required=*/true, 0));
+    event.node = static_cast<int>(node);
+  }
+  return event;
+}
+
+std::string FormatNodeEvent(const NodeEvent& event) {
+  NamedSpec spec;
+  spec.name = NodeEventKindToString(event.kind);
+  spec.params.emplace("at", ParamValue(event.minute));
+  if (event.kind == NodeEvent::Kind::kAdd) {
+    if (event.capacity >= 0) {
+      spec.params.emplace("capacity", ParamValue(event.capacity));
+    }
+  } else {
+    spec.params.emplace("node", ParamValue(event.node));
+  }
+  return FormatNamedSpec(spec);
+}
+
+Result<std::vector<NodeEvent>> ParseNodeEventTimeline(
+    const std::string& text) {
+  std::vector<NodeEvent> events;
+  // A fully blank string is the empty timeline; an empty segment between
+  // bars ("a||b", "|a") is a syntax error.
+  if (text.find_first_not_of(" \t") == std::string::npos) return events;
+  size_t start = 0;
+  while (true) {
+    const size_t bar = text.find('|', start);
+    const size_t item_end = bar == std::string::npos ? text.size() : bar;
+    const std::string item = text.substr(start, item_end - start);
+    if (item.find_first_not_of(" \t") == std::string::npos) {
+      return Status::InvalidArgument("node event timeline '" + text +
+                                     "' has an empty entry");
+    }
+    SPES_ASSIGN_OR_RETURN(NodeEvent event, ParseNodeEvent(item));
+    events.push_back(event);
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return events;
+}
+
+std::string FormatNodeEventTimeline(const std::vector<NodeEvent>& events) {
+  std::string text;
+  for (const NodeEvent& event : events) {
+    if (!text.empty()) text += " | ";
+    text += FormatNodeEvent(event);
+  }
+  return text;
+}
+
+Status ValidateClusterSpec(const ClusterSpec& spec) {
+  if (spec.nodes < 1) {
+    return Status::InvalidArgument("ClusterSpec.nodes (=" +
+                                   std::to_string(spec.nodes) +
+                                   ") must be >= 1");
+  }
+  if (spec.node_capacity < 0) {
+    return Status::InvalidArgument(
+        "ClusterSpec.node_capacity (=" + std::to_string(spec.node_capacity) +
+        ") must be >= 0 (0 = uncapped)");
+  }
+  if (spec.router.name.empty()) {
+    return Status::InvalidArgument("ClusterSpec.router.name must not be "
+                                   "empty");
+  }
+  // Replay the timeline over the evolving node set: every drain/fail must
+  // target a node that exists and is still alive when the event fires,
+  // and at least one routable node must remain at every point.
+  int total = spec.nodes;
+  int routable = spec.nodes;
+  // 0 = routable, 1 = draining, 2 = failed.
+  std::vector<int> state(static_cast<size_t>(spec.nodes), 0);
+  int previous_minute = 0;
+  for (size_t i = 0; i < spec.events.size(); ++i) {
+    const NodeEvent& event = spec.events[i];
+    const std::string where = "ClusterSpec.events[" + std::to_string(i) +
+                              "] (" + FormatNodeEvent(event) + ")";
+    if (event.minute < 0) {
+      return Status::InvalidArgument(where + ": minute must be >= 0");
+    }
+    if (i > 0 && event.minute < previous_minute) {
+      return Status::InvalidArgument(
+          where + ": events must be sorted by minute (previous event is at "
+                  "minute " +
+          std::to_string(previous_minute) + ")");
+    }
+    previous_minute = event.minute;
+    switch (event.kind) {
+      case NodeEvent::Kind::kAdd:
+        if (event.capacity < -1) {
+          return Status::InvalidArgument(
+              where + ": capacity must be >= 0, or -1 for the cluster "
+                      "default");
+        }
+        state.push_back(0);
+        ++total;
+        ++routable;
+        break;
+      case NodeEvent::Kind::kDrain:
+      case NodeEvent::Kind::kFail: {
+        if (event.node < 0 || event.node >= total) {
+          return Status::InvalidArgument(
+              where + ": node is out of range (the cluster has " +
+              std::to_string(total) + " nodes at that point)");
+        }
+        int& s = state[static_cast<size_t>(event.node)];
+        if (s == 2) {
+          return Status::InvalidArgument(where +
+                                         ": node has already failed");
+        }
+        if (event.kind == NodeEvent::Kind::kDrain) {
+          if (s == 1) {
+            return Status::InvalidArgument(where +
+                                           ": node is already draining");
+          }
+          s = 1;
+          --routable;
+        } else {
+          if (s == 0) --routable;
+          s = 2;
+        }
+        if (routable < 1) {
+          return Status::InvalidArgument(
+              where + ": the cluster would be left with no routable node");
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+ClusterSession::ClusterSession(const Trace& trace, const SimOptions& options,
+                               int end)
+    : trace_(&trace),
+      options_(options),
+      start_(options.train_minutes),
+      end_(end),
+      cursor_(options.train_minutes),
+      assignment_(trace.num_functions(), -1) {}
+
+Result<ClusterSession> ClusterSession::Create(const Trace& trace,
+                                              const ClusterSpec& cluster,
+                                              const PolicySpec& policy,
+                                              const SimOptions& options) {
+  SPES_RETURN_NOT_OK(ValidateClusterSpec(cluster));
+  SPES_RETURN_NOT_OK(ValidateSimOptions(options));
+  const int horizon = trace.num_minutes();
+  if (options.train_minutes > horizon) {
+    return Status::InvalidArgument(
+        "SimOptions.train_minutes (=" + std::to_string(options.train_minutes) +
+        ") exceeds the trace horizon (=" + std::to_string(horizon) +
+        " minutes)");
+  }
+  const int end = options.end_minute > 0
+                      ? std::min(options.end_minute, horizon)
+                      : horizon;
+
+  SPES_ASSIGN_OR_RETURN(std::unique_ptr<Router> router,
+                        RouterRegistry::Global().Create(cluster.router));
+
+  ClusterSession session(trace, options, end);
+  session.router_ = std::move(router);
+  session.events_ = cluster.events;
+
+  // One trained policy per node id — including nodes that only join via
+  // an add event, so a joining node is ready the minute it appears.
+  const size_t n = trace.num_functions();
+  size_t total_nodes = static_cast<size_t>(cluster.nodes);
+  for (const NodeEvent& event : cluster.events) {
+    if (event.kind == NodeEvent::Kind::kAdd) ++total_nodes;
+  }
+  session.nodes_.reserve(total_nodes);
+  size_t add_index = 0;
+  for (size_t k = 0; k < total_nodes; ++k) {
+    Node node;
+    if (k < static_cast<size_t>(cluster.nodes)) {
+      node.state = NodeState::kRoutable;
+      node.capacity = cluster.node_capacity;
+    } else {
+      node.state = NodeState::kPending;
+      // Pending ids map to add events in timeline order.
+      while (session.events_[add_index].kind != NodeEvent::Kind::kAdd) {
+        ++add_index;
+      }
+      const int capacity = session.events_[add_index].capacity;
+      node.capacity = capacity >= 0 ? capacity : cluster.node_capacity;
+      ++add_index;
+    }
+    SPES_ASSIGN_OR_RETURN(node.policy, PolicyRegistry::Global().Create(policy));
+    node.policy->Train(trace, options.train_minutes);
+    node.mem = MemSet(n);
+    node.accounts.assign(n, FunctionAccount{});
+    node.last_used.assign(n, -1);
+    node.memory_series.reserve(
+        static_cast<size_t>(end - options.train_minutes));
+    session.nodes_.push_back(std::move(node));
+  }
+  return session;
+}
+
+void ClusterSession::AddObserver(SimObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void ClusterSession::ApplyEvents(int t) {
+  while (event_index_ < events_.size() &&
+         events_[event_index_].minute <= t) {
+    const NodeEvent& event = events_[event_index_++];
+    switch (event.kind) {
+      case NodeEvent::Kind::kAdd: {
+        // Pending nodes activate in id order (ids were assigned in
+        // timeline order at Create).
+        for (Node& node : nodes_) {
+          if (node.state == NodeState::kPending) {
+            node.state = NodeState::kRoutable;
+            break;
+          }
+        }
+        break;
+      }
+      case NodeEvent::Kind::kDrain:
+        nodes_[static_cast<size_t>(event.node)].state = NodeState::kDraining;
+        break;
+      case NodeEvent::Kind::kFail: {
+        Node& node = nodes_[static_cast<size_t>(event.node)];
+        node.state = NodeState::kFailed;
+        node.mem = MemSet(trace_->num_functions());  // instances lost
+        break;
+      }
+    }
+  }
+}
+
+void ClusterSession::EnforceCapacity(Node* node, int t) {
+  if (node->capacity <= 0) return;
+  const size_t capacity = static_cast<size_t>(node->capacity);
+  if (node->mem.Count() <= capacity) return;
+
+  // Idle instances (not executing this minute, unless pinning is off) in
+  // LRU order by last arrival on this node; ties evict the lowest id.
+  std::vector<std::pair<int32_t, uint32_t>> candidates;
+  const std::vector<uint8_t>& loaded = node->mem.raw();
+  for (size_t f = 0; f < loaded.size(); ++f) {
+    if (!loaded[f]) continue;
+    if (options_.pin_executing_functions && node->last_used[f] == t) continue;
+    candidates.emplace_back(node->last_used[f], static_cast<uint32_t>(f));
+  }
+  size_t excess = node->mem.Count() - capacity;
+  if (candidates.size() > excess) {
+    std::partial_sort(candidates.begin(), candidates.begin() + excess,
+                      candidates.end());
+    candidates.resize(excess);
+  } else {
+    // Everything evictable goes; executing instances may keep the node
+    // above capacity for this minute (executions occupy memory).
+    std::sort(candidates.begin(), candidates.end());
+  }
+  for (const auto& [used, f] : candidates) {
+    (void)used;
+    node->mem.Remove(f);
+    ++node->pressure_evictions;
+  }
+}
+
+void ClusterSession::EnsureStarted() {
+  if (started_) return;
+  started_ = true;
+  StreamInfo info;
+  info.train_minutes = options_.train_minutes;
+  info.start_minute = start_;
+  info.end_minute = end_;
+  info.num_lanes = nodes_.size();
+  info.num_functions = trace_->num_functions();
+  for (SimObserver* observer : observers_) observer->OnStreamStart(info);
+}
+
+Status ClusterSession::StepLocked() {
+  const int t = cursor_;
+  const size_t n = trace_->num_functions();
+
+  ApplyEvents(t);
+
+  // Decode this minute's arrivals ONCE; every node shares the decode.
+  arrivals_.clear();
+  for (size_t f = 0; f < n; ++f) {
+    const uint32_t c = trace_->function(f).counts[static_cast<size_t>(t)];
+    if (c > 0) {
+      arrivals_.push_back({static_cast<uint32_t>(f), c});
+    }
+  }
+  ++minutes_decoded_;
+
+  // Routing views: live load at the start of the minute, bumped as
+  // arrivals are routed so intra-minute bursts spread.
+  views_.clear();
+  views_.reserve(nodes_.size());
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    Node& node = nodes_[k];
+    node.arrivals.clear();
+    NodeView view;
+    view.node = static_cast<int>(k);
+    view.routable = node.state == NodeState::kRoutable;
+    view.capacity = node.capacity;
+    view.projected_load = NodeLive(node) ? node.mem.Count() : 0;
+    views_.push_back(view);
+  }
+
+  for (const Invocation& inv : arrivals_) {
+    const uint32_t f = inv.function;
+    const int32_t prev = assignment_[f];
+    int target = -1;
+    if (prev >= 0) {
+      Node& previous = nodes_[static_cast<size_t>(prev)];
+      if (previous.state == NodeState::kDraining &&
+          previous.mem.Contains(f)) {
+        // Drain-sticky: the warm instance keeps serving; no new
+        // assignment is made on a draining node.
+        target = prev;
+      }
+    }
+    if (target < 0) {
+      RoutingContext context;
+      context.function = f;
+      context.function_name = &trace_->function(f).meta.name;
+      context.previous_node =
+          (prev >= 0 &&
+           nodes_[static_cast<size_t>(prev)].state == NodeState::kRoutable)
+              ? prev
+              : -1;
+      context.nodes = &views_;
+      target = router_->Route(context);
+      if (target < 0 || target >= static_cast<int>(nodes_.size()) ||
+          !views_[static_cast<size_t>(target)].routable) {
+        return Status::Internal(
+            "router '" + router_->name() + "' returned node (=" +
+            std::to_string(target) + ") which is not routable at minute " +
+            std::to_string(t));
+      }
+      if (prev >= 0 && target != prev) {
+        ++reroutes_;
+        ++nodes_[static_cast<size_t>(target)].reroutes_in;
+      }
+      assignment_[f] = static_cast<int32_t>(target);
+    }
+    Node& serving = nodes_[static_cast<size_t>(target)];
+    if (!serving.mem.Contains(f)) {
+      ++views_[static_cast<size_t>(target)].projected_load;
+    }
+    serving.arrivals.push_back(inv);
+  }
+
+  bool stop_requested = false;
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    Node& node = nodes_[k];
+    if (!NodeLive(node)) {
+      node.memory_series.push_back(0);
+      continue;
+    }
+
+    // 1-2. Cold-start accounting, then execution pins the instance —
+    // identical to a SimStream lane over this node's routed arrivals.
+    for (const Invocation& inv : node.arrivals) {
+      FunctionAccount& acc = node.accounts[inv.function];
+      acc.invocations += inv.count;
+      acc.invoked_minutes += 1;
+      node.totals.invocations += inv.count;
+      if (!node.mem.Contains(inv.function)) {
+        acc.cold_starts += 1;
+        node.totals.cold_starts += 1;
+      }
+      node.mem.Add(inv.function);
+      node.last_used[inv.function] = t;
+    }
+
+    // 3. Policy step (timed for the RQ2 overhead measurement).
+    const auto start = std::chrono::steady_clock::now();
+    node.policy->OnMinute(t, node.arrivals, &node.mem);
+    const auto stop = std::chrono::steady_clock::now();
+    node.overhead_seconds +=
+        std::chrono::duration<double>(stop - start).count();
+
+    if (options_.pin_executing_functions) {
+      for (const Invocation& inv : node.arrivals) node.mem.Add(inv.function);
+    }
+
+    // Cluster-only: the node sheds idle instances above its capacity.
+    EnforceCapacity(&node, t);
+
+    // 4. Residency accounting. "Idle" is node-local: an instance is
+    // wasted on this node unless the function arrived *here* this minute
+    // (a warm copy left behind on another node is pure waste).
+    const std::vector<uint8_t>& loaded = node.mem.raw();
+    for (size_t f = 0; f < n; ++f) {
+      if (!loaded[f]) continue;
+      FunctionAccount& acc = node.accounts[f];
+      acc.loaded_minutes += 1;
+      node.totals.loaded_instance_minutes += 1;
+      if (node.last_used[f] != t) {
+        acc.wasted_minutes += 1;
+        node.totals.wasted_memory_minutes += 1;
+      }
+    }
+    node.memory_series.push_back(static_cast<uint32_t>(node.mem.Count()));
+
+    if (!observers_.empty()) {
+      MinuteView view;
+      view.minute = t;
+      view.lane = k;
+      view.policy = node.policy.get();
+      view.arrivals = &node.arrivals;
+      view.mem = &node.mem;
+      view.accounts = &node.accounts;
+      view.memory_series = &node.memory_series;
+      view.totals = node.totals;
+      for (SimObserver* observer : observers_) {
+        if (!observer->OnMinute(view)) stop_requested = true;
+      }
+    }
+  }
+
+  ++cursor_;
+  if (stop_requested) stopped_ = true;
+  return Status::OK();
+}
+
+Status ClusterSession::Step() {
+  if (finished_) {
+    return Status::OutOfRange("ClusterSession was consumed by Finish()");
+  }
+  if (stopped_) {
+    return Status::OutOfRange(
+        "ClusterSession was stopped early at minute (=" +
+        std::to_string(cursor_) + ")");
+  }
+  if (cursor_ >= end_) {
+    return Status::OutOfRange(
+        "ClusterSession is exhausted: cursor (=" + std::to_string(cursor_) +
+        ") reached end_minute (=" + std::to_string(end_) + ")");
+  }
+  EnsureStarted();
+  return StepLocked();
+}
+
+Status ClusterSession::RunUntil(int minute) {
+  if (finished_) {
+    return Status::OutOfRange("ClusterSession was consumed by Finish()");
+  }
+  const int target = std::min(minute, end_);
+  while (cursor_ < target && !stopped_) {
+    SPES_RETURN_NOT_OK(Step());
+  }
+  return Status::OK();
+}
+
+Result<ClusterOutcome> ClusterSession::Finish() {
+  if (finished_) {
+    return Status::OutOfRange(
+        "ClusterSession was already consumed by Finish()");
+  }
+  EnsureStarted();
+  SPES_RETURN_NOT_OK(RunUntil(end_));
+  finished_ = true;
+
+  const size_t n = trace_->num_functions();
+  const std::string policy_name = nodes_[0].policy->name();
+
+  ClusterOutcome outcome;
+  outcome.reroutes = reroutes_;
+
+  // Fleet-wide aggregate: per-function accounts and the memory series are
+  // element-wise sums over nodes; every derived metric comes from the
+  // sums, so a single-node cluster reproduces the plain engine exactly.
+  std::vector<FunctionAccount> fleet_accounts(n);
+  std::vector<uint32_t> fleet_series;
+  double fleet_overhead = 0.0;
+
+  outcome.nodes.reserve(nodes_.size());
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    Node& node = nodes_[k];
+    for (size_t f = 0; f < n; ++f) {
+      const FunctionAccount& acc = node.accounts[f];
+      FunctionAccount& agg = fleet_accounts[f];
+      agg.invocations += acc.invocations;
+      agg.invoked_minutes += acc.invoked_minutes;
+      agg.cold_starts += acc.cold_starts;
+      agg.loaded_minutes += acc.loaded_minutes;
+      agg.wasted_minutes += acc.wasted_minutes;
+    }
+    if (fleet_series.size() < node.memory_series.size()) {
+      fleet_series.resize(node.memory_series.size(), 0);
+    }
+    for (size_t i = 0; i < node.memory_series.size(); ++i) {
+      fleet_series[i] += node.memory_series[i];
+    }
+    fleet_overhead += node.overhead_seconds;
+
+    NodeOutcome out;
+    out.node = static_cast<int>(k);
+    switch (node.state) {
+      case NodeState::kPending:
+        out.final_state = "pending";
+        break;
+      case NodeState::kRoutable:
+        out.final_state = "routable";
+        break;
+      case NodeState::kDraining:
+        out.final_state = "draining";
+        break;
+      case NodeState::kFailed:
+        out.final_state = "failed";
+        break;
+    }
+    out.pressure_evictions = node.pressure_evictions;
+    out.reroutes_in = node.reroutes_in;
+    out.sim.metrics =
+        ComputeFleetMetrics(policy_name, node.accounts, node.memory_series,
+                            node.overhead_seconds);
+    out.sim.accounts = std::move(node.accounts);
+    out.sim.memory_series = std::move(node.memory_series);
+    out.policy = std::move(node.policy);
+    outcome.nodes.push_back(std::move(out));
+  }
+
+  outcome.fleet.metrics = ComputeFleetMetrics(policy_name, fleet_accounts,
+                                              fleet_series, fleet_overhead);
+  outcome.fleet.accounts = std::move(fleet_accounts);
+  outcome.fleet.memory_series = std::move(fleet_series);
+
+  for (SimObserver* observer : observers_) {
+    for (size_t k = 0; k < outcome.nodes.size(); ++k) {
+      observer->OnStreamEnd(k, outcome.nodes[k].sim);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace spes

@@ -1,0 +1,82 @@
+#include "cluster/router.h"
+
+#include <utility>
+
+namespace spes {
+
+Result<RouterSpec> ParseRouterSpec(const std::string& text) {
+  return ParseNamedSpec(text, "router");
+}
+
+std::string FormatRouterSpec(const RouterSpec& spec) {
+  return FormatNamedSpec(spec);
+}
+
+Status RouterRegistry::Register(Entry entry) {
+  if (!IsSpecIdentifier(entry.canonical_name)) {
+    return Status::InvalidArgument("router canonical name '" +
+                                   entry.canonical_name +
+                                   "' is not an identifier");
+  }
+  if (!entry.factory) {
+    return Status::InvalidArgument("router '" + entry.canonical_name +
+                                   "' registered without a factory");
+  }
+  SPES_RETURN_NOT_OK(
+      ValidateParamSchema("router", entry.canonical_name, entry.params));
+  const std::string name = entry.canonical_name;
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    return Status::AlreadyExists("router '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Router>> RouterRegistry::Create(
+    const RouterSpec& spec) const {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("RouterSpec.name must not be empty");
+  }
+  const Entry* entry = Find(spec.name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown router '" + spec.name +
+                            "'; registered routers: " + JoinNames(Names()));
+  }
+  SPES_ASSIGN_OR_RETURN(RouterParams params,
+                        MergeSpecParams("router", spec, entry->params));
+  return entry->factory(params);
+}
+
+Result<std::unique_ptr<Router>> RouterRegistry::CreateFromString(
+    const std::string& text) const {
+  SPES_ASSIGN_OR_RETURN(const RouterSpec spec, ParseRouterSpec(text));
+  return Create(spec);
+}
+
+bool RouterRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> RouterRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+const RouterRegistry::Entry* RouterRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+RouterRegistry& RouterRegistry::Global() {
+  static RouterRegistry* registry = [] {
+    auto* r = new RouterRegistry();
+    RegisterBuiltinRouters(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace spes

@@ -1,0 +1,145 @@
+// Invocation routing for simulated clusters: which node serves a function.
+//
+// A Router is the cluster counterpart of a provisioning Policy: a small,
+// stateless strategy object consulted once per arriving function per
+// minute to pick the node that serves it. Routers self-register in a
+// RouterRegistry mirroring PolicyRegistry (core/policy_registry.h):
+// canonical lowercase names, typed ParamSpec schemas with defaults, and
+// Result<> errors naming the offending field, so a ClusterSpec names its
+// router as data — `hash`, `least_loaded{}`, `locality{pressure=0.9}`.
+//
+// Routers are deliberately stateless: the sticky function→node assignment
+// map lives in the ClusterSession (cluster/cluster.h), which passes each
+// decision the function's previous node. Determinism therefore only
+// requires that Route() be a pure function of its context.
+
+#ifndef SPES_CLUSTER_ROUTER_H_
+#define SPES_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/param_spec.h"
+
+namespace spes {
+
+/// \brief A router as data: canonical name plus parameter overrides.
+/// Parameters not listed take the registered defaults.
+using RouterSpec = NamedSpec;
+
+/// \brief Validated parameters handed to a registered router factory.
+using RouterParams = ParamMap;
+
+/// \brief Parses `name{param=value,...}` into a RouterSpec (same grammar
+/// as policy specs; errors say "router spec ...").
+Result<RouterSpec> ParseRouterSpec(const std::string& text);
+
+/// \brief Inverse of ParseRouterSpec: canonical `name{k=v,...}` form with
+/// keys in lexicographic order; just `name` when no overrides.
+std::string FormatRouterSpec(const RouterSpec& spec);
+
+/// \brief Live, read-only facts about one node at routing time.
+struct NodeView {
+  int node = 0;          ///< stable node id (index into the cluster)
+  bool routable = true;  ///< accepts new assignments this minute
+  int capacity = 0;      ///< instance capacity; 0 means uncapped
+  /// Loaded instances at the start of the minute plus arrivals already
+  /// routed here this minute that will load a new instance — so routing
+  /// an intra-minute burst spreads it instead of dog-piling one node.
+  size_t projected_load = 0;
+};
+
+/// \brief Everything a router may consult for one routing decision.
+/// Borrowed pointers are valid only for the duration of the Route() call.
+struct RoutingContext {
+  uint32_t function = 0;                       ///< fleet index
+  const std::string* function_name = nullptr;  ///< hashed trace name
+  /// The function's sticky node from earlier minutes, or -1 when it has
+  /// none (first arrival, or its node drained/failed away).
+  int previous_node = -1;
+  /// Every node of the cluster, indexed by node id; at least one entry is
+  /// routable (the session guarantees it).
+  const std::vector<NodeView>* nodes = nullptr;
+};
+
+/// \brief Interface implemented by every routing strategy. Route() must
+/// return the id of a routable node and must be a pure function of the
+/// context (no internal state), so cluster runs stay deterministic.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// \brief Human-readable router name used in reports.
+  virtual std::string name() const = 0;
+
+  /// \brief Picks the node that serves this arrival.
+  virtual int Route(const RoutingContext& context) const = 0;
+};
+
+/// \brief Builds a router instance from validated parameters. May reject
+/// out-of-domain values (e.g. a pressure outside (0, 1]) with a Status.
+using RouterFactory =
+    std::function<Result<std::unique_ptr<Router>>(const RouterParams&)>;
+
+/// \brief Name -> (schema, factory) table for cluster routers.
+///
+/// Global() holds every built-in router (`hash`, `least_loaded`,
+/// `locality`); additional registries can be constructed freely, e.g. by
+/// tests.
+class RouterRegistry {
+ public:
+  /// \brief One registered router.
+  struct Entry {
+    /// Canonical lowercase identifier, e.g. "least_loaded".
+    std::string canonical_name;
+    /// One-line human description for catalogs.
+    std::string summary;
+    /// Accepted parameters with defaults; order is the display order.
+    std::vector<ParamSpec> params;
+    RouterFactory factory;
+  };
+
+  /// \brief Adds an entry. Fails with AlreadyExists when the name is taken
+  /// and InvalidArgument on an empty name, a missing factory, or a
+  /// duplicated parameter declaration.
+  Status Register(Entry entry);
+
+  /// \brief Builds a router from `spec`: unknown names yield NotFound
+  /// (listing the registered alternatives); unknown parameters, type
+  /// mismatches (ints coerce to doubles, nothing else converts) and
+  /// rejected values yield InvalidArgument naming the offending field.
+  Result<std::unique_ptr<Router>> Create(const RouterSpec& spec) const;
+
+  /// \brief Convenience: Create(ParseRouterSpec(text)).
+  Result<std::unique_ptr<Router>> CreateFromString(
+      const std::string& text) const;
+
+  /// \brief True when `name` is registered.
+  bool Contains(const std::string& name) const;
+
+  /// \brief Registered canonical names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  /// \brief Introspection: the entry for `name`, or nullptr when unknown.
+  const Entry* Find(const std::string& name) const;
+
+  /// \brief The process-wide registry, with all built-in routers
+  /// registered on first use. Registration of additional entries is not
+  /// synchronized; do it before fanning out worker threads.
+  static RouterRegistry& Global();
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// \brief Registers the built-in routers (called by Global()).
+void RegisterBuiltinRouters(RouterRegistry& registry);
+
+}  // namespace spes
+
+#endif  // SPES_CLUSTER_ROUTER_H_

@@ -12,6 +12,13 @@ uint64_t SplitMix64(uint64_t* state) {
   return z ^ (z >> 31);
 }
 
+uint64_t MixNameSeed(const std::string& name, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis / prime
+  for (unsigned char c : name) h = (h ^ c) * 1099511628211ULL;
+  uint64_t state = h ^ (seed + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&state);
+}
+
 namespace {
 
 inline uint64_t Rotl(uint64_t x, int k) {

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,12 @@ namespace spes {
 
 /// \brief splitmix64 step: used for seeding and cheap hash mixing.
 uint64_t SplitMix64(uint64_t* state);
+
+/// \brief Stable name-keyed seed: FNV-1a over `name`, finalized with
+/// splitmix64 against `seed`. Keyed by *name* (not fleet index) so
+/// selections survive reordering/filtering upstream; shared by the
+/// stochastic trace transforms and the cluster hash/locality routers.
+uint64_t MixNameSeed(const std::string& name, uint64_t seed);
 
 /// \brief Deterministic random number generator (xoshiro256**).
 class Rng {

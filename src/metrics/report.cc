@@ -1,6 +1,8 @@
 #include "metrics/report.h"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -126,6 +128,76 @@ Table BuildTimelineTable(
     }
     table.AddRow(std::move(cells));
   }
+  return table;
+}
+
+ClusterImbalance ComputeClusterImbalance(const ClusterOutcome& outcome) {
+  ClusterImbalance imbalance;
+  std::vector<double> invocations;
+  std::vector<double> memory;
+  uint64_t peak_cold = 0;
+  for (const NodeOutcome& node : outcome.nodes) {
+    if (node.final_state == "pending") continue;
+    invocations.push_back(
+        static_cast<double>(node.sim.metrics.total_invocations));
+    memory.push_back(node.sim.metrics.average_memory);
+    peak_cold = std::max(peak_cold, node.sim.metrics.total_cold_starts);
+  }
+  imbalance.num_nodes = static_cast<int64_t>(invocations.size());
+  if (invocations.empty()) return imbalance;
+
+  const auto cv_and_peak = [](const std::vector<double>& values) {
+    double sum = 0.0;
+    double peak = 0.0;
+    for (double v : values) {
+      sum += v;
+      peak = std::max(peak, v);
+    }
+    const double mean = sum / static_cast<double>(values.size());
+    if (mean == 0.0) return std::pair<double, double>{0.0, 0.0};
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(values.size());
+    return std::pair<double, double>{std::sqrt(var) / mean, peak / mean};
+  };
+  const auto [inv_cv, inv_peak] = cv_and_peak(invocations);
+  imbalance.invocation_cv = inv_cv;
+  imbalance.invocation_peak_ratio = inv_peak;
+  imbalance.memory_cv = cv_and_peak(memory).first;
+  const uint64_t fleet_cold = outcome.fleet.metrics.total_cold_starts;
+  imbalance.cold_start_peak_share =
+      fleet_cold == 0 ? 0.0
+                      : static_cast<double>(peak_cold) /
+                            static_cast<double>(fleet_cold);
+  return imbalance;
+}
+
+Table BuildClusterNodeTable(const ClusterOutcome& outcome) {
+  Table table({"node", "state", "invocations", "cold starts", "Q3-CSR",
+               "avg mem", "peak mem", "WMT", "pressure evict",
+               "reroutes in"});
+  uint64_t pressure = 0;
+  for (const NodeOutcome& node : outcome.nodes) {
+    const FleetMetrics& m = node.sim.metrics;
+    pressure += node.pressure_evictions;
+    table.AddRow({std::to_string(node.node), node.final_state,
+                  std::to_string(m.total_invocations),
+                  std::to_string(m.total_cold_starts),
+                  FormatDouble(m.q3_csr, 4), FormatDouble(m.average_memory, 1),
+                  std::to_string(m.max_memory),
+                  std::to_string(m.wasted_memory_minutes),
+                  std::to_string(node.pressure_evictions),
+                  std::to_string(node.reroutes_in)});
+  }
+  const FleetMetrics& fleet = outcome.fleet.metrics;
+  table.AddRow({"fleet", "-", std::to_string(fleet.total_invocations),
+                std::to_string(fleet.total_cold_starts),
+                FormatDouble(fleet.q3_csr, 4),
+                FormatDouble(fleet.average_memory, 1),
+                std::to_string(fleet.max_memory),
+                std::to_string(fleet.wasted_memory_minutes),
+                std::to_string(pressure),
+                std::to_string(outcome.reroutes)});
   return table;
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/table.h"
 #include "core/spes_policy.h"
 #include "sim/accounting.h"
@@ -52,6 +53,29 @@ double RelativeReduction(double baseline, double improved);
 /// to "lane<k>".
 Table BuildTimelineTable(const std::vector<std::string>& labels,
                          const std::vector<std::vector<MinuteSample>>& series);
+
+/// \brief How unevenly a cluster run spread its work and memory across
+/// nodes. Nodes that never joined (an `add` event past the window) are
+/// excluded; failed and drained nodes count for the minutes they served.
+struct ClusterImbalance {
+  /// Nodes included in the statistics.
+  int64_t num_nodes = 0;
+  /// Coefficient of variation (stddev / mean) of per-node invocations.
+  double invocation_cv = 0.0;
+  /// Peak node invocations over the per-node mean (1.0 = perfectly even).
+  double invocation_peak_ratio = 0.0;
+  /// Coefficient of variation of per-node average loaded instances.
+  double memory_cv = 0.0;
+  /// Largest single-node share of the fleet's cold starts.
+  double cold_start_peak_share = 0.0;
+};
+
+ClusterImbalance ComputeClusterImbalance(const ClusterOutcome& outcome);
+
+/// \brief Per-node breakdown of one cluster run — invocations, cold
+/// starts, CSR, memory, WMT, pressure evictions, re-routes — with a
+/// fleet-wide summary row last.
+Table BuildClusterNodeTable(const ClusterOutcome& outcome);
 
 }  // namespace spes
 

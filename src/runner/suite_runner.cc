@@ -13,6 +13,37 @@ namespace spes {
 
 namespace {
 
+/// Runs one cluster job to completion over `workload`: per-node policies
+/// are built inside ClusterSession::Create, the job's observers ride the
+/// session, the fleet aggregate lands in JobResult::outcome and the
+/// per-node breakdown in JobResult::cluster. Shared by the pooled worker
+/// and the lockstep path so both produce bitwise-identical results.
+void RunClusterJob(const Trace& workload, const ScenarioSpec& spec,
+                   const std::vector<SimObserver*>& observers,
+                   JobResult* result) {
+  Result<ClusterSession> session = ClusterSession::Create(
+      workload, *spec.cluster, spec.policy, spec.options);
+  if (!session.ok()) {
+    result->status = session.status();
+    return;
+  }
+  for (SimObserver* observer : observers) {
+    session.ValueOrDie().AddObserver(observer);
+  }
+  Result<ClusterOutcome> outcome = session.ValueOrDie().Finish();
+  if (!outcome.ok()) {
+    result->status = outcome.status();
+    return;
+  }
+  ClusterOutcome& cluster = outcome.ValueOrDie();
+  result->outcome = cluster.fleet;  // per-node detail keeps its own copy
+  result->cluster =
+      std::make_shared<const ClusterOutcome>(std::move(cluster));
+  if (result->label.empty()) {
+    result->label = result->outcome.metrics.policy_name;
+  }
+}
+
 /// Scopes an observer to one lane of a stream: views from other lanes
 /// are filtered out and the surviving views are presented as a
 /// single-lane stream (lane 0, num_lanes 1). A spec's observers thus
@@ -83,6 +114,9 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
     result.label = job.label;
     if (!job.precondition.ok()) {
       result.status = std::move(job.precondition);
+    } else if (job.cluster_scenario != nullptr) {
+      const Trace& workload = job.trace ? *job.trace : trace;
+      RunClusterJob(workload, *job.cluster_scenario, job.observers, &result);
     } else if (!job.factory) {
       result.status = Status::InvalidArgument("job has no policy factory");
     } else {
@@ -150,6 +184,24 @@ SuiteJob JobFromSpec(const ScenarioSpec& spec) {
   job.options = spec.options;
   job.observers = spec.observers;
   job.precondition = ValidateScenarioSpec(spec);
+  if (job.precondition.ok() && spec.cluster.has_value()) {
+    // Catch registry problems on the calling thread, like the plain path:
+    // a throwaway policy instance (un-trained, so cheap) and the router
+    // validate the spec; the worker rebuilds per node.
+    Result<std::unique_ptr<Policy>> probe =
+        PolicyRegistry::Global().Create(spec.policy);
+    if (probe.ok()) {
+      Result<std::unique_ptr<Router>> router =
+          RouterRegistry::Global().Create(spec.cluster->router);
+      job.precondition = router.status();
+    } else {
+      job.precondition = probe.status();
+    }
+    if (job.precondition.ok()) {
+      job.cluster_scenario = std::make_shared<const ScenarioSpec>(spec);
+    }
+    return job;
+  }
   if (job.precondition.ok()) {
     Result<std::unique_ptr<Policy>> built =
         PolicyRegistry::Global().Create(spec.policy);
@@ -190,6 +242,8 @@ std::vector<JobResult> SuiteRunner::RunLockstep(
   std::vector<std::unique_ptr<Policy>> policies(specs.size());
   std::vector<std::vector<size_t>> groups;
   std::vector<std::string> group_keys;
+  std::vector<size_t> cluster_slots;
+  std::vector<std::shared_ptr<const ScenarioSpec>> cluster_specs(specs.size());
   for (size_t slot = 0; slot < specs.size(); ++slot) {
     const ScenarioSpec& spec = specs[slot];
     JobResult& result = results[slot];
@@ -197,6 +251,13 @@ std::vector<JobResult> SuiteRunner::RunLockstep(
     result.label = job.label;
     result.status = job.precondition;
     if (!result.status.ok()) continue;
+    if (job.cluster_scenario != nullptr) {
+      // A cluster is already its own multi-lane session; it runs
+      // standalone instead of joining a lane group.
+      cluster_slots.push_back(slot);
+      cluster_specs[slot] = std::move(job.cluster_scenario);
+      continue;
+    }
     policies[slot] = job.factory();
     if (result.label.empty()) result.label = policies[slot]->name();
     const std::string key = std::to_string(spec.options.train_minutes) + "|" +
@@ -226,6 +287,12 @@ std::vector<JobResult> SuiteRunner::RunLockstep(
   // monotonic over the whole batch.
   for (size_t slot = 0; slot < specs.size(); ++slot) {
     if (!results[slot].status.ok()) report(slot);
+  }
+
+  for (size_t slot : cluster_slots) {
+    RunClusterJob(trace, *cluster_specs[slot], specs[slot].observers,
+                  &results[slot]);
+    report(slot);
   }
 
   for (const std::vector<size_t>& group : groups) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/status.h"
 #include "sim/engine.h"
 #include "sim/observer.h"
@@ -48,16 +49,24 @@ struct SuiteJob {
   /// spec-batch overloads. Jobs run concurrently, so an observer shared
   /// by several jobs must be thread-safe — or give each spec its own.
   std::vector<SimObserver*> observers;
+  /// Cluster mode: when set, the job ignores `factory` and simulates the
+  /// spec's cluster through a ClusterSession (per-node policies are built
+  /// from spec.policy on the worker thread). Populated from ScenarioSpec
+  /// by the spec-batch overloads whenever spec.cluster is set.
+  std::shared_ptr<const ScenarioSpec> cluster_scenario;
 };
 
 /// \brief Outcome of one job. `outcome` is meaningful only when
 /// `status.ok()`; `policy` is the trained instance (kept alive for
-/// per-type breakdowns such as BreakdownByType).
+/// per-type breakdowns such as BreakdownByType). For cluster jobs,
+/// `outcome` is the fleet-wide aggregate, `policy` is null, and `cluster`
+/// carries the per-node breakdown.
 struct JobResult {
   std::string label;
   Status status;
   SimulationOutcome outcome;
   std::unique_ptr<Policy> policy;
+  std::shared_ptr<const ClusterOutcome> cluster;
 };
 
 /// \brief Progress callback: invoked after each job finishes with the
@@ -108,7 +117,9 @@ class SuiteRunner {
   /// outcomes (with OK status). The
   /// progress callback fires per slot, in slot order, as each group
   /// completes. Spec trace sources are ignored — `trace` is the workload
-  /// for every slot.
+  /// for every slot. Cluster specs do not join a lane group (a cluster is
+  /// already its own multi-lane session); they run standalone, before the
+  /// groups, with results bitwise identical to Run(trace, specs).
   std::vector<JobResult> RunLockstep(
       const Trace& trace, const std::vector<ScenarioSpec>& specs) const;
 

@@ -55,6 +55,9 @@ Status ValidateScenarioSpec(const ScenarioSpec& spec) {
     return Status::InvalidArgument(
         "ScenarioSpec.policy.name must not be empty");
   }
+  if (spec.cluster.has_value()) {
+    SPES_RETURN_NOT_OK(ValidateClusterSpec(*spec.cluster));
+  }
   return ValidateSimOptions(spec.options);
 }
 
@@ -90,6 +93,11 @@ namespace {
 /// calling this.
 Result<ScenarioStream> OpenValidated(const Trace& trace,
                                      const ScenarioSpec& spec) {
+  if (spec.cluster.has_value()) {
+    return Status::InvalidArgument(
+        "cluster scenarios cannot be opened as a single SimStream; drive a "
+        "ClusterSession (cluster/cluster.h) instead");
+  }
   SPES_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
                         PolicyRegistry::Global().Create(spec.policy));
   SPES_ASSIGN_OR_RETURN(SimStream stream,
@@ -98,9 +106,26 @@ Result<ScenarioStream> OpenValidated(const Trace& trace,
   return ScenarioStream{std::move(policy), std::move(stream)};
 }
 
-/// Shared core: open and drain the stream.
+/// Shared core: open and drain the stream — or, for a cluster spec, drive
+/// a ClusterSession over the same workload and surface the fleet-wide
+/// aggregate plus the per-node breakdown.
 Result<ScenarioOutcome> RunValidated(const Trace& trace,
                                      const ScenarioSpec& spec) {
+  if (spec.cluster.has_value()) {
+    SPES_ASSIGN_OR_RETURN(
+        ClusterSession session,
+        ClusterSession::Create(trace, *spec.cluster, spec.policy,
+                               spec.options));
+    for (SimObserver* observer : spec.observers) {
+      session.AddObserver(observer);
+    }
+    SPES_ASSIGN_OR_RETURN(ClusterOutcome cluster, session.Finish());
+    ScenarioOutcome result;
+    result.outcome = cluster.fleet;  // per-node detail keeps its own copy
+    result.cluster =
+        std::make_shared<const ClusterOutcome>(std::move(cluster));
+    return result;
+  }
   SPES_ASSIGN_OR_RETURN(ScenarioStream open, OpenValidated(trace, spec));
   SPES_ASSIGN_OR_RETURN(SimulationOutcome outcome, open.stream.Finish());
   ScenarioOutcome result;
@@ -116,6 +141,13 @@ Result<std::vector<ScenarioOutcome>> RunLockstepValidatedTrace(
   std::vector<ScenarioOutcome> results;
   if (specs.empty()) return results;
   for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].cluster.has_value()) {
+      return Status::InvalidArgument(
+          "lockstep spec " + std::to_string(i) +
+          ": cluster scenarios cannot share a lockstep stream (each cluster "
+          "is its own multi-lane session); run them through "
+          "SuiteRunner::Run or RunScenario");
+    }
     Status status = ValidateScenarioSpec(specs[i]);
     if (!status.ok()) {
       return Status(status.code(), "lockstep spec " + std::to_string(i) +

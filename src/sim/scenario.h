@@ -19,10 +19,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/status.h"
 #include "core/policy_registry.h"
 #include "sim/engine.h"
@@ -98,6 +100,13 @@ struct ScenarioSpec {
   /// OpenScenario, the lockstep batch forms and the SuiteRunner spec
   /// batches — honours them; null entries are ignored.
   std::vector<SimObserver*> observers;
+  /// When set, the scenario simulates a multi-node cluster
+  /// (cluster/cluster.h): the run goes through a ClusterSession instead
+  /// of a single SimStream, `policy` is instantiated once per node, and
+  /// the outcome carries the per-node breakdown in
+  /// ScenarioOutcome::cluster. Cluster specs cannot be opened as a raw
+  /// SimStream (OpenScenario) or share a lockstep stream (RunLockstep).
+  std::optional<ClusterSpec> cluster;
 };
 
 /// \brief Up-front spec validation: an empty policy name or invalid
@@ -112,9 +121,13 @@ Result<Trace> RealizeTrace(const TraceSpec& spec);
 
 /// \brief Outcome of one scenario: the simulation result plus the trained
 /// policy instance (kept alive for per-type breakdowns and inspection).
+/// For cluster scenarios, `outcome` is the fleet-wide aggregate, `policy`
+/// is null (the per-node instances live in the cluster breakdown), and
+/// `cluster` carries the full ClusterOutcome.
 struct ScenarioOutcome {
   SimulationOutcome outcome;
   std::unique_ptr<Policy> policy;
+  std::shared_ptr<const ClusterOutcome> cluster;
 };
 
 /// \brief Runs `spec` against an externally supplied trace (the spec's

@@ -24,15 +24,9 @@ uint32_t SaturatingAdd(uint32_t a, int64_t b) {
   return SaturatingCount(static_cast<int64_t>(a) + b);
 }
 
-/// Stable per-function stream seed: FNV-1a over the hashed function name,
-/// finalized with splitmix64 against the user seed. Keyed by *name* (not
-/// fleet index) so selection survives reordering/filtering upstream.
-uint64_t MixNameSeed(const std::string& name, uint64_t seed) {
-  uint64_t h = 1469598103934665603ULL;
-  for (unsigned char c : name) h = (h ^ c) * 1099511628211ULL;
-  uint64_t state = h ^ (seed + 0x9e3779b97f4a7c15ULL);
-  return SplitMix64(&state);
-}
+// Per-function stream seeds come from MixNameSeed (common/rng.h): keyed
+// by *name*, not fleet index, so selection survives reordering/filtering
+// upstream.
 
 /// Uniform in [0, 1) derived from (name, seed); a function is "selected"
 /// by fraction-style parameters when its point falls below the fraction.

@@ -353,6 +353,144 @@ TEST(GoldenMetricsTest, Fig13StyleLockstepSweepMatchesPerPolicyGoldens) {
   EXPECT_EQ(SeriesSum(lockstep[2].outcome.memory_series), 210020u);
 }
 
+// ---------------------------------------------------------------------
+// Cluster goldens: the cluster layer (cluster/cluster.h) must collapse
+// to the plain engine for a single node, and the sharded fleet must
+// reproduce these exact counters — routing, per-node accounting and
+// node events are all deterministic.
+// ---------------------------------------------------------------------
+
+ScenarioSpec GoldenClusterSpec(int nodes) {
+  ScenarioSpec spec;
+  spec.policy = {"spes", {}};
+  spec.options = GoldenOptions();
+  spec.cluster = ClusterSpec{};
+  spec.cluster->nodes = nodes;
+  return spec;
+}
+
+TEST(GoldenMetricsTest, SingleNodeHashClusterMatchesBatchGoldensBitwise) {
+  const Trace fleet = GoldenTrace();
+  const ScenarioOutcome run =
+      RunScenario(fleet, GoldenClusterSpec(1)).ValueOrDie();
+
+  SpesPolicy batch;
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&batch), run.outcome);
+  EXPECT_EQ(run.outcome.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(run.outcome.memory_series), 212568u);
+
+  ASSERT_NE(run.cluster, nullptr);
+  EXPECT_EQ(run.cluster->nodes.size(), 1u);
+  EXPECT_EQ(run.cluster->reroutes, 0u);
+  ExpectBitwiseIdenticalBehaviour(run.cluster->nodes[0].sim, run.outcome);
+}
+
+TEST(GoldenMetricsTest, FourNodeHashClusterReproducesGoldenValues) {
+  const Trace fleet = GoldenTrace();
+  const ScenarioOutcome run =
+      RunScenario(fleet, GoldenClusterSpec(4)).ValueOrDie();
+  const FleetMetrics& m = run.outcome.metrics;
+
+  // Sharding splits each node's arrival stream, so per-node SPES models
+  // see less history (more cold starts) and every routing-unaware node
+  // pre-warms its full predicted set (more memory + waste) — the
+  // motivating observation for per-node capacity pressure.
+  EXPECT_EQ(m.policy_name, "SPES");
+  EXPECT_EQ(m.total_invocations, 505234u);
+  EXPECT_EQ(m.total_cold_starts, 1535u);
+  EXPECT_EQ(m.wasted_memory_minutes, 576460u);
+  EXPECT_EQ(m.loaded_instance_minutes, 706610u);
+  EXPECT_EQ(m.max_memory, 290u);
+  EXPECT_DOUBLE_EQ(m.q3_csr, 0.10325027085590466);
+  EXPECT_DOUBLE_EQ(m.emcr, 0.18418929819844043);
+
+  ASSERT_EQ(run.outcome.memory_series.size(), 2880u);
+  EXPECT_EQ(run.outcome.memory_series.front(), 261u);
+  EXPECT_EQ(SeriesSum(run.outcome.memory_series), 706610u);
+
+  ASSERT_NE(run.cluster, nullptr);
+  ASSERT_EQ(run.cluster->nodes.size(), 4u);
+  EXPECT_EQ(run.cluster->reroutes, 0u);  // hash is stable: nothing moves
+  const uint64_t node_invocations[] = {124002u, 144464u, 113387u, 123381u};
+  const uint64_t node_cold_starts[] = {190u, 796u, 413u, 136u};
+  for (size_t k = 0; k < 4; ++k) {
+    const NodeOutcome& node = run.cluster->nodes[k];
+    EXPECT_EQ(node.final_state, "routable");
+    EXPECT_EQ(node.sim.metrics.total_invocations, node_invocations[k]) << k;
+    EXPECT_EQ(node.sim.metrics.total_cold_starts, node_cold_starts[k]) << k;
+    EXPECT_EQ(node.pressure_evictions, 0u);  // uncapped
+  }
+}
+
+TEST(GoldenMetricsTest, NodeFailEventReroutesWithColdStartConsequences) {
+  const Trace fleet = GoldenTrace();
+  // Node 1 dies one simulated day in (minute 3360 = 2 days train + 1 day).
+  ScenarioSpec spec = GoldenClusterSpec(4);
+  spec.cluster->events =
+      ParseNodeEventTimeline("fail{at=3360,node=1}").ValueOrDie();
+  const ScenarioOutcome run = RunScenario(fleet, spec).ValueOrDie();
+
+  ASSERT_NE(run.cluster, nullptr);
+  // Every function node 1 served re-routes (mod-3 rehash) and pays a
+  // cold start on its new home: strictly worse than the stable cluster.
+  EXPECT_EQ(run.outcome.metrics.total_cold_starts, 1987u);
+  EXPECT_EQ(run.cluster->reroutes, 102u);
+  const NodeOutcome& failed = run.cluster->nodes[1];
+  EXPECT_EQ(failed.final_state, "failed");
+  // The failed node's memory is lost at the fail minute and stays empty.
+  ASSERT_EQ(failed.sim.memory_series.size(), 2880u);
+  EXPECT_GT(failed.sim.memory_series[3360 - 2880 - 1], 0u);
+  for (size_t i = 3360 - 2880; i < failed.sim.memory_series.size(); ++i) {
+    EXPECT_EQ(failed.sim.memory_series[i], 0u) << i;
+  }
+  // Invocations are conserved: re-routing moves work, never drops it.
+  EXPECT_EQ(run.outcome.metrics.total_invocations, 505234u);
+}
+
+TEST(GoldenMetricsTest, ClusterSuiteIsBitwiseDeterministicAcrossThreads) {
+  const Trace fleet = GoldenTrace();
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(GoldenClusterSpec(4));
+  specs.back().label = "hash4";
+  specs.push_back(GoldenClusterSpec(4));
+  specs.back().label = "least4";
+  specs.back().cluster->router = {"least_loaded", {}};
+  specs.push_back(GoldenClusterSpec(2));
+  specs.back().label = "locality2-pressure";
+  specs.back().cluster->router = {"locality", {{"pressure", 0.9}}};
+  specs.back().cluster->node_capacity = 60;
+  specs.back().cluster->events =
+      ParseNodeEventTimeline("drain{at=3600,node=0} | add{at=3600}")
+          .ValueOrDie();
+
+  const std::vector<JobResult> serial =
+      SuiteRunner({1, nullptr}).Run(fleet, specs);
+  const std::vector<JobResult> parallel =
+      SuiteRunner({4, nullptr}).Run(fleet, specs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].status.ok()) << serial[i].status.ToString();
+    ASSERT_TRUE(parallel[i].status.ok()) << parallel[i].status.ToString();
+    ExpectBitwiseIdenticalBehaviour(serial[i].outcome, parallel[i].outcome);
+    ASSERT_NE(serial[i].cluster, nullptr);
+    ASSERT_NE(parallel[i].cluster, nullptr);
+    ASSERT_EQ(serial[i].cluster->nodes.size(),
+              parallel[i].cluster->nodes.size());
+    EXPECT_EQ(serial[i].cluster->reroutes, parallel[i].cluster->reroutes);
+    for (size_t k = 0; k < serial[i].cluster->nodes.size(); ++k) {
+      const NodeOutcome& a = serial[i].cluster->nodes[k];
+      const NodeOutcome& b = parallel[i].cluster->nodes[k];
+      EXPECT_EQ(a.final_state, b.final_state);
+      EXPECT_EQ(a.pressure_evictions, b.pressure_evictions);
+      EXPECT_EQ(a.reroutes_in, b.reroutes_in);
+      ExpectBitwiseIdenticalBehaviour(a.sim, b.sim);
+    }
+  }
+  // The hash cluster anchors against the absolute goldens above.
+  EXPECT_EQ(serial[0].outcome.metrics.total_cold_starts, 1535u);
+  EXPECT_EQ(SeriesSum(serial[0].outcome.memory_series), 706610u);
+}
+
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {
   // The goldens above encode it, but assert the invariant directly: the
   // trace (and thus the arrival stream) is policy-independent.
