@@ -1,18 +1,39 @@
 // Micro-benchmarks (google-benchmark) for SPES's hot paths: WT extraction,
-// deterministic categorization, the per-minute provision step and the IAT
-// histogram update. These back the RQ2 overhead discussion: every per-
-// invocation operation must be O(1)-ish for the unbillable scheduling
-// window.
+// deterministic categorization, arrival decode, the per-minute provision
+// step and the IAT histogram update, plus the end-to-end simulation kernel
+// (columnar SimStream vs the kept naive reference loop). These back the
+// RQ2 overhead discussion — every per-invocation operation must be
+// O(1)-ish for the unbillable scheduling window — and pin the simulator's
+// own throughput trajectory (BENCH_micro_hotpaths.json).
+//
+// Scale knobs: SPES_BENCH_FUNCTIONS overrides the fleet sizes of the
+// decode/provision/kernel benches (e.g. SPES_BENCH_FUNCTIONS=1000000 for
+// the Azure-scale single-thread run); SPES_BENCH_DAYS (default 3) sets the
+// horizon — the last day is simulated, the rest trains.
+// SPES_BENCH_RARE_PCT (default 0) forces that percentage of the fleet onto
+// the rarely-invoked archetypes: the default mix is calibrated at laptop
+// scale where ~a third of the fleet fires every minute, which extrapolated
+// to 1M functions would be an unrealistic ~475M invocations/day — the
+// Azure-scale runs pair SPES_BENCH_FUNCTIONS=1000000 with
+// SPES_BENCH_RARE_PCT=90 to match the real trace's tail-heavy population.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <vector>
 
+#include "common/env.h"
 #include "core/categorizer.h"
 #include "core/policy_registry.h"
 #include "core/series_features.h"
+#include "policies/fixed_keepalive.h"
 #include "policies/iat_histogram.h"
+#include "sim/columnar.h"
 #include "sim/engine.h"
+#include "sim/reference_kernel.h"
+#include "sim/stream.h"
 #include "trace/generator.h"
 
 namespace spes {
@@ -22,6 +43,39 @@ std::vector<uint32_t> PeriodicCounts(int n, int period) {
   std::vector<uint32_t> counts(static_cast<size_t>(n), 0);
   for (int t = 0; t < n; t += period) counts[static_cast<size_t>(t)] = 1;
   return counts;
+}
+
+/// One generated fleet per size, shared across benches (generation at
+/// 1M functions is minutes of work; pay it once).
+const GeneratedTrace& SharedFleet(int64_t num_functions) {
+  static std::map<int64_t, std::unique_ptr<GeneratedTrace>> cache;
+  std::unique_ptr<GeneratedTrace>& slot = cache[num_functions];
+  if (slot == nullptr) {
+    GeneratorConfig config;
+    config.num_functions = static_cast<int>(num_functions);
+    config.days = static_cast<int>(GetEnvInt("SPES_BENCH_DAYS", 3));
+    if (config.days < 2) config.days = 2;
+    config.seed = 7;
+    config.rare_fraction =
+        static_cast<double>(GetEnvInt("SPES_BENCH_RARE_PCT", 0)) / 100.0;
+    slot = std::make_unique<GeneratedTrace>(
+        std::move(GenerateTrace(config).ValueOrDie()));
+  }
+  return *slot;
+}
+
+int TrainMinutes(const Trace& trace) {
+  return trace.num_minutes() - kMinutesPerDay;  // simulate the last day
+}
+
+/// Fleet sizes: SPES_BENCH_FUNCTIONS when set, else the default ladder.
+void FleetArgs(benchmark::internal::Benchmark* bench) {
+  const int64_t env = GetEnvInt("SPES_BENCH_FUNCTIONS", 0);
+  if (env > 0) {
+    bench->Arg(env);
+    return;
+  }
+  bench->Arg(1000)->Arg(4000);
 }
 
 void BM_ExtractSeriesFeatures(benchmark::State& state) {
@@ -55,32 +109,159 @@ void BM_IatHistogramRecordAndQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_IatHistogramRecordAndQuery);
 
-void BM_SpesProvisionMinute(benchmark::State& state) {
-  GeneratorConfig config;
-  config.num_functions = static_cast<int>(state.range(0));
-  config.days = 3;
-  config.seed = 7;
-  const GeneratedTrace fleet = GenerateTrace(config).ValueOrDie();
-  const std::unique_ptr<Policy> policy =
-      PolicyRegistry::Global().Create({"spes", {}}).ValueOrDie();
-  const int train = 2 * kMinutesPerDay;
-  policy->Train(fleet.trace, train);
-  MemSet mem(fleet.trace.num_functions());
+// --------------------------------------------------------------------------
+// Arrival decode: the naive O(n)-per-minute scan vs the block-transposing
+// ArrivalDecoder. Items/sec counts function-minutes, so the two series are
+// directly comparable (and comparable with the provision step below).
+// --------------------------------------------------------------------------
+
+void BM_ArrivalDecodeNaive(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  const int train = TrainMinutes(fleet.trace);
+  const size_t n = fleet.trace.num_functions();
   std::vector<Invocation> arrivals;
   int t = train;
   for (auto _ : state) {
     arrivals.clear();
-    for (size_t f = 0; f < fleet.trace.num_functions(); ++f) {
-      const uint32_t c = fleet.trace.function(f).counts[
-          static_cast<size_t>(t)];
+    for (size_t f = 0; f < n; ++f) {
+      const uint32_t c =
+          fleet.trace.function(f).counts[static_cast<size_t>(t)];
       if (c > 0) arrivals.push_back({static_cast<uint32_t>(f), c});
     }
-    policy->OnMinute(t, arrivals, &mem);
+    benchmark::DoNotOptimize(arrivals.data());
     t = train + (t + 1 - train) % (fleet.trace.num_minutes() - train);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SpesProvisionMinute)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_ArrivalDecodeNaive)->Apply(FleetArgs);
+
+void BM_ArrivalDecodeColumnar(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  ArrivalDecoder decoder(fleet.trace);
+  // One iteration = one full block of minutes, cycling through distinct
+  // blocks so every iteration pays (and amortizes) a real block transpose.
+  // Items/sec stays in function-minutes, comparable with the naive scan.
+  constexpr int kBlock = ArrivalDecoder::kDefaultBlockMinutes;
+  const int num_blocks = fleet.trace.num_minutes() / kBlock;
+  int block = 0;
+  for (auto _ : state) {
+    const int start = block * kBlock;
+    uint64_t arrivals = 0;
+    for (int t = start; t < start + kBlock; ++t) {
+      arrivals += decoder.Decode(t).size();
+    }
+    benchmark::DoNotOptimize(arrivals);
+    block = (block + 1) % num_blocks;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kBlock);
+}
+BENCHMARK(BM_ArrivalDecodeColumnar)->Apply(FleetArgs);
+
+// --------------------------------------------------------------------------
+// SPES provision step. Arrivals are pre-decoded OUTSIDE the timed region —
+// the old version re-ran the O(n) decode inside the loop, so at large
+// fleets it measured decode, not the policy step.
+// --------------------------------------------------------------------------
+
+void BM_SpesProvisionMinute(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  const std::unique_ptr<Policy> policy =
+      PolicyRegistry::Global().Create({"spes", {}}).ValueOrDie();
+  const int train = TrainMinutes(fleet.trace);
+  policy->Train(fleet.trace, train);
+  // Pre-decode every simulated minute once, outside the measurement.
+  const int sim_minutes = fleet.trace.num_minutes() - train;
+  std::vector<std::vector<Invocation>> decoded(
+      static_cast<size_t>(sim_minutes));
+  {
+    ArrivalDecoder decoder(fleet.trace);
+    for (int m = 0; m < sim_minutes; ++m) {
+      const auto span = decoder.Decode(train + m);
+      decoded[static_cast<size_t>(m)].assign(span.begin(), span.end());
+    }
+  }
+  MemSet mem(fleet.trace.num_functions());
+  int m = 0;
+  for (auto _ : state) {
+    policy->OnMinute(train + m, decoded[static_cast<size_t>(m)], &mem);
+    m = (m + 1) % sim_minutes;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SpesProvisionMinute)->Apply(FleetArgs);
+
+// --------------------------------------------------------------------------
+// End-to-end simulation kernel over the last trace day: the columnar
+// SimStream vs the kept naive reference loop driving a pre-refactor-style
+// policy. Items/sec counts simulated function-minutes; the
+// columnar/reference items-per-second ratio is the PR's ≥10x headline
+// number, and tools/check_bench_regression.py gates on BM_SimKernelColumnar.
+// --------------------------------------------------------------------------
+
+/// Fixed keep-alive exactly as the pre-columnar engine ran it: an O(n)
+/// membership scan every minute instead of walking only the loaded ids.
+/// Same semantics as FixedKeepAlivePolicy (identical outcomes), kept here
+/// so BM_SimKernelReference measures the full pre-refactor cost profile.
+class PreRefactorKeepAlive : public Policy {
+ public:
+  explicit PreRefactorKeepAlive(int keepalive_minutes)
+      : keepalive_minutes_(keepalive_minutes) {}
+  std::string name() const override {
+    return "Fixed-" + std::to_string(keepalive_minutes_) + "min";
+  }
+  void Train(const Trace& trace, int) override {
+    last_arrival_.assign(trace.num_functions(), -1);
+  }
+  void OnMinute(int t, const std::vector<Invocation>& arrivals,
+                MemSet* mem) override {
+    for (const Invocation& inv : arrivals) last_arrival_[inv.function] = t;
+    const size_t n = last_arrival_.size();
+    for (size_t f = 0; f < n; ++f) {
+      if (!mem->Contains(f)) continue;
+      const int last = last_arrival_[f];
+      if (last < 0 || t - last >= keepalive_minutes_) mem->Remove(f);
+    }
+  }
+
+ private:
+  int keepalive_minutes_;
+  std::vector<int> last_arrival_;
+};
+
+void BM_SimKernelColumnar(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  SimOptions options;
+  options.train_minutes = TrainMinutes(fleet.trace);
+  for (auto _ : state) {
+    FixedKeepAlivePolicy policy(10);
+    SimStream stream =
+        SimStream::Create(fleet.trace, &policy, options).ValueOrDie();
+    const SimulationOutcome outcome = stream.Finish().ValueOrDie();
+    benchmark::DoNotOptimize(outcome.metrics.total_invocations);
+  }
+  const int sim_minutes = fleet.trace.num_minutes() - options.train_minutes;
+  state.SetItemsProcessed(state.iterations() * state.range(0) * sim_minutes);
+}
+BENCHMARK(BM_SimKernelColumnar)
+    ->Apply(FleetArgs)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimKernelReference(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  SimOptions options;
+  options.train_minutes = TrainMinutes(fleet.trace);
+  for (auto _ : state) {
+    PreRefactorKeepAlive policy(10);
+    const SimulationOutcome outcome =
+        SimulateReference(fleet.trace, &policy, options).ValueOrDie();
+    benchmark::DoNotOptimize(outcome.metrics.total_invocations);
+  }
+  const int sim_minutes = fleet.trace.num_minutes() - options.train_minutes;
+  state.SetItemsProcessed(state.iterations() * state.range(0) * sim_minutes);
+}
+BENCHMARK(BM_SimKernelReference)
+    ->Apply(FleetArgs)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace spes

@@ -37,8 +37,8 @@ int main(int argc, char** argv) {
       "O(n) + histogram updates",   // Defuse
       "O(n) histogram windows",     // HF
       "O(apps) histogram windows",  // HA
-      "O(n) timer scan",            // Fixed
-      "O(n) GDSF scan on pressure"  // FaasCache
+      "O(resident) timer scan",            // Fixed
+      "O(resident) GDSF scan on pressure"  // FaasCache
   };
   for (size_t i = 0; i < suite.outcomes.size(); ++i) {
     const FleetMetrics& m = suite.outcomes[i].metrics;

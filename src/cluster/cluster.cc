@@ -229,7 +229,8 @@ ClusterSession::ClusterSession(const Trace& trace, const SimOptions& options,
       start_(options.train_minutes),
       end_(end),
       cursor_(options.train_minutes),
-      assignment_(trace.num_functions(), -1) {}
+      assignment_(trace.num_functions(), -1),
+      decoder_(trace) {}
 
 Result<ClusterSession> ClusterSession::Create(const Trace& trace,
                                               const ClusterSpec& cluster,
@@ -332,12 +333,10 @@ void ClusterSession::EnforceCapacity(Node* node, int t) {
   // Idle instances (not executing this minute, unless pinning is off) in
   // LRU order by last arrival on this node; ties evict the lowest id.
   std::vector<std::pair<int32_t, uint32_t>> candidates;
-  const std::vector<uint8_t>& loaded = node->mem.raw();
-  for (size_t f = 0; f < loaded.size(); ++f) {
-    if (!loaded[f]) continue;
-    if (options_.pin_executing_functions && node->last_used[f] == t) continue;
+  node->mem.ForEachLoaded([this, node, t, &candidates](size_t f) {
+    if (options_.pin_executing_functions && node->last_used[f] == t) return;
     candidates.emplace_back(node->last_used[f], static_cast<uint32_t>(f));
-  }
+  });
   size_t excess = node->mem.Count() - capacity;
   if (candidates.size() > excess) {
     std::partial_sort(candidates.begin(), candidates.begin() + excess,
@@ -369,18 +368,13 @@ void ClusterSession::EnsureStarted() {
 
 Status ClusterSession::StepLocked() {
   const int t = cursor_;
-  const size_t n = trace_->num_functions();
 
   ApplyEvents(t);
 
-  // Decode this minute's arrivals ONCE; every node shares the decode.
-  arrivals_.clear();
-  for (size_t f = 0; f < n; ++f) {
-    const uint32_t c = trace_->function(f).counts[static_cast<size_t>(t)];
-    if (c > 0) {
-      arrivals_.push_back({static_cast<uint32_t>(f), c});
-    }
-  }
+  // Decode this minute's arrivals ONCE; every node shares the decode. The
+  // block-transposing decoder makes this O(arrivals) amortized.
+  const std::span<const Invocation> decoded = decoder_.Decode(t);
+  arrivals_.assign(decoded.begin(), decoded.end());
   ++minutes_decoded_;
 
   // Routing views: live load at the start of the minute, bumped as
@@ -481,10 +475,9 @@ Status ClusterSession::StepLocked() {
 
     // 4. Residency accounting. "Idle" is node-local: an instance is
     // wasted on this node unless the function arrived *here* this minute
-    // (a warm copy left behind on another node is pure waste).
-    const std::vector<uint8_t>& loaded = node.mem.raw();
-    for (size_t f = 0; f < n; ++f) {
-      if (!loaded[f]) continue;
+    // (a warm copy left behind on another node is pure waste). Only the
+    // loaded ids are visited — word-at-a-time over the membership bitset.
+    node.mem.ForEachLoaded([&node, t](size_t f) {
       FunctionAccount& acc = node.accounts[f];
       acc.loaded_minutes += 1;
       node.totals.loaded_instance_minutes += 1;
@@ -492,7 +485,7 @@ Status ClusterSession::StepLocked() {
         acc.wasted_minutes += 1;
         node.totals.wasted_memory_minutes += 1;
       }
-    }
+    });
     node.memory_series.push_back(static_cast<uint32_t>(node.mem.Count()));
 
     if (!observers_.empty()) {
@@ -521,7 +514,7 @@ Status ClusterSession::Step() {
     return Status::OutOfRange("ClusterSession was consumed by Finish()");
   }
   if (stopped_) {
-    return Status::OutOfRange(
+    return Status::Cancelled(
         "ClusterSession was stopped early at minute (=" +
         std::to_string(cursor_) + ")");
   }
@@ -542,6 +535,13 @@ Status ClusterSession::RunUntil(int minute) {
   while (cursor_ < target && !stopped_) {
     SPES_RETURN_NOT_OK(Step());
   }
+  if (stopped_ && cursor_ < target) {
+    // Same signal Step() gives: an early stop left the target unreached.
+    return Status::Cancelled(
+        "ClusterSession was stopped early at minute (=" +
+        std::to_string(cursor_) + ") before reaching minute (=" +
+        std::to_string(target) + ")");
+  }
   return Status::OK();
 }
 
@@ -551,7 +551,10 @@ Result<ClusterOutcome> ClusterSession::Finish() {
         "ClusterSession was already consumed by Finish()");
   }
   EnsureStarted();
-  SPES_RETURN_NOT_OK(RunUntil(end_));
+  // An early stop still yields the partial-window outcome, so Cancelled
+  // is success here — mirroring SimStream::FinishAll().
+  const Status run = RunUntil(end_);
+  if (!run.ok() && run.code() != StatusCode::kCancelled) return run;
   finished_ = true;
 
   const size_t n = trace_->num_functions();

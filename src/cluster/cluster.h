@@ -36,6 +36,7 @@
 #include "common/status.h"
 #include "core/policy_registry.h"
 #include "sim/accounting.h"
+#include "sim/columnar.h"
 #include "sim/engine.h"
 #include "sim/memset.h"
 #include "sim/observer.h"
@@ -174,12 +175,14 @@ class ClusterSession {
   bool stopped_early() const { return stopped_; }
   /// @}
 
-  /// \brief Simulates one minute across all live nodes. OutOfRange once
-  /// done().
+  /// \brief Simulates one minute across all live nodes. Cancelled once
+  /// the session was stopped early by an observer, OutOfRange once it is
+  /// exhausted or consumed by Finish().
   Status Step();
 
-  /// \brief Steps until the cursor reaches min(minute, end_minute()) or
-  /// an observer stops the session.
+  /// \brief Steps until the cursor reaches min(minute, end_minute()).
+  /// Cancelled when an observer stop halts the session short of the
+  /// target, matching Step(); OutOfRange once consumed by Finish().
   Status RunUntil(int minute);
 
   /// \brief Runs to the end of the window (unless already stopped) and
@@ -248,6 +251,9 @@ class ClusterSession {
   /// Sticky function->node assignment; -1 = unassigned.
   std::vector<int32_t> assignment_;
   std::vector<SimObserver*> observers_;
+
+  /// Block-transposed minute-major decode shared by every node.
+  ArrivalDecoder decoder_;
 
   // Per-minute scratch, reused across steps.
   std::vector<Invocation> arrivals_;

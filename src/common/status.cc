@@ -23,6 +23,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "NotImplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -26,6 +26,7 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
+  kCancelled,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -66,6 +67,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   /// @}
 

@@ -516,7 +516,6 @@ void SpesPolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
   UpdateOnlineCorrelations(t, mem);
 
   // --- Idle handling: pre-load or give up (Algorithm 1 lines 13-20). -------
-  const std::vector<uint8_t>& loaded = mem->raw();
   for (size_t f = 0; f < states_.size(); ++f) {
     if (invoked_now_[f]) continue;
     FunctionState& st = states_[f];
@@ -542,7 +541,7 @@ void SpesPolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
       mem->Add(f);
       continue;
     }
-    if (!loaded[f] && !mem->Contains(f)) continue;
+    if (!mem->Contains(f)) continue;
     if (st.last_arrival < 0) {
       // Pre-warmed by correlation but never invoked: drop once the hold
       // expires.

@@ -57,16 +57,17 @@ void FaasCachePolicy::OnMinute(int t, const std::vector<Invocation>& arrivals,
   // Enforce the capacity by evicting the minimum-priority resident victim;
   // executing functions are unevictable this minute.
   while (mem->Count() > capacity_) {
-    const std::vector<uint8_t>& loaded = mem->raw();
     double best = 0.0;
     int64_t victim = -1;
-    for (size_t f = 0; f < loaded.size(); ++f) {
-      if (!loaded[f] || pinned_[f]) continue;
+    // Resident ids come out ascending, so ties keep the lowest id just
+    // like the old full scan (strict < keeps the first minimum seen).
+    mem->ForEachLoaded([this, &best, &victim](size_t f) {
+      if (pinned_[f]) return;
       if (victim < 0 || priority_[f] < best) {
         best = priority_[f];
         victim = static_cast<int64_t>(f);
       }
-    }
+    });
     if (victim < 0) break;  // everything resident is executing
     mem->Remove(static_cast<size_t>(victim));
     clock_ = best;  // GDSF aging

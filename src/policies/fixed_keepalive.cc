@@ -43,12 +43,12 @@ void FixedKeepAlivePolicy::OnMinute(int t,
                                     const std::vector<Invocation>& arrivals,
                                     MemSet* mem) {
   for (const Invocation& inv : arrivals) last_arrival_[inv.function] = t;
-  const std::vector<uint8_t>& loaded = mem->raw();
-  for (size_t f = 0; f < loaded.size(); ++f) {
-    if (!loaded[f]) continue;
+  // Walk only the loaded ids (ascending, like the old full scan); the
+  // callback may evict the id it was handed.
+  mem->ForEachLoaded([this, t, mem](size_t f) {
     const int last = last_arrival_[f];
     if (last < 0 || t - last >= keepalive_minutes_) mem->Remove(f);
-  }
+  });
 }
 
 Result<std::string> FixedKeepAlivePolicy::SaveState() const {

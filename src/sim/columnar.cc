@@ -1,0 +1,134 @@
+#include "sim/columnar.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace spes {
+
+ArrivalDecoder::ArrivalDecoder(const Trace& trace, int block_minutes)
+    : trace_(&trace),
+      // Clamped so a block minute index always fits scatter_minute_'s u16.
+      block_minutes_(std::clamp(block_minutes, 1, 65535)) {}
+
+std::span<const Invocation> ArrivalDecoder::Decode(int t) {
+  assert(trace_ != nullptr && "ArrivalDecoder used before construction");
+  assert(t >= 0 && t < trace_->num_minutes());
+  if (t < block_start_ || t >= block_end_) DecodeBlock(t);
+  const std::vector<Invocation>& bucket =
+      buckets_[static_cast<size_t>(t - block_start_)];
+  return std::span<const Invocation>(bucket.data(), bucket.size());
+}
+
+void ArrivalDecoder::DecodeBlock(int block_start) {
+  const size_t n = trace_->num_functions();
+  block_start_ = block_start;
+  block_end_ = std::min(block_start + block_minutes_, trace_->num_minutes());
+  const size_t len = static_cast<size_t>(block_end_ - block_start_);
+
+  if (rows_.size() != n) {
+    rows_.resize(n);
+    for (size_t f = 0; f < n; ++f) rows_[f] = trace_->function(f).counts.data();
+  }
+
+  // One pass: read each function's block slice exactly once and append its
+  // nonzero entries to the owning minute's bucket. Walking f in ascending
+  // order keeps every bucket sorted by function id, matching the order the
+  // seed's per-minute O(n) scan produced. The rows are contiguous per
+  // function but scattered across the heap — a pattern the hardware
+  // prefetcher resets on at every row — so software-prefetch the next
+  // row's cache lines while scanning the current one.
+  if (buckets_.size() < len) buckets_.resize(len);
+  for (size_t i = 0; i < len; ++i) buckets_[i].clear();
+  constexpr size_t kPrefetchRows = 4;
+  constexpr size_t kLineWords = 16;  // 64-byte line / 4-byte count
+  for (size_t f = 0; f < n; ++f) {
+    if (f + kPrefetchRows < n) {
+      const uint32_t* next = rows_[f + kPrefetchRows] + block_start_;
+      for (size_t i = 0; i < len; i += kLineWords) __builtin_prefetch(next + i);
+    }
+    const uint32_t* counts = rows_[f] + block_start_;
+    for (size_t i = 0; i < len; ++i) {
+      if (counts[i] > 0) {
+        buckets_[i].push_back(Invocation{static_cast<uint32_t>(f), counts[i]});
+      }
+    }
+  }
+}
+
+void LaneColumns::Reset(size_t num_functions) {
+  invocations.assign(num_functions, 0);
+  invoked_minutes.assign(num_functions, 0);
+  cold_starts.assign(num_functions, 0);
+  loaded_minutes.assign(num_functions, 0);
+  invoked_loaded_minutes.assign(num_functions, 0);
+  loaded_since.assign(num_functions, 0);
+  prev_words.assign((num_functions + 63) / 64, 0);
+}
+
+void LaneColumns::AccrueResidency(int t, const MemSet& mem) {
+  const std::vector<uint64_t>& words = mem.words();
+  assert(words.size() == prev_words.size());
+  for (size_t w = 0; w < words.size(); ++w) {
+    const uint64_t cur = words[w];
+    const uint64_t diff = cur ^ prev_words[w];
+    if (diff == 0) continue;  // the common case: no transitions in 64 fns
+    uint64_t gained = diff & cur;
+    while (gained != 0) {
+      const size_t f = (w << 6) + std::countr_zero(gained);
+      loaded_since[f] = t;
+      gained &= gained - 1;
+    }
+    uint64_t lost = diff & ~cur;
+    while (lost != 0) {
+      const size_t f = (w << 6) + std::countr_zero(lost);
+      loaded_minutes[f] += static_cast<uint64_t>(t - loaded_since[f]);
+      lost &= lost - 1;
+    }
+    prev_words[w] = cur;
+  }
+}
+
+void LaneColumns::Materialize(int cursor, const MemSet& mem,
+                              std::vector<FunctionAccount>* out) const {
+  const size_t n = invocations.size();
+  const std::vector<uint64_t>& words = mem.words();
+  out->resize(n);
+  for (size_t f = 0; f < n; ++f) {
+    FunctionAccount& acc = (*out)[f];
+    acc.invocations = invocations[f];
+    acc.invoked_minutes = invoked_minutes[f];
+    acc.cold_starts = cold_starts[f];
+    uint64_t loaded = loaded_minutes[f];
+    if ((words[f >> 6] >> (f & 63)) & 1) {
+      loaded += static_cast<uint64_t>(cursor - loaded_since[f]);
+    }
+    acc.loaded_minutes = loaded;
+    acc.wasted_minutes = loaded - invoked_loaded_minutes[f];
+  }
+}
+
+void LaneColumns::LoadFrom(const std::vector<FunctionAccount>& accounts,
+                           const MemSet& mem, int cursor) {
+  const size_t n = accounts.size();
+  Reset(n);
+  for (size_t f = 0; f < n; ++f) {
+    const FunctionAccount& acc = accounts[f];
+    invocations[f] = acc.invocations;
+    invoked_minutes[f] = acc.invoked_minutes;
+    cold_starts[f] = acc.cold_starts;
+    loaded_minutes[f] = acc.loaded_minutes;
+    invoked_loaded_minutes[f] = acc.loaded_minutes - acc.wasted_minutes;
+  }
+  const std::vector<uint64_t>& words = mem.words();
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = words[w];
+    while (word != 0) {
+      loaded_since[(w << 6) + std::countr_zero(word)] = cursor;
+      word &= word - 1;
+    }
+    prev_words[w] = words[w];
+  }
+}
+
+}  // namespace spes

@@ -1,0 +1,128 @@
+// Minute-major columnar state backing the SimStream hot loop.
+//
+// The seed engine walked every function once per simulated minute, twice:
+// an O(n) arrival decode over function-major count vectors, and an O(n)
+// residency scan striding 40-byte FunctionAccount structs. This header
+// holds the two structures that replace those scans:
+//
+//   * ArrivalDecoder — transposes a block of minutes of the function-major
+//     trace into minute-major arrival buckets in one sequential pass, so
+//     the per-minute decode is O(arrivals) amortized instead of O(n).
+//     Arrivals within a minute are in ascending function id order,
+//     exactly like the seed's per-minute scan produced them.
+//
+//   * LaneColumns — struct-of-arrays per-function counters plus deferred
+//     residency accounting. Rather than touching every loaded function's
+//     account each minute, residency is tracked as intervals: a bitset
+//     diff (prev XOR current, word-at-a-time) detects load/evict
+//     transitions, `loaded_since` remembers when the open interval
+//     started, and Materialize() folds open intervals back into the
+//     classic FunctionAccount view on demand (observers, checkpoints,
+//     outcomes). Per-minute cost is O(n/64 + transitions + arrivals).
+//
+// Both are exact: every materialized account, live total and memory-series
+// entry is bitwise-identical to the seed loop's (tests/columnar_diff_test
+// and the seed-99 goldens pin this).
+
+#ifndef SPES_SIM_COLUMNAR_H_
+#define SPES_SIM_COLUMNAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/accounting.h"
+#include "sim/memset.h"
+#include "sim/policy.h"
+#include "trace/trace.h"
+
+namespace spes {
+
+/// \brief Batched minute-major arrival decode over a function-major trace.
+///
+/// Decode(t) returns minute t's arrivals in ascending function order. The
+/// decoder reads the trace in blocks of `block_minutes`, visiting each
+/// function's count vector once per block (sequential reads), so the
+/// amortized per-minute cost is O(n / block_minutes + arrivals) instead of
+/// the O(n) pointer-chasing scan the seed engine did.
+class ArrivalDecoder {
+ public:
+  static constexpr int kDefaultBlockMinutes = 256;
+
+  ArrivalDecoder() = default;
+  explicit ArrivalDecoder(const Trace& trace,
+                          int block_minutes = kDefaultBlockMinutes);
+
+  /// \brief Arrivals of absolute minute `t` (ascending function id). The
+  /// span is valid until the next Decode() call. Decoding a minute outside
+  /// the current block (any seek, forward or backward) re-aims the block,
+  /// so checkpoint restores just work.
+  std::span<const Invocation> Decode(int t);
+
+ private:
+  void DecodeBlock(int block_start);
+
+  const Trace* trace_ = nullptr;
+  int block_minutes_ = kDefaultBlockMinutes;
+  int block_start_ = 0;
+  int block_end_ = 0;  ///< decoded minutes are [block_start_, block_end_)
+  /// rows_[f] = f's count vector; caching the data pointers turns the
+  /// per-function FunctionTrace chase (struct load -> vector load -> data)
+  /// into independent loads the CPU can overlap across functions.
+  std::vector<const uint32_t*> rows_;
+  /// buckets_[i] = arrivals of block minute block_start_ + i, ascending by
+  /// function id. Bucket capacity persists across blocks, so after the
+  /// first block the transpose reads the trace once and appends without
+  /// reallocating.
+  std::vector<std::vector<Invocation>> buckets_;
+};
+
+/// \brief Struct-of-arrays per-function counters for one lane, with
+/// interval-based residency accounting.
+///
+/// Invariants (valid between minutes, at engine cursor `c`):
+///   * `loaded_since[f]` is meaningful iff f's bit is set in the lane's
+///     MemSet; the open interval then spans samples
+///     [loaded_since[f], c), contributing c - loaded_since[f] loaded
+///     minutes on top of `loaded_minutes[f]`.
+///   * `prev_words` mirrors the MemSet words as of the last
+///     AccrueResidency() call.
+///   * wasted minutes are derived, never stored:
+///     wasted = total loaded minutes - invoked_loaded_minutes.
+struct LaneColumns {
+  std::vector<uint64_t> invocations;
+  std::vector<uint64_t> invoked_minutes;
+  std::vector<uint64_t> cold_starts;
+  /// Loaded minutes from closed residency intervals only.
+  std::vector<uint64_t> loaded_minutes;
+  /// Residency samples at which the function was loaded AND invoked.
+  std::vector<uint64_t> invoked_loaded_minutes;
+  /// Start sample of the open residency interval (iff currently loaded).
+  std::vector<int32_t> loaded_since;
+  /// MemSet words at the previous residency sample.
+  std::vector<uint64_t> prev_words;
+
+  /// \brief Zeroes every column for a fleet of `num_functions`.
+  void Reset(size_t num_functions);
+
+  /// \brief Records the residency sample of minute `t`: XOR-diffs the
+  /// current membership words against `prev_words`, opening intervals for
+  /// newly loaded functions and closing them for evicted ones.
+  void AccrueResidency(int t, const MemSet& mem);
+
+  /// \brief Folds the columns (including open residency intervals, which
+  /// at engine cursor `cursor` span samples [loaded_since[f], cursor))
+  /// into the classic per-function account view.
+  void Materialize(int cursor, const MemSet& mem,
+                   std::vector<FunctionAccount>* out) const;
+
+  /// \brief Inverse of Materialize(): reloads the columns from a
+  /// checkpoint's accounts and membership, positioned at engine cursor
+  /// `cursor`. Open intervals restart at `cursor`.
+  void LoadFrom(const std::vector<FunctionAccount>& accounts,
+                const MemSet& mem, int cursor);
+};
+
+}  // namespace spes
+
+#endif  // SPES_SIM_COLUMNAR_H_

@@ -3,10 +3,17 @@
 // This mirrors the `MemSet` of the paper's Algorithm 1: policies add
 // (pre-load) and remove (evict) function ids; the simulation engine reads
 // membership to account cold starts, wasted-memory time and memory usage.
+//
+// Membership is stored as a packed bitset (64 functions per uint64_t) so
+// the engine's residency pass and policy eviction scans run word-at-a-time
+// over dense memory instead of striding a byte per function. words() exposes
+// the packed view; ForEachLoaded() visits loaded ids in ascending order.
 
 #ifndef SPES_SIM_MEMSET_H_
 #define SPES_SIM_MEMSET_H_
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -17,38 +24,71 @@ namespace spes {
 class MemSet {
  public:
   explicit MemSet(size_t num_functions)
-      : loaded_(num_functions, 0), count_(0) {}
+      : num_functions_(num_functions),
+        words_((num_functions + 63) / 64, 0),
+        count_(0) {}
 
   /// \brief Loads function `f`; no-op if already loaded.
   void Add(size_t f) {
-    if (!loaded_[f]) {
-      loaded_[f] = 1;
-      ++count_;
-    }
+    assert(f < num_functions_ && "MemSet::Add: function id out of range");
+    uint64_t& word = words_[f >> 6];
+    const uint64_t bit = uint64_t{1} << (f & 63);
+    count_ += (word & bit) == 0;
+    word |= bit;
   }
 
   /// \brief Evicts function `f`; no-op if not loaded.
   void Remove(size_t f) {
-    if (loaded_[f]) {
-      loaded_[f] = 0;
-      --count_;
-    }
+    assert(f < num_functions_ && "MemSet::Remove: function id out of range");
+    uint64_t& word = words_[f >> 6];
+    const uint64_t bit = uint64_t{1} << (f & 63);
+    count_ -= (word & bit) != 0;
+    word &= ~bit;
   }
 
   /// \brief True when function `f` is currently loaded.
-  bool Contains(size_t f) const { return loaded_[f] != 0; }
+  bool Contains(size_t f) const {
+    assert(f < num_functions_ &&
+           "MemSet::Contains: function id out of range");
+    return (words_[f >> 6] >> (f & 63)) & 1;
+  }
 
   /// \brief Number of loaded instances.
   size_t Count() const { return count_; }
 
   /// \brief Total number of addressable functions [0, n).
-  size_t Capacity() const { return loaded_.size(); }
+  size_t Capacity() const { return num_functions_; }
 
-  /// \brief Raw membership bytes (1 = loaded), for fast scans.
-  const std::vector<uint8_t>& raw() const { return loaded_; }
+  /// \brief Packed membership words (bit f%64 of word f/64 = loaded), for
+  /// word-at-a-time scans. Bits at or above Capacity() are always zero.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// \brief Calls `fn(f)` for every loaded function, in ascending id
+  /// order. `fn` may Remove() the id it was called with (or any already
+  /// visited id); it must not Add() during the walk.
+  template <typename Fn>
+  void ForEachLoaded(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];  // snapshot: fn may clear bits in-place
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn((w << 6) + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// \brief Membership as one byte per function (1 = loaded) — the
+  /// checkpoint wire format.
+  std::vector<uint8_t> ToBytes() const {
+    std::vector<uint8_t> bytes(num_functions_, 0);
+    ForEachLoaded([&bytes](size_t f) { bytes[f] = 1; });
+    return bytes;
+  }
 
  private:
-  std::vector<uint8_t> loaded_;
+  size_t num_functions_;
+  std::vector<uint64_t> words_;
   size_t count_;
 };
 

@@ -22,7 +22,7 @@ SimStream::SimStream(const Trace& trace, const SimOptions& options, int end)
       start_(options.train_minutes),
       end_(end),
       cursor_(options.train_minutes),
-      invoked_now_(trace.num_functions(), 0) {}
+      decoder_(trace) {}
 
 Result<SimStream> SimStream::Create(const Trace& trace, Policy* policy,
                                     const SimOptions& options) {
@@ -73,7 +73,7 @@ Result<SimStream> SimStream::Create(const Trace& trace,
     Lane lane;
     lane.policy = policy;
     lane.mem = MemSet(n);
-    lane.accounts.assign(n, FunctionAccount{});
+    lane.cols.Reset(n);
     lane.memory_series.reserve(static_cast<size_t>(end -
                                                    options.train_minutes));
     stream.lanes_.push_back(std::move(lane));
@@ -87,31 +87,26 @@ void SimStream::AddObserver(SimObserver* observer) {
 
 void SimStream::StepLocked() {
   const int t = cursor_;
-  const size_t n = trace_->num_functions();
 
-  // Decode this minute's arrivals ONCE; every lane shares the decode.
-  arrivals_.clear();
-  for (size_t f = 0; f < n; ++f) {
-    const uint32_t c = trace_->function(f).counts[static_cast<size_t>(t)];
-    invoked_now_[f] = c > 0 ? 1 : 0;
-    if (c > 0) {
-      arrivals_.push_back({static_cast<uint32_t>(f), c});
-    }
-  }
+  // Decode this minute's arrivals ONCE; every lane shares the decode. The
+  // decoder transposes a whole block of minutes at a time, so this is
+  // O(arrivals) amortized; the copy feeds the vector-taking Policy API.
+  const std::span<const Invocation> decoded = decoder_.Decode(t);
+  arrivals_.assign(decoded.begin(), decoded.end());
   ++minutes_decoded_;
 
   bool stop_requested = false;
   for (size_t lane_index = 0; lane_index < lanes_.size(); ++lane_index) {
     Lane& lane = lanes_[lane_index];
+    LaneColumns& cols = lane.cols;
 
     // 1-2. Cold-start accounting, then execution pins the instance.
     for (const Invocation& inv : arrivals_) {
-      FunctionAccount& acc = lane.accounts[inv.function];
-      acc.invocations += inv.count;
-      acc.invoked_minutes += 1;
+      cols.invocations[inv.function] += inv.count;
+      cols.invoked_minutes[inv.function] += 1;
       lane.totals.invocations += inv.count;
       if (!lane.mem.Contains(inv.function)) {
-        acc.cold_starts += 1;
+        cols.cold_starts[inv.function] += 1;
         lane.totals.cold_starts += 1;
       }
       lane.mem.Add(inv.function);
@@ -128,28 +123,34 @@ void SimStream::StepLocked() {
       for (const Invocation& inv : arrivals_) lane.mem.Add(inv.function);
     }
 
-    // 4. Residency accounting.
-    const std::vector<uint8_t>& loaded = lane.mem.raw();
-    for (size_t f = 0; f < n; ++f) {
-      if (!loaded[f]) continue;
-      FunctionAccount& acc = lane.accounts[f];
-      acc.loaded_minutes += 1;
-      lane.totals.loaded_instance_minutes += 1;
-      if (!invoked_now_[f]) {
-        acc.wasted_minutes += 1;
-        lane.totals.wasted_memory_minutes += 1;
+    // 4. Residency accounting: a word-at-a-time bitset diff opens/closes
+    // residency intervals, live totals come from the maintained popcount,
+    // and the wasted count follows from the arrivals that are loaded at
+    // this sample. Equivalent to the per-function scan, minute by minute.
+    cols.AccrueResidency(t, lane.mem);
+    const uint64_t live = lane.mem.Count();
+    lane.totals.loaded_instance_minutes += live;
+    uint64_t invoked_loaded_now = 0;
+    for (const Invocation& inv : arrivals_) {
+      if (lane.mem.Contains(inv.function)) {
+        cols.invoked_loaded_minutes[inv.function] += 1;
+        ++invoked_loaded_now;
       }
     }
-    lane.memory_series.push_back(static_cast<uint32_t>(lane.mem.Count()));
+    lane.totals.wasted_memory_minutes += live - invoked_loaded_now;
+    lane.memory_series.push_back(static_cast<uint32_t>(live));
 
     if (!observers_.empty()) {
+      // Observers see the classic account view; materializing it per
+      // minute is the documented cost of attaching one.
+      cols.Materialize(t + 1, lane.mem, &lane.scratch_accounts);
       MinuteView view;
       view.minute = t;
       view.lane = lane_index;
       view.policy = lane.policy;
       view.arrivals = &arrivals_;
       view.mem = &lane.mem;
-      view.accounts = &lane.accounts;
+      view.accounts = &lane.scratch_accounts;
       view.memory_series = &lane.memory_series;
       view.totals = lane.totals;
       for (SimObserver* observer : observers_) {
@@ -167,7 +168,7 @@ Status SimStream::Step() {
     return Status::OutOfRange("SimStream was consumed by Finish()");
   }
   if (stopped_) {
-    return Status::OutOfRange(
+    return Status::Cancelled(
         "SimStream was stopped early at minute (=" + std::to_string(cursor_) +
         ")");
   }
@@ -201,12 +202,20 @@ Status SimStream::RunUntil(int minute) {
   while (cursor_ < target && !stopped_) {
     SPES_RETURN_NOT_OK(Step());
   }
+  if (stopped_ && cursor_ < target) {
+    // Same signal Step() gives: an early stop left the target unreached.
+    return Status::Cancelled(
+        "SimStream was stopped early at minute (=" + std::to_string(cursor_) +
+        ") before reaching minute (=" + std::to_string(target) + ")");
+  }
   return Status::OK();
 }
 
 FleetMetrics SimStream::SnapshotMetrics(size_t lane_index) const {
   const Lane& lane = lanes_[lane_index];
-  return ComputeFleetMetrics(lane.policy->name(), lane.accounts,
+  std::vector<FunctionAccount> accounts;
+  lane.cols.Materialize(cursor_, lane.mem, &accounts);
+  return ComputeFleetMetrics(lane.policy->name(), accounts,
                              lane.memory_series, lane.overhead_seconds);
 }
 
@@ -218,16 +227,20 @@ Result<std::vector<SimulationOutcome>> SimStream::FinishAll() {
   // its end) pairs OnStreamStart with OnStreamEnd, so observers always
   // get their sizing hook before any other callback.
   EnsureStarted();
-  SPES_RETURN_NOT_OK(RunToEnd());
+  // An early stop is a documented way to end a stream: Finish()/FinishAll()
+  // still deliver the partial-window outcome, so Cancelled is success here.
+  const Status run = RunToEnd();
+  if (!run.ok() && run.code() != StatusCode::kCancelled) return run;
   finished_ = true;
   std::vector<SimulationOutcome> outcomes;
   outcomes.reserve(lanes_.size());
   for (Lane& lane : lanes_) {
     SimulationOutcome outcome;
-    outcome.metrics = ComputeFleetMetrics(lane.policy->name(), lane.accounts,
+    lane.cols.Materialize(cursor_, lane.mem, &outcome.accounts);
+    outcome.metrics = ComputeFleetMetrics(lane.policy->name(),
+                                          outcome.accounts,
                                           lane.memory_series,
                                           lane.overhead_seconds);
-    outcome.accounts = std::move(lane.accounts);
     outcome.memory_series = std::move(lane.memory_series);
     outcomes.push_back(std::move(outcome));
   }
@@ -272,9 +285,9 @@ Result<SimCheckpoint> SimStream::Checkpoint() const {
   for (const Lane& lane : lanes_) {
     SimCheckpoint::Lane out;
     out.policy_name = lane.policy->name();
-    out.accounts = lane.accounts;
+    lane.cols.Materialize(cursor_, lane.mem, &out.accounts);
     out.memory_series = lane.memory_series;
-    out.loaded = lane.mem.raw();
+    out.loaded = lane.mem.ToBytes();
     out.totals = lane.totals;
     out.overhead_seconds = lane.overhead_seconds;
     SPES_ASSIGN_OR_RETURN(out.policy_state, lane.policy->SaveState());
@@ -361,7 +374,6 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
   for (size_t i = 0; i < lanes_.size(); ++i) {
     const SimCheckpoint::Lane& in = checkpoint.lanes[i];
     Lane& lane = lanes_[i];
-    lane.accounts = in.accounts;
     lane.memory_series = in.memory_series;
     lane.totals = in.totals;
     lane.overhead_seconds = in.overhead_seconds;
@@ -370,6 +382,7 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
       if (in.loaded[f]) mem.Add(f);
     }
     lane.mem = std::move(mem);
+    lane.cols.LoadFrom(in.accounts, lane.mem, checkpoint.cursor);
   }
   cursor_ = checkpoint.cursor;
   stopped_ = checkpoint.stopped;

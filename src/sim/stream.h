@@ -30,6 +30,7 @@
 
 #include "common/status.h"
 #include "sim/accounting.h"
+#include "sim/columnar.h"
 #include "sim/engine.h"
 #include "sim/memset.h"
 #include "sim/observer.h"
@@ -110,12 +111,15 @@ class SimStream {
   bool stopped_early() const { return stopped_; }
   /// @}
 
-  /// \brief Simulates one minute across all lanes. OutOfRange once done().
+  /// \brief Simulates one minute across all lanes. Cancelled once the
+  /// stream was stopped early (observer or RequestStop), OutOfRange once
+  /// it is exhausted or consumed by Finish().
   Status Step();
 
-  /// \brief Steps until the cursor reaches min(minute, end_minute()) or an
-  /// observer stops the stream. A minute at or before the cursor is a
-  /// no-op. OutOfRange if the stream was already consumed by Finish().
+  /// \brief Steps until the cursor reaches min(minute, end_minute()). A
+  /// minute at or before the cursor is a no-op. Cancelled when an early
+  /// stop (observer or RequestStop) halts the stream short of the target;
+  /// OutOfRange if the stream was already consumed by Finish().
   Status RunUntil(int minute);
 
   /// \brief Convenience: RunUntil(end_minute()).
@@ -136,7 +140,8 @@ class SimStream {
   Result<std::vector<SimulationOutcome>> FinishAll();
 
   /// \brief Halts the stream as if an observer returned false; done()
-  /// becomes true and Finish() returns the partial-window outcome.
+  /// becomes true, further Step()/RunUntil() calls return Cancelled, and
+  /// Finish() returns the partial-window outcome.
   void RequestStop() { stopped_ = true; }
 
   /// \brief Snapshot of the cursor, per-lane counters and policy state.
@@ -157,10 +162,14 @@ class SimStream {
   struct Lane {
     Policy* policy = nullptr;
     MemSet mem{0};
-    std::vector<FunctionAccount> accounts;
+    /// Columnar (SoA) per-function counters — the hot-loop representation.
+    LaneColumns cols;
     std::vector<uint32_t> memory_series;
     LiveTotals totals;
     double overhead_seconds = 0.0;
+    /// Classic account view, materialized on demand (observers attached,
+    /// snapshots, checkpoints, outcomes); empty on the fast path.
+    std::vector<FunctionAccount> scratch_accounts;
   };
 
   SimStream(const Trace& trace, const SimOptions& options, int end);
@@ -183,9 +192,11 @@ class SimStream {
   std::vector<Lane> lanes_;
   std::vector<SimObserver*> observers_;
 
-  // Per-minute scratch, reused across steps.
+  /// Block-transposed minute-major decode shared by every lane.
+  ArrivalDecoder decoder_;
+  /// This minute's arrivals, copied from the decoder block (the Policy
+  /// API takes a vector); reused across steps.
   std::vector<Invocation> arrivals_;
-  std::vector<uint8_t> invoked_now_;
 };
 
 }  // namespace spes

@@ -432,6 +432,16 @@ Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config) {
         const double intensity =
             1.0 / static_cast<double>(rank);  // in (1/levels, 1]
         PatternKind kind = SampleKindForTrigger(&frng, f.meta.trigger);
+        // Population scale-up knob: at Azure scale most of the fleet sits
+        // in the rarely-invoked tail, so optionally force a fraction of
+        // functions onto the rare archetypes. Guarded so the default
+        // (rare_fraction == 0) consumes no random draws and existing
+        // (seed, config) pairs stay bit-identical.
+        if (config.rare_fraction > 0.0 &&
+            frng.Bernoulli(config.rare_fraction)) {
+          kind = frng.Bernoulli(0.5) ? PatternKind::kRarePossible
+                                     : PatternKind::kRareRandom;
+        }
         truth.kind = unseen ? PatternKind::kUnseen : kind;
 
         SynthKind(&frng, kind, intensity, &f.counts, begin, &truth);

@@ -88,6 +88,15 @@ struct GeneratorConfig {
   /// Zipf exponent for the per-function intensity scale (heavier tail
   /// as the exponent grows). Calibrated to reproduce Fig. 3's spread.
   double intensity_zipf_exponent = 1.6;
+
+  /// Fraction of (non-unseen) functions forced onto the rare archetypes
+  /// (kRarePossible / kRareRandom, 50/50). The default archetype mix is
+  /// calibrated at laptop scale, where a third of the fleet fires every
+  /// minute; extrapolated to an Azure-scale million-function population
+  /// that density is unrealistic — the real trace's tail is dominated by
+  /// rarely-invoked functions. 0 (the default) changes nothing: existing
+  /// (seed, config) pairs stay bit-identical.
+  double rare_fraction = 0.0;
 };
 
 /// \brief Ground truth for one generated function (testing/analysis only;

@@ -437,6 +437,26 @@ TEST(ClusterSessionTest, ObserverEarlyStopHaltsTheSession) {
   EXPECT_EQ(outcome.fleet.memory_series.size(), 11u);
 }
 
+TEST(ClusterSessionTest, EarlyStopSignalsCancelledLikeSimStream) {
+  const Trace trace = MakeFleet({1}, 100);
+  ClusterSession session =
+      ClusterSession::Create(
+          trace, ClusterSpec{},
+          ParsePolicySpec("fixed_keepalive{minutes=10}").ValueOrDie(),
+          SimOptions{0, 0, true})
+          .ValueOrDie();
+  CallbackObserver stopper(
+      [](const MinuteView& view) { return view.minute < 5; });
+  session.AddObserver(&stopper);
+  EXPECT_EQ(session.RunUntil(session.end_minute()).code(),
+            StatusCode::kCancelled);
+  EXPECT_TRUE(session.stopped_early());
+  EXPECT_EQ(session.Step().code(), StatusCode::kCancelled);
+  // Finish() still returns the partial-window outcome after the stop.
+  const ClusterOutcome outcome = session.Finish().ValueOrDie();
+  EXPECT_EQ(outcome.fleet.memory_series.size(), 6u);
+}
+
 // ---------------------------------------------------------------------
 // Scenario / SuiteRunner integration
 // ---------------------------------------------------------------------

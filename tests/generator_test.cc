@@ -41,6 +41,35 @@ TEST(GeneratorTest, DeterministicForSameSeed) {
   }
 }
 
+TEST(GeneratorTest, RareFractionForcesTailHeavyPopulation) {
+  // rare_fraction = 0 must consume no random draws (the default mix is
+  // pinned by the goldens); 0.9 must push most of the fleet onto the rare
+  // archetypes, thinning fleet-wide arrivals accordingly.
+  GeneratorConfig config = SmallConfig(400, 3, 7);
+  const Trace dense = std::move(GenerateTrace(config).ValueOrDie().trace);
+  config.rare_fraction = 0.9;
+  const auto generated = GenerateTrace(config);
+  ASSERT_TRUE(generated.ok());
+  const GeneratedTrace& g = generated.ValueOrDie();
+
+  size_t rare = 0;
+  for (const GroundTruth& truth : g.truth) {
+    if (truth.kind == PatternKind::kRarePossible ||
+        truth.kind == PatternKind::kRareRandom) {
+      ++rare;
+    }
+  }
+  // 90% forced rare plus whatever the base mix contributes.
+  EXPECT_GE(rare, g.truth.size() * 8 / 10);
+
+  uint64_t dense_total = 0, rare_total = 0;
+  for (size_t f = 0; f < dense.num_functions(); ++f) {
+    dense_total += dense.function(f).TotalInvocations();
+    rare_total += g.trace.function(f).TotalInvocations();
+  }
+  EXPECT_LT(rare_total, dense_total / 4);
+}
+
 TEST(GeneratorTest, DifferentSeedsDiffer) {
   const auto a = GenerateTrace(SmallConfig(120, 3, 1));
   const auto b = GenerateTrace(SmallConfig(120, 3, 2));

@@ -20,6 +20,7 @@
 #include "policies/fixed_keepalive.h"
 #include "runner/suite_runner.h"
 #include "sim/engine.h"
+#include "sim/reference_kernel.h"
 #include "sim/scenario.h"
 #include "sim/stream.h"
 #include "trace/generator.h"
@@ -105,6 +106,29 @@ TEST(GoldenMetricsTest, FixedKeepaliveReproducesGoldenValues) {
   EXPECT_EQ(outcome.memory_series.front(), 43u);
   EXPECT_EQ(outcome.memory_series[1440], 79u);
   EXPECT_EQ(outcome.memory_series.back(), 71u);
+}
+
+TEST(GoldenMetricsTest, NaiveReferenceKernelReproducesGoldenValues) {
+  // The kept per-function reference loop must hit the exact same pinned
+  // numbers as the columnar kernel behind Simulate()/SimStream — both
+  // implementations are anchored to one golden truth.
+  SpesPolicy spes;
+  const Trace fleet = GoldenTrace();
+  const SimulationOutcome outcome =
+      SimulateReference(fleet, &spes, GoldenOptions()).ValueOrDie();
+  const FleetMetrics& m = outcome.metrics;
+  EXPECT_EQ(m.total_invocations, 505234u);
+  EXPECT_EQ(m.total_cold_starts, 631u);
+  EXPECT_EQ(m.wasted_memory_minutes, 82418u);
+  EXPECT_EQ(m.loaded_instance_minutes, 212568u);
+  EXPECT_EQ(m.max_memory, 87u);
+  EXPECT_DOUBLE_EQ(m.q3_csr, 0.051625753660637382);
+  ASSERT_EQ(outcome.memory_series.size(), 2880u);
+  EXPECT_EQ(outcome.memory_series.front(), 72u);
+  EXPECT_EQ(outcome.memory_series.back(), 72u);
+  EXPECT_EQ(outcome.accounts[0].invocations, 10792u);
+  EXPECT_EQ(outcome.accounts[0].loaded_minutes, 2880u);
+  EXPECT_EQ(outcome.accounts[0].wasted_minutes, 141u);
 }
 
 /// Asserts two outcomes describe bitwise-identical simulated behaviour:

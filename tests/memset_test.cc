@@ -1,5 +1,8 @@
 #include "sim/memset.h"
 
+#include <cstdint>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace spes {
@@ -36,16 +39,59 @@ TEST(MemSetTest, RemoveAbsentIsNoOp) {
   EXPECT_EQ(mem.Count(), 0u);
 }
 
-TEST(MemSetTest, RawMirrorsMembership) {
+TEST(MemSetTest, WordsMirrorMembership) {
   MemSet mem(4);
   mem.Add(0);
   mem.Add(3);
-  const auto& raw = mem.raw();
-  EXPECT_EQ(raw[0], 1);
-  EXPECT_EQ(raw[1], 0);
-  EXPECT_EQ(raw[2], 0);
-  EXPECT_EQ(raw[3], 1);
+  ASSERT_EQ(mem.words().size(), 1u);
+  EXPECT_EQ(mem.words()[0], uint64_t{0b1001});
 }
+
+TEST(MemSetTest, WordsSpanMultipleWords) {
+  MemSet mem(130);
+  mem.Add(0);
+  mem.Add(63);
+  mem.Add(64);
+  mem.Add(129);
+  ASSERT_EQ(mem.words().size(), 3u);
+  EXPECT_EQ(mem.words()[0], (uint64_t{1} << 63) | 1);
+  EXPECT_EQ(mem.words()[1], uint64_t{1});
+  EXPECT_EQ(mem.words()[2], uint64_t{1} << 1);
+  EXPECT_EQ(mem.Count(), 4u);
+}
+
+TEST(MemSetTest, ForEachLoadedVisitsAscendingAndAllowsRemove) {
+  MemSet mem(200);
+  for (size_t f : {3u, 64u, 65u, 130u, 199u}) mem.Add(f);
+  std::vector<size_t> seen;
+  mem.ForEachLoaded([&](size_t f) {
+    seen.push_back(f);
+    if (f == 65) mem.Remove(f);  // removing the visited id is allowed
+  });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 64, 65, 130, 199}));
+  EXPECT_EQ(mem.Count(), 4u);
+  EXPECT_FALSE(mem.Contains(65));
+}
+
+TEST(MemSetTest, ToBytesMatchesMembership) {
+  MemSet mem(70);
+  mem.Add(1);
+  mem.Add(69);
+  const std::vector<uint8_t> bytes = mem.ToBytes();
+  ASSERT_EQ(bytes.size(), 70u);
+  for (size_t f = 0; f < 70; ++f) {
+    EXPECT_EQ(bytes[f], (f == 1 || f == 69) ? 1 : 0) << "f=" << f;
+  }
+}
+
+#ifndef NDEBUG
+TEST(MemSetDeathTest, OutOfRangeIdsAssertInDebugBuilds) {
+  MemSet mem(10);
+  EXPECT_DEATH(mem.Add(10), "out of range");
+  EXPECT_DEATH(mem.Remove(64), "out of range");
+  EXPECT_DEATH((void)mem.Contains(1000), "out of range");
+}
+#endif  // NDEBUG
 
 TEST(MemSetTest, CountTracksManyOperations) {
   MemSet mem(100);

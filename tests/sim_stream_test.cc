@@ -212,7 +212,8 @@ TEST(SimStreamTest, ObserverEarlyStopHaltsAfterTheCurrentMinute) {
   CallbackObserver stop_at_minute_2(
       [](const MinuteView& view) { return view.minute < 2; });
   stream.AddObserver(&stop_at_minute_2);
-  EXPECT_TRUE(stream.RunToEnd().ok());
+  // The unreached target is signalled, distinguishably from exhaustion.
+  EXPECT_EQ(stream.RunToEnd().code(), StatusCode::kCancelled);
   EXPECT_TRUE(stream.stopped_early());
   EXPECT_TRUE(stream.done());
   EXPECT_EQ(stream.cursor(), 3);  // minute 2 completed, then halted
@@ -220,6 +221,29 @@ TEST(SimStreamTest, ObserverEarlyStopHaltsAfterTheCurrentMinute) {
   const SimulationOutcome outcome = stream.Finish().ValueOrDie();
   EXPECT_EQ(outcome.memory_series.size(), 3u);
   EXPECT_EQ(outcome.metrics.total_invocations, 3u);
+}
+
+TEST(SimStreamTest, EarlyStopSignalsCancelledFromStepAndRunUntilAlike) {
+  // Regression test: RunUntil/RunToEnd used to return OK after an
+  // observer stop while Step() returned OutOfRange. Both now report
+  // Cancelled, and a reached target stays a no-op OK.
+  Trace trace = MakeTrace({{1, 1, 1, 1, 1, 1}});
+  FixedKeepAlivePolicy policy(2);
+  SimStream stream =
+      SimStream::Create(trace, &policy, Window(0)).ValueOrDie();
+  CallbackObserver stop_at_minute_1(
+      [](const MinuteView& view) { return view.minute < 1; });
+  stream.AddObserver(&stop_at_minute_1);
+  EXPECT_EQ(stream.RunToEnd().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stream.Step().code(), StatusCode::kCancelled);
+  EXPECT_EQ(stream.RunUntil(stream.end_minute()).code(),
+            StatusCode::kCancelled);
+  // A target at or before the cursor is still a successful no-op.
+  EXPECT_TRUE(stream.RunUntil(stream.cursor()).ok());
+  // Exhaustion (not an early stop) still reads OutOfRange.
+  SimulationOutcome ignored = stream.Finish().ValueOrDie();
+  (void)ignored;
+  EXPECT_EQ(stream.Step().code(), StatusCode::kOutOfRange);
 }
 
 TEST(SimStreamTest, RequestStopHaltsTheStream) {
@@ -230,7 +254,7 @@ TEST(SimStreamTest, RequestStopHaltsTheStream) {
   EXPECT_TRUE(stream.Step().ok());
   stream.RequestStop();
   EXPECT_TRUE(stream.done());
-  EXPECT_EQ(stream.Step().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(stream.Step().code(), StatusCode::kCancelled);
   const SimulationOutcome outcome = stream.Finish().ValueOrDie();
   EXPECT_EQ(outcome.memory_series.size(), 1u);
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate the simulation kernel's throughput against the committed baseline.
+
+Reads two google-benchmark JSON files — the committed trajectory artifact
+(BENCH_micro_hotpaths.json) and a fresh run — and fails when the fresh
+items_per_second of any gated benchmark drops more than --tolerance
+(default 20%) below the committed value.
+
+Also enforces the machine-independent speedup invariant inside the fresh
+run itself: with --min-ratio R, BM_SimKernelColumnar must be at least R
+times faster (items/sec) than BM_SimKernelReference at every common fleet
+size. The ratio compares two measurements from the same process on the
+same machine, so it holds on any runner class.
+
+Usage:
+  tools/check_bench_regression.py BASELINE.json FRESH.json \
+      [--tolerance 0.20] [--min-ratio 10] [--gate BM_SimKernelColumnar]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path):
+    """Returns {benchmark name: items_per_second} for aggregate-free runs."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    result = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregates (mean/median/stddev) if present
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            result[bench["name"]] = float(ips)
+    return result
+
+
+def fleet_size(name):
+    """'BM_SimKernelColumnar/4000' -> '4000' (or '' when unparameterized)."""
+    return name.rsplit("/", 1)[1] if "/" in name else ""
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_*.json artifact")
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="max allowed fractional drop vs the baseline")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="required columnar/reference items/sec ratio "
+                             "within the fresh run")
+    parser.add_argument("--gate", action="append", default=None,
+                        help="benchmark name prefix to gate vs the baseline "
+                             "(repeatable; default: BM_SimKernelColumnar)")
+    args = parser.parse_args()
+    gates = args.gate or ["BM_SimKernelColumnar"]
+
+    baseline = load_items_per_second(args.baseline)
+    fresh = load_items_per_second(args.fresh)
+    failures = []
+
+    for name, base_ips in sorted(baseline.items()):
+        if not any(name.startswith(g) for g in gates):
+            continue
+        fresh_ips = fresh.get(name)
+        if fresh_ips is None:
+            failures.append(f"{name}: present in baseline, missing from "
+                            f"the fresh run")
+            continue
+        drop = 1.0 - fresh_ips / base_ips
+        status = "REGRESSED" if drop > args.tolerance else "ok"
+        print(f"{name}: baseline {base_ips:.3e} -> fresh {fresh_ips:.3e} "
+              f"items/s ({-drop:+.1%}) [{status}]")
+        if drop > args.tolerance:
+            failures.append(
+                f"{name}: throughput dropped {drop:.1%} "
+                f"(> {args.tolerance:.0%} tolerance)")
+
+    if args.min_ratio is not None:
+        columnar = {fleet_size(n): v for n, v in fresh.items()
+                    if n.startswith("BM_SimKernelColumnar")}
+        reference = {fleet_size(n): v for n, v in fresh.items()
+                     if n.startswith("BM_SimKernelReference")}
+        common = sorted(set(columnar) & set(reference))
+        if not common:
+            failures.append("--min-ratio given but the fresh run has no "
+                            "common SimKernel Columnar/Reference sizes")
+        for size in common:
+            ratio = columnar[size] / reference[size]
+            status = "ok" if ratio >= args.min_ratio else "TOO SLOW"
+            print(f"SimKernel columnar/reference @ {size or 'default'} "
+                  f"functions: {ratio:.1f}x [{status}]")
+            if ratio < args.min_ratio:
+                failures.append(
+                    f"columnar kernel only {ratio:.1f}x the reference at "
+                    f"{size or 'default'} functions "
+                    f"(requires >= {args.min_ratio:g}x)")
+
+    if failures:
+        print("\nBENCH REGRESSION CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
