@@ -1,0 +1,26 @@
+// Shared helpers for the fuzz harnesses in this directory.
+//
+// Each harness checks semantic properties of a parser, not just
+// "no crash": a successful parse must survive a format -> reparse round
+// trip bit-for-bit, because the golden pipeline relies on spec strings
+// and checkpoint bytes being canonical. Property violations abort so
+// both libFuzzer and the standalone driver treat them as crashes.
+
+#ifndef SPES_FUZZ_FUZZ_COMMON_H_
+#define SPES_FUZZ_FUZZ_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \brief Aborts (reported as a fuzzer crash) when a parser property is
+/// violated, printing the failing expression first.
+#define FUZZ_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "FUZZ_ASSERT failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (false)
+
+#endif  // SPES_FUZZ_FUZZ_COMMON_H_

@@ -1,0 +1,29 @@
+// Fuzzes ParseNodeEventTimeline (cluster lifecycle events in the
+// '|'-joined `kind{at=..,node=..}` grammar). Properties:
+//   * Format(Parse(x)) reparses and is a fixed point, so a timeline that
+//     entered a ClusterSpec can always be echoed back verbatim.
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "fuzz/fuzz_common.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const spes::Result<std::vector<spes::NodeEvent>> parsed =
+      spes::ParseNodeEventTimeline(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.status().message().empty());
+    return 0;
+  }
+
+  const std::string canonical =
+      spes::FormatNodeEventTimeline(parsed.ValueOrDie());
+  const auto reparsed = spes::ParseNodeEventTimeline(canonical);
+  FUZZ_ASSERT(reparsed.ok());
+  FUZZ_ASSERT(spes::FormatNodeEventTimeline(reparsed.ValueOrDie()) ==
+              canonical);
+  return 0;
+}

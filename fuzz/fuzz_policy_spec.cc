@@ -1,0 +1,35 @@
+// Fuzzes ParsePolicySpec (the `name{k=v,...}` grammar) and, when the
+// spec names a registered policy, the registry's parameter validation and
+// factory path. Properties checked beyond "no crash":
+//   * Format(Parse(x)) reparses, and the canonical form is a fixed point.
+//   * PolicyRegistry::Create never crashes on a parsed spec — it either
+//     builds a policy or returns a precise Status.
+
+#include <string>
+
+#include "core/policy_registry.h"
+#include "fuzz/fuzz_common.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const spes::Result<spes::PolicySpec> parsed = spes::ParsePolicySpec(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.status().message().empty());
+    return 0;
+  }
+
+  const std::string canonical = spes::FormatPolicySpec(parsed.ValueOrDie());
+  const spes::Result<spes::PolicySpec> reparsed =
+      spes::ParsePolicySpec(canonical);
+  FUZZ_ASSERT(reparsed.ok());
+  FUZZ_ASSERT(spes::FormatPolicySpec(reparsed.ValueOrDie()) == canonical);
+
+  // Registry validation + factory must be total over parsed specs.
+  const auto policy =
+      spes::PolicyRegistry::Global().Create(parsed.ValueOrDie());
+  if (!policy.ok()) {
+    FUZZ_ASSERT(!policy.status().message().empty());
+  }
+  return 0;
+}

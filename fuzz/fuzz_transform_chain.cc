@@ -1,0 +1,38 @@
+// Fuzzes ParseTransformChain (the '|'-joined `name{k=v,...}` chain
+// grammar) plus the transform registry's compile step. Properties:
+//   * Format(Parse(x)) reparses and is a fixed point.
+//   * TransformRegistry::Create on every parsed step either compiles or
+//     returns a precise Status — never crashes. (Transforms are compiled,
+//     not applied: apply-time semantics are covered by transform_test.)
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz_common.h"
+#include "trace/transform.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const spes::Result<std::vector<spes::TransformSpec>> parsed =
+      spes::ParseTransformChain(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.status().message().empty());
+    return 0;
+  }
+
+  const std::string canonical =
+      spes::FormatTransformChain(parsed.ValueOrDie());
+  const auto reparsed = spes::ParseTransformChain(canonical);
+  FUZZ_ASSERT(reparsed.ok());
+  FUZZ_ASSERT(spes::FormatTransformChain(reparsed.ValueOrDie()) ==
+              canonical);
+
+  for (const spes::TransformSpec& spec : parsed.ValueOrDie()) {
+    const auto compiled = spes::TransformRegistry::Global().Create(spec);
+    if (!compiled.ok()) {
+      FUZZ_ASSERT(!compiled.status().message().empty());
+    }
+  }
+  return 0;
+}

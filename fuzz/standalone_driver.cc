@@ -1,0 +1,191 @@
+// Standalone driver for the fuzz targets: lets every harness in fuzz/
+// build and run without libFuzzer (e.g. under GCC, which has no
+// -fsanitize=fuzzer). With Clang, CMake links the real libFuzzer runtime
+// instead and this file is not compiled.
+//
+// The driver understands the subset of the libFuzzer CLI the CI smoke and
+// local runs use, so the same command line works against either runtime:
+//
+//   fuzz_checkpoint corpus_dir ...        replay every corpus file
+//   fuzz_checkpoint -runs=100000 dir      ... then run N mutated inputs
+//   fuzz_checkpoint -max_total_time=60 dir   ... or mutate for N seconds
+//   -seed=K (default 1)    deterministic mutation stream
+//   -max_len=N (default 4096)  cap generated input length
+//
+// Mutations are the classic byte-level set (bit flip, byte set, insert,
+// erase, span duplication, corpus splice) driven by a splitmix64 stream,
+// so a given (corpus, seed, runs) triple replays identically.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t g_rng_state = 1;
+
+uint64_t NextRand() {
+  // splitmix64: deterministic, dependency-free.
+  uint64_t z = (g_rng_state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+size_t RandBelow(size_t n) { return n == 0 ? 0 : NextRand() % n; }
+
+using Input = std::vector<uint8_t>;
+
+void Mutate(Input* input, const std::vector<Input>& corpus, size_t max_len) {
+  const int rounds = 1 + static_cast<int>(RandBelow(8));
+  for (int i = 0; i < rounds; ++i) {
+    switch (RandBelow(6)) {
+      case 0:  // flip one bit
+        if (!input->empty()) {
+          (*input)[RandBelow(input->size())] ^=
+              static_cast<uint8_t>(1u << RandBelow(8));
+        }
+        break;
+      case 1:  // overwrite one byte
+        if (!input->empty()) {
+          (*input)[RandBelow(input->size())] =
+              static_cast<uint8_t>(NextRand());
+        }
+        break;
+      case 2:  // insert a random byte
+        if (input->size() < max_len) {
+          input->insert(input->begin() + RandBelow(input->size() + 1),
+                        static_cast<uint8_t>(NextRand()));
+        }
+        break;
+      case 3:  // erase a byte
+        if (!input->empty()) {
+          input->erase(input->begin() + RandBelow(input->size()));
+        }
+        break;
+      case 4: {  // duplicate a span
+        if (!input->empty() && input->size() < max_len) {
+          const size_t from = RandBelow(input->size());
+          const size_t len =
+              std::min(1 + RandBelow(16), input->size() - from);
+          Input span(input->begin() + from, input->begin() + from + len);
+          const size_t at = RandBelow(input->size() + 1);
+          input->insert(input->begin() + at, span.begin(), span.end());
+        }
+        break;
+      }
+      case 5: {  // splice with a corpus entry
+        if (!corpus.empty()) {
+          const Input& other = corpus[RandBelow(corpus.size())];
+          if (!other.empty()) {
+            const size_t cut = RandBelow(input->size() + 1);
+            const size_t take = RandBelow(other.size() + 1);
+            input->resize(cut);
+            input->insert(input->end(), other.begin(),
+                          other.begin() + take);
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (input->size() > max_len) input->resize(max_len);
+}
+
+bool ReadFile(const std::filesystem::path& path, Input* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;
+  long long max_total_time = 0;
+  size_t max_len = 4096;
+  std::vector<std::filesystem::path> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      g_rng_state = static_cast<uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<size_t>(std::atoll(arg.c_str() + 9));
+    } else if (!arg.empty() && arg[0] == '-') {
+      // Ignore other libFuzzer flags so shared CI command lines work.
+      std::fprintf(stderr, "standalone driver: ignoring flag %s\n",
+                   arg.c_str());
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  // Load the corpus: every regular file in the listed files/directories.
+  std::vector<Input> corpus;
+  for (const auto& path : corpus_paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(path, ec)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& file : files) {
+        Input data;
+        if (ReadFile(file, &data)) corpus.push_back(std::move(data));
+      }
+    } else {
+      Input data;
+      if (ReadFile(path, &data)) corpus.push_back(std::move(data));
+    }
+  }
+
+  std::fprintf(stderr, "standalone driver: %zu corpus inputs\n",
+               corpus.size());
+  for (const Input& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+
+  if (runs == 0 && max_total_time == 0) {
+    std::fprintf(stderr, "corpus replay done (no -runs/-max_total_time)\n");
+    return 0;
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::seconds(max_total_time > 0 ? max_total_time : 1u << 30);
+  long long executed = 0;
+  while ((runs <= 0 || executed < runs)) {
+    if (max_total_time > 0 && (executed & 0x3ff) == 0 &&
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    Input input =
+        corpus.empty() ? Input{} : corpus[RandBelow(corpus.size())];
+    Mutate(&input, corpus, max_len);
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+    if ((executed % 200000) == 0) {
+      std::fprintf(stderr, "  ... %lld mutated runs\n", executed);
+    }
+  }
+  std::fprintf(stderr, "done: %lld mutated runs, no crash\n", executed);
+  return 0;
+}

@@ -163,16 +163,16 @@ class ClusterSession {
 
   /// \name Cursor state
   /// @{
-  int cursor() const { return cursor_; }       ///< next minute to run
-  int start_minute() const { return start_; }  ///< == train_minutes
-  int end_minute() const { return end_; }      ///< resolved end
+  [[nodiscard]] int cursor() const { return cursor_; }       ///< next minute to run
+  [[nodiscard]] int start_minute() const { return start_; }  ///< == train_minutes
+  [[nodiscard]] int end_minute() const { return end_; }      ///< resolved end
   /// Total node-id space: initial nodes plus scheduled add events.
-  size_t num_nodes() const { return nodes_.size(); }
-  const Policy* policy(size_t node) const { return nodes_[node].policy.get(); }
+  [[nodiscard]] size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const Policy* policy(size_t node) const { return nodes_[node].policy.get(); }
   /// Minutes decoded so far: one arrival decode serves every node.
-  int64_t minutes_decoded() const { return minutes_decoded_; }
-  bool done() const { return finished_ || stopped_ || cursor_ >= end_; }
-  bool stopped_early() const { return stopped_; }
+  [[nodiscard]] int64_t minutes_decoded() const { return minutes_decoded_; }
+  [[nodiscard]] bool done() const { return finished_ || stopped_ || cursor_ >= end_; }
+  [[nodiscard]] bool stopped_early() const { return stopped_; }
   /// @}
 
   /// \brief Simulates one minute across all live nodes. Cancelled once
@@ -215,7 +215,7 @@ class ClusterSession {
 
   ClusterSession(const Trace& trace, const SimOptions& options, int end);
 
-  bool NodeLive(const Node& node) const {
+  [[nodiscard]] bool NodeLive(const Node& node) const {
     return node.state == NodeState::kRoutable ||
            node.state == NodeState::kDraining;
   }

@@ -75,10 +75,10 @@ class Router {
   virtual ~Router() = default;
 
   /// \brief Human-readable router name used in reports.
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// \brief Picks the node that serves this arrival.
-  virtual int Route(const RoutingContext& context) const = 0;
+  [[nodiscard]] virtual int Route(const RoutingContext& context) const = 0;
 };
 
 /// \brief Builds a router instance from validated parameters. May reject
@@ -113,20 +113,20 @@ class RouterRegistry {
   /// (listing the registered alternatives); unknown parameters, type
   /// mismatches (ints coerce to doubles, nothing else converts) and
   /// rejected values yield InvalidArgument naming the offending field.
-  Result<std::unique_ptr<Router>> Create(const RouterSpec& spec) const;
+  [[nodiscard]] Result<std::unique_ptr<Router>> Create(const RouterSpec& spec) const;
 
   /// \brief Convenience: Create(ParseRouterSpec(text)).
-  Result<std::unique_ptr<Router>> CreateFromString(
+  [[nodiscard]] Result<std::unique_ptr<Router>> CreateFromString(
       const std::string& text) const;
 
   /// \brief True when `name` is registered.
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
 
   /// \brief Registered canonical names in lexicographic order.
-  std::vector<std::string> Names() const;
+  [[nodiscard]] std::vector<std::string> Names() const;
 
   /// \brief Introspection: the entry for `name`, or nullptr when unknown.
-  const Entry* Find(const std::string& name) const;
+  [[nodiscard]] const Entry* Find(const std::string& name) const;
 
   /// \brief The process-wide registry, with all built-in routers
   /// registered on first use. Registration of additional entries is not

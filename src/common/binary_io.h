@@ -43,7 +43,7 @@ class BinaryWriter {
     out_.append(bytes);
   }
 
-  const std::string& data() const { return out_; }
+  [[nodiscard]] const std::string& data() const { return out_; }
   std::string Take() { return std::move(out_); }
 
  private:
@@ -62,6 +62,9 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(const std::string& in) : in_(in) {}
+  /// A temporary would dangle the moment the constructor returns (the
+  /// reader borrows the buffer); make that a compile error.
+  explicit BinaryReader(const std::string&& in) = delete;
 
   Result<uint8_t> U8() {
     SPES_RETURN_NOT_OK(Need(1));
@@ -89,19 +92,29 @@ class BinaryReader {
   }
   Result<std::string> Bytes() {
     SPES_ASSIGN_OR_RETURN(const uint64_t size, U64());
+    // Need() compares the announced size against the bytes remaining in
+    // 64-bit arithmetic, so a hostile length field near UINT64_MAX is
+    // rejected here — it can neither wrap the cursor nor reach substr
+    // (where size_t narrowing on a 32-bit host could otherwise truncate).
     SPES_RETURN_NOT_OK(Need(size));
-    std::string bytes = in_.substr(pos_, size);
-    pos_ += size;
+    std::string bytes = in_.substr(pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
     return bytes;
   }
 
   /// \brief A length announced in the blob, validated against the bytes
-  /// actually remaining so a corrupt count cannot drive a huge allocation.
-  /// `min_element_bytes` is the smallest encoding of one element.
+  /// actually remaining so a corrupt count cannot drive a huge allocation:
+  /// `count` elements need at least count * min_element_bytes bytes, and
+  /// the comparison is phrased as a division so it cannot overflow.
+  /// `min_element_bytes` is the smallest encoding of one element and must
+  /// be positive (a zero would disable the bound — programming error).
   Result<uint64_t> Length(uint64_t min_element_bytes) {
+    if (min_element_bytes == 0) {
+      return Status::Internal(
+          "Length() requires a positive min_element_bytes");
+    }
     SPES_ASSIGN_OR_RETURN(const uint64_t count, U64());
-    if (min_element_bytes > 0 &&
-        count > (in_.size() - pos_) / min_element_bytes) {
+    if (count > (in_.size() - pos_) / min_element_bytes) {
       return Status::InvalidArgument(
           "corrupt blob: element count (=" + std::to_string(count) +
           ") exceeds the remaining " +
@@ -110,11 +123,14 @@ class BinaryReader {
     return count;
   }
 
-  bool AtEnd() const { return pos_ == in_.size(); }
-  size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == in_.size(); }
+  [[nodiscard]] size_t remaining() const { return in_.size() - pos_; }
 
  private:
-  Status Need(uint64_t bytes) const {
+  /// All comparisons run on uint64_t with pos_ <= in_.size() as the loop
+  /// invariant, so `in_.size() - pos_` never underflows and an
+  /// attacker-controlled `bytes` cannot wrap the check.
+  [[nodiscard]] Status Need(uint64_t bytes) const {
     if (bytes > in_.size() - pos_) {
       return Status::InvalidArgument(
           "truncated blob: need " + std::to_string(bytes) +

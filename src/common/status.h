@@ -36,7 +36,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// An OK status carries no allocation. Non-OK statuses carry a message
 /// describing the failure. Status is cheap to move and copy.
-class Status {
+///
+/// The class is [[nodiscard]]: ignoring a returned Status is a compile
+/// warning (an error under -Werror and in the CI unused-result probe),
+/// because a silently dropped error is exactly how a golden drifts.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -73,12 +77,12 @@ class Status {
   }
   /// @}
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return msg_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return msg_; }
 
   /// \brief Renders "OK" or "<Code>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// \brief Aborts the process with the status message if not OK.
   ///
@@ -100,9 +104,10 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///
 /// Result<T> is the value-carrying companion of Status. Accessing the value
 /// of an errored Result aborts, so callers must test ok() (or use
-/// SPES_ASSIGN_OR_RETURN).
+/// SPES_ASSIGN_OR_RETURN). Like Status it is [[nodiscard]]: a dropped
+/// Result discards both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, enables `return value;`).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -115,15 +120,15 @@ class Result {
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(repr_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// \brief The error status, or OK when a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(repr_);
   }
 
   /// \brief Borrow the value; aborts if this Result holds an error.
-  const T& ValueOrDie() const& {
+  [[nodiscard]] const T& ValueOrDie() const& {
     if (!ok()) std::abort();
     return std::get<T>(repr_);
   }
@@ -138,7 +143,7 @@ class Result {
   }
 
   /// \brief Returns the value or `fallback` when errored.
-  T ValueOr(T fallback) const {
+  [[nodiscard]] T ValueOr(T fallback) const {
     return ok() ? std::get<T>(repr_) : std::move(fallback);
   }
 

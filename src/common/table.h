@@ -21,23 +21,23 @@ class Table {
   void AddRow(std::vector<std::string> cells);
 
   /// \brief Renders the table with a header separator line.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// \brief RFC-4180-style CSV: header row then data rows; cells
   /// containing commas, quotes or newlines are quoted with doubled
   /// quotes. Machine-readable counterpart of ToString() for artifacts.
-  std::string ToCsv() const;
+  [[nodiscard]] std::string ToCsv() const;
 
   /// \brief JSON array of row objects keyed by header, e.g.
   /// `[{"policy":"SPES","Q3-CSR":"0.0516"}, ...]`. Cell values are
   /// emitted as JSON strings exactly as formatted (no numeric
   /// re-parsing), so output is stable across locales and runs.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 
   /// \brief Renders and writes to stdout.
   void Print() const;
 
-  size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] size_t num_rows() const { return rows_.size(); }
 
  private:
   std::vector<std::string> headers_;

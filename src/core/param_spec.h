@@ -47,14 +47,14 @@ class ParamValue {
   ParamValue(const char* value) : repr_(std::string(value)) {}  // NOLINT
   ParamValue(std::string value) : repr_(std::move(value)) {}    // NOLINT
 
-  ParamType type() const;
+  [[nodiscard]] ParamType type() const;
 
   /// \name Typed access; the value must hold the requested alternative.
   /// @{
-  bool AsBool() const { return std::get<bool>(repr_); }
-  int64_t AsInt() const { return std::get<int64_t>(repr_); }
-  double AsDouble() const { return std::get<double>(repr_); }
-  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  [[nodiscard]] bool AsBool() const { return std::get<bool>(repr_); }
+  [[nodiscard]] int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  [[nodiscard]] double AsDouble() const { return std::get<double>(repr_); }
+  [[nodiscard]] const std::string& AsString() const { return std::get<std::string>(repr_); }
   /// @}
 
   bool operator==(const ParamValue& other) const = default;
@@ -110,15 +110,15 @@ class ParamMap {
   explicit ParamMap(std::map<std::string, ParamValue> values)
       : values_(std::move(values)) {}
 
-  bool GetBool(const std::string& name) const;
-  int64_t GetInt(const std::string& name) const;
-  double GetDouble(const std::string& name) const;
-  const std::string& GetString(const std::string& name) const;
+  [[nodiscard]] bool GetBool(const std::string& name) const;
+  [[nodiscard]] int64_t GetInt(const std::string& name) const;
+  [[nodiscard]] double GetDouble(const std::string& name) const;
+  [[nodiscard]] const std::string& GetString(const std::string& name) const;
 
-  const std::map<std::string, ParamValue>& values() const { return values_; }
+  [[nodiscard]] const std::map<std::string, ParamValue>& values() const { return values_; }
 
  private:
-  const ParamValue& At(const std::string& name) const;
+  [[nodiscard]] const ParamValue& At(const std::string& name) const;
 
   std::map<std::string, ParamValue> values_;
 };

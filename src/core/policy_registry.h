@@ -87,20 +87,20 @@ class PolicyRegistry {
   /// unknown parameters, type mismatches (ints coerce to doubles, nothing
   /// else converts) and rejected values yield InvalidArgument naming the
   /// offending field.
-  Result<std::unique_ptr<Policy>> Create(const PolicySpec& spec) const;
+  [[nodiscard]] Result<std::unique_ptr<Policy>> Create(const PolicySpec& spec) const;
 
   /// \brief Convenience: Create(ParsePolicySpec(text)).
-  Result<std::unique_ptr<Policy>> CreateFromString(
+  [[nodiscard]] Result<std::unique_ptr<Policy>> CreateFromString(
       const std::string& text) const;
 
   /// \brief True when `name` is registered.
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
 
   /// \brief Registered canonical names in lexicographic order.
-  std::vector<std::string> Names() const;
+  [[nodiscard]] std::vector<std::string> Names() const;
 
   /// \brief Introspection: the entry for `name`, or nullptr when unknown.
-  const Entry* Find(const std::string& name) const;
+  [[nodiscard]] const Entry* Find(const std::string& name) const;
 
   /// \brief The process-wide registry, with all built-in policies
   /// registered on first use. Registration of additional entries is not

@@ -40,7 +40,7 @@ class SpesPolicy : public Policy {
  public:
   explicit SpesPolicy(SpesConfig config = {});
 
-  std::string name() const override { return "SPES"; }
+  [[nodiscard]] std::string name() const override { return "SPES"; }
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
@@ -51,30 +51,30 @@ class SpesPolicy : public Policy {
   /// counters. The config is NOT serialized; restore into a policy
   /// constructed with the same SpesConfig.
   /// @{
-  bool SupportsCheckpoint() const override { return true; }
-  Result<std::string> SaveState() const override;
+  [[nodiscard]] bool SupportsCheckpoint() const override { return true; }
+  [[nodiscard]] Result<std::string> SaveState() const override;
   Status RestoreState(const std::string& blob) override;
   /// @}
 
   /// \brief Current type of function `f` (may change online via S3).
-  FunctionType TypeOf(size_t f) const { return states_[f].model.type; }
+  [[nodiscard]] FunctionType TypeOf(size_t f) const { return states_[f].model.type; }
 
   /// \brief Number of functions per type after training/simulation.
-  std::array<int64_t, kNumFunctionTypes> CountByType() const;
+  [[nodiscard]] std::array<int64_t, kNumFunctionTypes> CountByType() const;
 
   /// \brief Mined candidate->target links (training-time "correlated").
-  const std::vector<std::vector<CorrelationLink>>& links_by_candidate() const {
+  [[nodiscard]] const std::vector<std::vector<CorrelationLink>>& links_by_candidate() const {
     return links_by_candidate_;
   }
 
-  const SpesConfig& config() const { return config_; }
+  [[nodiscard]] const SpesConfig& config() const { return config_; }
 
   /// \brief Number of unknown functions re-categorized by forgetting
   /// (training) and by online adjusting (S3), for the Fig. 15 analysis.
-  int64_t forgetting_recategorized() const {
+  [[nodiscard]] int64_t forgetting_recategorized() const {
     return forgetting_recategorized_;
   }
-  int64_t online_recategorized() const { return online_recategorized_; }
+  [[nodiscard]] int64_t online_recategorized() const { return online_recategorized_; }
 
  private:
   struct FunctionState {
@@ -104,8 +104,8 @@ class SpesPolicy : public Policy {
     int32_t grants_since_arrival = 0;
   };
 
-  int GivenUpThreshold(FunctionType type) const;
-  bool PredictNearInvocation(const FunctionState& state, int t) const;
+  [[nodiscard]] int GivenUpThreshold(FunctionType type) const;
+  [[nodiscard]] bool PredictNearInvocation(const FunctionState& state, int t) const;
   void MaybeAdjustPredictiveValues(FunctionState* state);
   void MaybeLateCategorize(FunctionState* state);
   void UpdateOnlineCorrelations(int t, MemSet* mem);

@@ -50,17 +50,17 @@ class DefusePolicy : public Policy {
  public:
   explicit DefusePolicy(DefuseOptions options = {});
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
   /// \brief Mined strong dependencies (A -> B), for tests/analysis.
-  const std::vector<std::vector<uint32_t>>& successors() const {
+  [[nodiscard]] const std::vector<std::vector<uint32_t>>& successors() const {
     return successors_;
   }
   /// \brief Functions scheduled by the fixed fallback (no usable histogram).
-  int64_t CountFallbackFunctions() const;
+  [[nodiscard]] int64_t CountFallbackFunctions() const;
 
  private:
   DefuseOptions options_;

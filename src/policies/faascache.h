@@ -35,13 +35,13 @@ class FaasCachePolicy : public Policy {
   /// \param capacity_instances maximum resident instances (> 0).
   explicit FaasCachePolicy(size_t capacity_instances);
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
-  size_t capacity() const { return capacity_; }
-  double clock() const { return clock_; }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] double clock() const { return clock_; }
 
  private:
   size_t capacity_;

@@ -23,19 +23,19 @@ class FixedKeepAlivePolicy : public Policy {
  public:
   explicit FixedKeepAlivePolicy(int keepalive_minutes = 10);
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
   /// \name Checkpointing: the window plus per-function last arrivals.
   /// @{
-  bool SupportsCheckpoint() const override { return true; }
-  Result<std::string> SaveState() const override;
+  [[nodiscard]] bool SupportsCheckpoint() const override { return true; }
+  [[nodiscard]] Result<std::string> SaveState() const override;
   Status RestoreState(const std::string& blob) override;
   /// @}
 
-  int keepalive_minutes() const { return keepalive_minutes_; }
+  [[nodiscard]] int keepalive_minutes() const { return keepalive_minutes_; }
 
  private:
   int keepalive_minutes_;

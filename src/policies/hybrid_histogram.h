@@ -53,14 +53,14 @@ class HybridHistogramPolicy : public Policy {
   HybridHistogramPolicy(HybridGranularity granularity,
                         HybridOptions options = {});
 
-  std::string name() const override;
+  [[nodiscard]] std::string name() const override;
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
   /// \brief Number of units using the fixed-keep-alive fallback (after
   /// training); exposed for tests and analysis.
-  int64_t CountFallbackUnits() const;
+  [[nodiscard]] int64_t CountFallbackUnits() const;
 
  private:
   struct UnitState {

@@ -25,25 +25,25 @@ class IatHistogram {
   void Record(int iat_minutes);
 
   /// \brief Total recorded IATs, including out-of-bounds.
-  int64_t TotalCount() const { return total_; }
-  int64_t OutOfBoundsCount() const { return oob_; }
+  [[nodiscard]] int64_t TotalCount() const { return total_; }
+  [[nodiscard]] int64_t OutOfBoundsCount() const { return oob_; }
 
   /// \brief Fraction of IATs beyond the histogram range (0 when empty).
-  double OutOfBoundsFraction() const;
+  [[nodiscard]] double OutOfBoundsFraction() const;
 
   /// \brief Smallest bin value whose cumulative in-range count reaches
   /// `p` percent of in-range mass. Returns 0 when no in-range samples.
-  int PercentileMinute(double p) const;
+  [[nodiscard]] int PercentileMinute(double p) const;
 
   /// \brief Whether the histogram is usable for head/tail scheduling:
   /// enough samples and a bounded out-of-bounds share.
   ///
   /// Mirrors the "pattern is representative" test of Shahrad et al.;
   /// policies fall back to a fixed keep-alive otherwise.
-  bool Representative(int min_samples = 10,
+  [[nodiscard]] bool Representative(int min_samples = 10,
                       double max_oob_fraction = 0.5) const;
 
-  int range_minutes() const { return static_cast<int>(bins_.size()); }
+  [[nodiscard]] int range_minutes() const { return static_cast<int>(bins_.size()); }
 
  private:
   std::vector<int32_t> bins_;

@@ -25,7 +25,7 @@ class OraclePolicy : public Policy {
  public:
   OraclePolicy() = default;
 
-  std::string name() const override { return "Oracle"; }
+  [[nodiscard]] std::string name() const override { return "Oracle"; }
   void Train(const Trace& trace, int train_minutes) override;
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
@@ -33,8 +33,8 @@ class OraclePolicy : public Policy {
   /// \name Checkpointing: the oracle keeps no online-mutable state (its
   /// only member is the trace bound at Train()), so its blob is empty.
   /// @{
-  bool SupportsCheckpoint() const override { return true; }
-  Result<std::string> SaveState() const override { return std::string(); }
+  [[nodiscard]] bool SupportsCheckpoint() const override { return true; }
+  [[nodiscard]] Result<std::string> SaveState() const override { return std::string(); }
   Status RestoreState(const std::string& blob) override {
     return blob.empty()
                ? Status::OK()

@@ -90,7 +90,7 @@ class SuiteRunner {
   /// \brief Runs every job against `trace` and returns results in job
   /// order. A job whose factory returns null or whose Simulate() errors
   /// yields a JobResult with a non-OK status; sibling jobs are unaffected.
-  std::vector<JobResult> Run(const Trace& trace,
+  [[nodiscard]] std::vector<JobResult> Run(const Trace& trace,
                              std::vector<SuiteJob> jobs) const;
 
   /// \brief Spec-batch overload: a whole figure sweep as data. Each spec's
@@ -99,7 +99,7 @@ class SuiteRunner {
   /// carrying the precise registry/validation error in its slot while
   /// sibling specs still run. The specs' trace sources are ignored — the
   /// supplied trace is the workload for every slot.
-  std::vector<JobResult> Run(const Trace& trace,
+  [[nodiscard]] std::vector<JobResult> Run(const Trace& trace,
                              const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Lockstep spec batch: instead of fanning one Simulate() per
@@ -120,7 +120,7 @@ class SuiteRunner {
   /// for every slot. Cluster specs do not join a lane group (a cluster is
   /// already its own multi-lane session); they run standalone, before the
   /// groups, with results bitwise identical to Run(trace, specs).
-  std::vector<JobResult> RunLockstep(
+  [[nodiscard]] std::vector<JobResult> RunLockstep(
       const Trace& trace, const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Trace-less spec batch: every spec realizes its *own* trace
@@ -131,10 +131,10 @@ class SuiteRunner {
   /// or chain fails yields a JobResult carrying the precise error in its
   /// slot while sibling specs still run. Results stay slot-indexed and
   /// thread-count independent.
-  std::vector<JobResult> Run(const std::vector<ScenarioSpec>& specs) const;
+  [[nodiscard]] std::vector<JobResult> Run(const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief Effective worker count for `num_jobs` jobs (>= 1).
-  int EffectiveThreads(size_t num_jobs) const;
+  [[nodiscard]] int EffectiveThreads(size_t num_jobs) const;
 
  private:
   SuiteRunnerOptions options_;

@@ -32,7 +32,7 @@ struct FunctionAccount {
   /// concurrent arrivals within a minute share the freshly started
   /// instance, per the paper's one-minute-execution simulation principle),
   /// while the denominator is total arrivals, matching §V-A2.
-  double ColdStartRate() const {
+  [[nodiscard]] double ColdStartRate() const {
     return invocations == 0
                ? 0.0
                : static_cast<double>(cold_starts) /

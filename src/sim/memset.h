@@ -47,21 +47,21 @@ class MemSet {
   }
 
   /// \brief True when function `f` is currently loaded.
-  bool Contains(size_t f) const {
+  [[nodiscard]] bool Contains(size_t f) const {
     assert(f < num_functions_ &&
            "MemSet::Contains: function id out of range");
     return (words_[f >> 6] >> (f & 63)) & 1;
   }
 
   /// \brief Number of loaded instances.
-  size_t Count() const { return count_; }
+  [[nodiscard]] size_t Count() const { return count_; }
 
   /// \brief Total number of addressable functions [0, n).
-  size_t Capacity() const { return num_functions_; }
+  [[nodiscard]] size_t Capacity() const { return num_functions_; }
 
   /// \brief Packed membership words (bit f%64 of word f/64 = loaded), for
   /// word-at-a-time scans. Bits at or above Capacity() are always zero.
-  const std::vector<uint64_t>& words() const { return words_; }
+  [[nodiscard]] const std::vector<uint64_t>& words() const { return words_; }
 
   /// \brief Calls `fn(f)` for every loaded function, in ascending id
   /// order. `fn` may Remove() the id it was called with (or any already
@@ -80,7 +80,7 @@ class MemSet {
 
   /// \brief Membership as one byte per function (1 = loaded) — the
   /// checkpoint wire format.
-  std::vector<uint8_t> ToBytes() const {
+  [[nodiscard]] std::vector<uint8_t> ToBytes() const {
     std::vector<uint8_t> bytes(num_functions_, 0);
     ForEachLoaded([&bytes](size_t f) { bytes[f] = 1; });
     return bytes;

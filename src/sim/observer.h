@@ -43,7 +43,7 @@ struct MinuteView {
   LiveTotals totals;  ///< fleet-wide counters through this minute
 
   /// \brief Instances loaded at the end of this minute.
-  uint32_t loaded_instances() const {
+  [[nodiscard]] uint32_t loaded_instances() const {
     return static_cast<uint32_t>(mem->Count());
   }
 };

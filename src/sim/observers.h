@@ -56,7 +56,7 @@ class TimeSeriesObserver : public SimObserver {
   bool OnMinute(const MinuteView& view) override;
 
   /// \brief Captured series, indexed by lane.
-  const std::vector<std::vector<MinuteSample>>& series() const {
+  [[nodiscard]] const std::vector<std::vector<MinuteSample>>& series() const {
     return series_;
   }
 

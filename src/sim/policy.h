@@ -31,7 +31,7 @@ class Policy {
   virtual ~Policy() = default;
 
   /// \brief Human-readable policy name used in reports.
-  virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
 
   /// \brief Offline phase: observe `trace` restricted to minutes
   /// [0, train_minutes). Called exactly once before any OnMinute().
@@ -56,8 +56,8 @@ class Policy {
   /// that produced the blob; it only needs to reinstate online-mutable
   /// state. The default implementation opts out.
   /// @{
-  virtual bool SupportsCheckpoint() const { return false; }
-  virtual Result<std::string> SaveState() const {
+  [[nodiscard]] virtual bool SupportsCheckpoint() const { return false; }
+  [[nodiscard]] virtual Result<std::string> SaveState() const {
     return Status::NotImplemented("policy '" + name() +
                                   "' does not support checkpointing");
   }

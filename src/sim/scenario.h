@@ -180,7 +180,7 @@ class TraceCache {
   Result<std::shared_ptr<const Trace>> Get(const TraceSpec& spec);
 
   /// \brief Number of distinct realized traces held.
-  size_t size() const;
+  [[nodiscard]] size_t size() const;
 
  private:
   mutable std::mutex mu_;
@@ -205,23 +205,23 @@ class ScenarioSession {
   static Result<ScenarioSession> Open(const TraceSpec& source);
 
   /// \brief The session's base (untransformed) trace.
-  const Trace& trace() const { return *trace_; }
+  [[nodiscard]] const Trace& trace() const { return *trace_; }
 
   /// \brief Runs `spec` against the base trace, with spec.trace.transforms
   /// (if any) applied on top — the spec's trace *source* is ignored.
-  Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const;
+  [[nodiscard]] Result<ScenarioOutcome> Run(const ScenarioSpec& spec) const;
 
   /// \brief Lockstep batch over the session's workload: one SimStream,
   /// one trace walk, N policy lanes (see the free RunLockstep above). On
   /// top of its requirements, every spec must carry the same transform
   /// chain (the lanes share one realized workload); the shared chain is
   /// applied through the session's variant cache.
-  Result<std::vector<ScenarioOutcome>> RunLockstep(
+  [[nodiscard]] Result<std::vector<ScenarioOutcome>> RunLockstep(
       const std::vector<ScenarioSpec>& specs) const;
 
   /// \brief The base trace with `chain` applied, realized at most once
   /// per distinct chain (keyed by FormatTransformChain).
-  Result<std::shared_ptr<const Trace>> TransformedTrace(
+  [[nodiscard]] Result<std::shared_ptr<const Trace>> TransformedTrace(
       const std::vector<TransformSpec>& chain) const;
 
  private:

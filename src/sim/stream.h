@@ -96,19 +96,19 @@ class SimStream {
 
   /// \name Cursor state
   /// @{
-  int cursor() const { return cursor_; }          ///< next minute to run
-  int start_minute() const { return start_; }     ///< == train_minutes
-  int end_minute() const { return end_; }         ///< resolved end
-  size_t num_lanes() const { return lanes_.size(); }
-  const Policy* policy(size_t lane) const { return lanes_[lane].policy; }
+  [[nodiscard]] int cursor() const { return cursor_; }          ///< next minute to run
+  [[nodiscard]] int start_minute() const { return start_; }     ///< == train_minutes
+  [[nodiscard]] int end_minute() const { return end_; }         ///< resolved end
+  [[nodiscard]] size_t num_lanes() const { return lanes_.size(); }
+  [[nodiscard]] const Policy* policy(size_t lane) const { return lanes_[lane].policy; }
   /// Minutes decoded so far: one arrival decode serves every lane, so
   /// this counts simulated minutes, not minutes x lanes.
-  int64_t minutes_decoded() const { return minutes_decoded_; }
+  [[nodiscard]] int64_t minutes_decoded() const { return minutes_decoded_; }
   /// True once the cursor reached end_minute(), an observer (or
   /// RequestStop) halted the stream, or Finish()/FinishAll() consumed it.
-  bool done() const { return finished_ || stopped_ || cursor_ >= end_; }
+  [[nodiscard]] bool done() const { return finished_ || stopped_ || cursor_ >= end_; }
   /// True when the stream halted before end_minute().
-  bool stopped_early() const { return stopped_; }
+  [[nodiscard]] bool stopped_early() const { return stopped_; }
   /// @}
 
   /// \brief Simulates one minute across all lanes. Cancelled once the
@@ -128,7 +128,7 @@ class SimStream {
   /// \brief Live fleet metrics of one lane over the minutes simulated so
   /// far (wall-clock overhead included). O(n) — fine per snapshot, use an
   /// observer with LiveTotals for per-minute monitoring.
-  FleetMetrics SnapshotMetrics(size_t lane) const;
+  [[nodiscard]] FleetMetrics SnapshotMetrics(size_t lane) const;
 
   /// \brief Runs to the end of the window (unless already stopped) and
   /// returns the single lane's outcome, consuming the stream. Requires a
@@ -148,7 +148,7 @@ class SimStream {
   /// Every lane's policy must support checkpointing (NotImplemented
   /// naming the first lane that does not, otherwise). Fails once the
   /// stream has been consumed by Finish()/FinishAll().
-  Result<SimCheckpoint> Checkpoint() const;
+  [[nodiscard]] Result<SimCheckpoint> Checkpoint() const;
 
   /// \brief Rewinds/forwards this stream to `checkpoint`. The stream must
   /// have been created over the same trace, window and policy line-up as

@@ -56,9 +56,9 @@ struct FunctionTrace {
   std::vector<uint32_t> counts;
 
   /// \brief Total invocations over the whole horizon.
-  uint64_t TotalInvocations() const;
+  [[nodiscard]] uint64_t TotalInvocations() const;
   /// \brief Number of minutes with at least one invocation.
-  int64_t InvokedMinutes() const;
+  [[nodiscard]] int64_t InvokedMinutes() const;
 };
 
 /// \brief A fleet of function traces over a common time horizon.
@@ -71,31 +71,31 @@ class Trace {
   Status Add(FunctionTrace function);
 
   /// \brief Common horizon of every function, in minutes.
-  int num_minutes() const { return num_minutes_; }
+  [[nodiscard]] int num_minutes() const { return num_minutes_; }
   /// \brief Number of functions in the fleet.
-  size_t num_functions() const { return functions_.size(); }
+  [[nodiscard]] size_t num_functions() const { return functions_.size(); }
   /// \brief All function traces, in insertion order.
-  const std::vector<FunctionTrace>& functions() const { return functions_; }
+  [[nodiscard]] const std::vector<FunctionTrace>& functions() const { return functions_; }
   /// \brief The i-th function trace (unchecked index).
-  const FunctionTrace& function(size_t i) const { return functions_[i]; }
+  [[nodiscard]] const FunctionTrace& function(size_t i) const { return functions_[i]; }
 
   /// \brief Index of the function with the given hashed name, or -1.
-  int64_t FindByName(const std::string& name) const;
+  [[nodiscard]] int64_t FindByName(const std::string& name) const;
 
   /// \brief Function indices grouped by application id.
-  std::unordered_map<std::string, std::vector<size_t>> GroupByApp() const;
+  [[nodiscard]] std::unordered_map<std::string, std::vector<size_t>> GroupByApp() const;
 
   /// \brief Function indices grouped by owner id.
-  std::unordered_map<std::string, std::vector<size_t>> GroupByOwner() const;
+  [[nodiscard]] std::unordered_map<std::string, std::vector<size_t>> GroupByOwner() const;
 
   /// \brief Counts of `function_index` restricted to [begin, end).
   std::span<const uint32_t> Slice(size_t function_index, int begin,
                                   int end) const;
 
   /// \brief Number of distinct owners in the fleet.
-  size_t CountOwners() const;
+  [[nodiscard]] size_t CountOwners() const;
   /// \brief Number of distinct applications in the fleet.
-  size_t CountApps() const;
+  [[nodiscard]] size_t CountApps() const;
 
  private:
   int num_minutes_ = 0;

@@ -93,19 +93,19 @@ class TransformRegistry {
   /// NotFound (listing the registered alternatives); unknown parameters,
   /// type mismatches (ints coerce to doubles, nothing else converts) and
   /// rejected values yield InvalidArgument naming the offending field.
-  Result<TransformFn> Create(const TransformSpec& spec) const;
+  [[nodiscard]] Result<TransformFn> Create(const TransformSpec& spec) const;
 
   /// \brief Convenience: Create(ParseTransformSpec(text)).
-  Result<TransformFn> CreateFromString(const std::string& text) const;
+  [[nodiscard]] Result<TransformFn> CreateFromString(const std::string& text) const;
 
   /// \brief True when `name` is registered.
-  bool Contains(const std::string& name) const;
+  [[nodiscard]] bool Contains(const std::string& name) const;
 
   /// \brief Registered canonical names in lexicographic order.
-  std::vector<std::string> Names() const;
+  [[nodiscard]] std::vector<std::string> Names() const;
 
   /// \brief Introspection: the entry for `name`, or nullptr when unknown.
-  const Entry* Find(const std::string& name) const;
+  [[nodiscard]] const Entry* Find(const std::string& name) const;
 
   /// \brief The process-wide registry, with all built-in transforms
   /// registered on first use. Registration of additional entries is not

@@ -177,7 +177,9 @@ TEST(SuiteRunnerTest, ProgressReportsEveryJobExactlyOnce) {
     EXPECT_FALSE(result.label.empty());
   };
   SuiteRunner runner(runner_options);
-  runner.Run(fleet.trace, PolicyJobs(Options()));
+  const std::vector<JobResult> results =
+      runner.Run(fleet.trace, PolicyJobs(Options()));
+  EXPECT_EQ(results.size(), 5u);
   EXPECT_EQ(calls.load(), 5u);
   EXPECT_EQ(last_total, 5u);
 }

@@ -101,5 +101,60 @@ TEST(StatusMacroTest, AssignOrReturn) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInternal);
 }
 
+// ---------------------------------------------------------------------
+// [[nodiscard]] semantics. The compile-time side — that a discarded
+// Status/Result FAILS to build under -Werror=unused-result — is covered
+// by tools/check_nodiscard.py (run in CI); these tests pin the sanctioned
+// ways to consume or deliberately drop one.
+// ---------------------------------------------------------------------
+
+TEST(NoDiscardTest, VoidCastIsTheSanctionedDiscard) {
+  // Deliberate discard must stay expressible for fire-and-forget paths
+  // (and must compile warning-free, which -Werror enforces in CI).
+  (void)Status::InvalidArgument("intentionally dropped");
+  (void)MakeValue(true);
+}
+
+TEST(NoDiscardTest, MoveOutOfResultLeavesNoDangling) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(r.ok());
+  // Rvalue ValueOrDie moves the payload out in one step.
+  const std::vector<int> taken = std::move(r).ValueOrDie();
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(NoDiscardTest, MovedFromResultStillReportsOk) {
+  Result<std::string> r = std::string("payload");
+  const std::string taken = std::move(r).ValueOrDie();
+  EXPECT_EQ(taken, "payload");
+  // The variant still holds the (moved-from) T alternative: ok() stays
+  // true and status() is OK — moving out never fabricates an error.
+  EXPECT_TRUE(r.ok());  // NOLINT(bugprone-use-after-move): pinned API
+  EXPECT_TRUE(r.status().ok());
+}
+
+Result<std::string> PropagateTwice(bool fail) {
+  SPES_ASSIGN_OR_RETURN(std::string v, [&]() -> Result<std::string> {
+    if (fail) return Status::NotFound("inner miss");
+    return std::string("inner");
+  }());
+  return v + "+outer";
+}
+
+TEST(NoDiscardTest, ErrorPropagationPreservesCodeAndMessage) {
+  Result<std::string> ok = PropagateTwice(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ValueOrDie(), "inner+outer");
+  Result<std::string> bad = PropagateTwice(true);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(bad.status().message(), "inner miss");
+}
+
+TEST(NoDiscardTest, ValueOrFallsBackOnlyOnError) {
+  EXPECT_EQ(MakeValue(false).ValueOr(-1), 5);
+  EXPECT_EQ(MakeValue(true).ValueOr(-1), -1);
+}
+
 }  // namespace
 }  // namespace spes

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compile-time negative tests for the [[nodiscard]] contract on
+spes::Status and spes::Result<T> (src/common/status.h).
+
+Two probe translation units are compiled against the real header with
+`-Werror=unused-result`:
+
+  * the BAD probe discards a returned Status and a returned Result<int>
+    — it MUST fail to compile (that is the contract);
+  * the GOOD probe consumes both and uses (void) for a deliberate drop
+    — it MUST compile cleanly.
+
+A regression that removes [[nodiscard]] (or breaks the header) flips one
+of the two outcomes and fails this check. Runs with any C++20 compiler;
+CI wires it into the lint job.
+
+Usage: tools/check_nodiscard.py [--cxx g++]
+Exit status: 0 on success, 1 on contract violation, 2 on setup error.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+BAD_PROBE = """
+#include "common/status.h"
+using spes::Result;
+using spes::Status;
+Status MakeStatus() { return Status::InvalidArgument("x"); }
+Result<int> MakeResult() { return Status::Internal("y"); }
+void Discards() {
+  MakeStatus();   // must not compile: discarded [[nodiscard]] Status
+  MakeResult();   // must not compile: discarded [[nodiscard]] Result
+}
+"""
+
+GOOD_PROBE = """
+#include "common/status.h"
+using spes::Result;
+using spes::Status;
+Status MakeStatus() { return Status::InvalidArgument("x"); }
+Result<int> MakeResult() { return Status::Internal("y"); }
+int Consumes() {
+  Status checked = MakeStatus();
+  (void)MakeStatus();  // sanctioned deliberate discard
+  Result<int> r = MakeResult();
+  if (!checked.ok() && !r.ok()) return 1;
+  return 0;
+}
+"""
+
+
+def compile_probe(cxx, src_dir, code, name):
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"{name}.cc")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(code)
+        proc = subprocess.run(
+            [
+                cxx,
+                "-std=c++20",
+                "-fsyntax-only",
+                "-Werror=unused-result",
+                f"-I{src_dir}",
+                path,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        return proc.returncode == 0, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cxx",
+        default=os.environ.get("CXX", "c++"),
+        help="C++ compiler to probe with (default: $CXX or c++)",
+    )
+    args = parser.parse_args()
+
+    if shutil.which(args.cxx) is None:
+        print(f"error: compiler not found: {args.cxx}", file=sys.stderr)
+        return 2
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src_dir = os.path.join(repo_root, "src")
+    if not os.path.isfile(os.path.join(src_dir, "common", "status.h")):
+        print("error: src/common/status.h not found", file=sys.stderr)
+        return 2
+
+    failures = 0
+
+    ok, output = compile_probe(args.cxx, src_dir, BAD_PROBE, "discard_probe")
+    if ok:
+        print(
+            "FAIL: the discarding probe compiled — Status/Result<> lost "
+            "their [[nodiscard]] teeth",
+            file=sys.stderr,
+        )
+        failures += 1
+    elif "unused-result" not in output and "nodiscard" not in output:
+        print(
+            "FAIL: the discarding probe failed for an unrelated reason:\n"
+            + output,
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print("ok: discarded Status/Result is a compile error")
+
+    ok, output = compile_probe(args.cxx, src_dir, GOOD_PROBE, "consume_probe")
+    if not ok:
+        print(
+            "FAIL: the conforming probe did not compile:\n" + output,
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print("ok: consuming / (void)-discarding compiles cleanly")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,432 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism linter.
+
+Enforces invariants that generic tooling (clang-tidy) cannot know about,
+because they encode this repository's determinism contract (see
+docs/correctness.md):
+
+  R1 seeded-rng-only   No std::random_device / rand() / srand() / time() /
+                       std::chrono::system_clock outside src/common/rng.*
+                       and bench timing code (bench/). All stochastic
+                       behaviour must flow through spes::Rng.
+  R2 ordered-iteration No iteration over (or, conservatively, any mention
+                       of) std::unordered_map / std::unordered_set in files
+                       under src/metrics, src/sim or src/cluster: these
+                       layers emit ordered output (tables, series, goldens)
+                       and unordered iteration order is not deterministic
+                       across standard libraries.
+  R3 registry-name     Every policy registration unit (a src/policies/*.cc
+                       that references PolicyRegistry) must self-register
+                       exactly one canonical name equal to its file stem
+                       (lowercase snake_case), so the registry listing is
+                       stable and greppable. Pure data-structure files
+                       (e.g. iat_histogram.cc) are out of scope.
+  R4 header-hygiene    Every public header under src/ must carry an include
+                       guard derived from its path (SPES_<PATH>_H_) and at
+                       least one Doxygen \brief.
+
+Allowlist: a line that would fire R1 or R2 is suppressed when it (or the
+line directly above it) carries a justification comment of the form
+
+    // det-ok: <non-empty reason>
+
+The reason is mandatory; a bare "det-ok" is itself a finding.
+
+Usage:
+  tools/lint_invariants.py [--root DIR]     lint the repository (default .)
+  tools/lint_invariants.py --self-test      seed one violation of every rule
+                                            in a temp tree and assert each
+                                            is flagged (exit 0 on success)
+
+Exit status: 0 when clean, 1 when findings were emitted, 2 on usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# --------------------------------------------------------------------------
+# Finding model
+# --------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line  # 1-based; 0 = whole file
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        where = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{where}: [{self.rule}] {self.message}"
+
+
+DET_OK = re.compile(r"//\s*det-ok:\s*(\S.*)?$")
+
+
+def _allowlisted(lines, idx):
+    """True when lines[idx] (0-based) carries, or follows, a justified
+    det-ok comment. Returns (allowed, finding_or_none) — an unjustified
+    det-ok is itself reported."""
+    for probe in (idx, idx - 1):
+        if probe < 0:
+            continue
+        m = DET_OK.search(lines[probe])
+        if m:
+            if m.group(1):
+                return True, None
+            return True, (probe + 1, "det-ok comment without a justification")
+    return False, None
+
+
+# --------------------------------------------------------------------------
+# R1: seeded RNG / no wall-clock
+# --------------------------------------------------------------------------
+
+R1_PATTERNS = [
+    (re.compile(r"std::random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w.:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w.:>])time\s*\("), "time()"),
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+]
+
+R1_ALLOWED = re.compile(r"^(src/common/rng\.(h|cc)|bench/)")
+
+
+def lint_r1(relpath, lines):
+    if R1_ALLOWED.match(relpath):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        code = line.split("//", 1)[0] if "det-ok" not in line else line
+        for pattern, label in R1_PATTERNS:
+            if pattern.search(code.split("//", 1)[0]):
+                allowed, extra = _allowlisted(lines, i)
+                if extra:
+                    findings.append(Finding(relpath, extra[0], "R1", extra[1]))
+                if not allowed:
+                    findings.append(
+                        Finding(
+                            relpath,
+                            i + 1,
+                            "R1",
+                            f"{label} outside src/common/rng.* / bench timing "
+                            "code; route randomness through spes::Rng "
+                            "(suppress with '// det-ok: <reason>')",
+                        )
+                    )
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R2: no unordered-container iteration where output ordering matters
+# --------------------------------------------------------------------------
+
+R2_DIRS = re.compile(r"^src/(metrics|sim|cluster)/")
+R2_PATTERN = re.compile(r"\bunordered_(map|set)\b")
+
+
+def lint_r2(relpath, lines):
+    if not R2_DIRS.match(relpath):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if R2_PATTERN.search(line.split("//", 1)[0]):
+            allowed, extra = _allowlisted(lines, i)
+            if extra:
+                findings.append(Finding(relpath, extra[0], "R2", extra[1]))
+            if not allowed:
+                findings.append(
+                    Finding(
+                        relpath,
+                        i + 1,
+                        "R2",
+                        "unordered container in an ordered-output layer "
+                        "(src/metrics, src/sim, src/cluster); iteration "
+                        "order feeds tables/goldens — use std::map/sorted "
+                        "vector, or justify with '// det-ok: <reason>'",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R3: registration units self-register their file stem as canonical name
+# --------------------------------------------------------------------------
+
+R3_FILES = re.compile(r"^src/policies/[^/]+\.cc$")
+R3_NAME = re.compile(r'canonical_name\s*=\s*"([^"]*)"')
+
+
+def lint_r3(relpath, lines):
+    if not R3_FILES.match(relpath):
+        return []
+    stem = os.path.splitext(os.path.basename(relpath))[0]
+    text = "\n".join(lines)
+    if "PolicyRegistry" not in text:
+        return []  # pure data structure, not a registration unit
+    names = R3_NAME.findall(text)
+    findings = []
+    if not names:
+        findings.append(
+            Finding(
+                relpath,
+                0,
+                "R3",
+                "policy registration unit never sets entry.canonical_name; "
+                "every src/policies/*.cc must self-register",
+            )
+        )
+        return findings
+    for name in names:
+        if not re.fullmatch(r"[a-z][a-z0-9_]*", name):
+            findings.append(
+                Finding(
+                    relpath,
+                    0,
+                    "R3",
+                    f'canonical name "{name}" is not lowercase snake_case',
+                )
+            )
+        elif name != stem:
+            findings.append(
+                Finding(
+                    relpath,
+                    0,
+                    "R3",
+                    f'canonical name "{name}" does not match the file stem '
+                    f'"{stem}"; one policy per file, named after it',
+                )
+            )
+    if len(names) > 1:
+        findings.append(
+            Finding(
+                relpath,
+                0,
+                "R3",
+                f"{len(names)} canonical names registered; expected exactly 1",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# R4: header guard + \brief
+# --------------------------------------------------------------------------
+
+
+def expected_guard(relpath):
+    # src/sim/stream.h -> SPES_SIM_STREAM_H_
+    inner = relpath[len("src/"):]
+    inner = os.path.splitext(inner)[0]
+    return "SPES_" + re.sub(r"[/.]", "_", inner).upper() + "_H_"
+
+
+def lint_r4(relpath, lines):
+    if not (relpath.startswith("src/") and relpath.endswith(".h")):
+        return []
+    text = "\n".join(lines)
+    findings = []
+    guard = expected_guard(relpath)
+    ifndef = re.search(r"#ifndef\s+(\S+)", text)
+    if not ifndef:
+        findings.append(
+            Finding(relpath, 0, "R4", f"missing include guard (expected {guard})")
+        )
+    elif ifndef.group(1) != guard:
+        findings.append(
+            Finding(
+                relpath,
+                0,
+                "R4",
+                f"include guard {ifndef.group(1)} does not match the "
+                f"path-derived name {guard}",
+            )
+        )
+    elif f"#define {guard}" not in text:
+        findings.append(
+            Finding(relpath, 0, "R4", f"#ifndef {guard} without #define {guard}")
+        )
+    if "\\brief" not in text:
+        findings.append(
+            Finding(
+                relpath,
+                0,
+                "R4",
+                "public header has no \\brief documentation",
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+RULES = (lint_r1, lint_r2, lint_r3, lint_r4)
+SCAN_DIRS = ("src", "tests", "examples", "fuzz", "bench")
+SOURCE_EXT = (".h", ".cc", ".cpp")
+
+
+def lint_tree(root):
+    findings = []
+    for top in SCAN_DIRS:
+        base = os.path.join(root, top)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_EXT):
+                    continue
+                path = os.path.join(dirpath, name)
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.read().splitlines()
+                for rule in RULES:
+                    findings.extend(rule(relpath, lines))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Self-test: seed one violation of every rule, assert each fires
+# --------------------------------------------------------------------------
+
+SELF_TEST_TREE = {
+    # R1: wall-clock + unseeded randomness outside the allowed files.
+    "src/sim/bad_clock.cc": (
+        "#include <ctime>\n"
+        "double Now() { return time(nullptr); }\n"
+        "int Roll() { return rand(); }\n"
+        "// std::chrono::system_clock mentioned in a comment is fine\n"
+    ),
+    # R1 (negative): same constructs are fine in bench/ and when justified.
+    "bench/ok_timer.cc": "long T() { return time(nullptr); }\n",
+    "src/sim/ok_justified.cc": (
+        "// det-ok: wall-clock overhead metric, never feeds sim results\n"
+        "double Overhead() { return time(nullptr); }\n"
+    ),
+    # R1: det-ok without a reason is itself a finding.
+    "src/sim/bad_bare_detok.cc": ("int R() { return rand(); }  // det-ok:\n"),
+    # R2: unordered container in an ordered-output layer.
+    "src/metrics/bad_unordered.cc": (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, int> counters;\n"
+    ),
+    # R2 (negative): justified use is allowed.
+    "src/cluster/ok_unordered.cc": (
+        "#include <unordered_map>  // det-ok: membership only, never iterated\n"
+        "// det-ok: lookup table, results are re-sorted before emission\n"
+        "std::unordered_map<int, int> lookup;\n"
+    ),
+    # R3: registration unit with a mismatched canonical name.
+    "src/policies/bad_name.cc": (
+        "void RegisterBadNamePolicy(PolicyRegistry& r) {\n"
+        '  entry.canonical_name = "other_name";\n'
+        "}\n"
+    ),
+    # R3: registration unit that never registers a canonical name.
+    "src/policies/bad_silent.cc": (
+        "void RegisterNothing(PolicyRegistry& r) {}\n"
+    ),
+    # R3 (negative): a pure data structure never touches PolicyRegistry.
+    "src/policies/ok_datastructure.cc": (
+        "int BinCount() { return 240; }\n"
+    ),
+    # R4: header with a wrong guard and no \brief.
+    "src/core/bad_header.h": (
+        "#ifndef WRONG_GUARD_H_\n"
+        "#define WRONG_GUARD_H_\n"
+        "int f();\n"
+        "#endif\n"
+    ),
+    # R4 (negative): conforming header.
+    "src/core/ok_header.h": (
+        "#ifndef SPES_CORE_OK_HEADER_H_\n"
+        "#define SPES_CORE_OK_HEADER_H_\n"
+        "/// \\brief Fine.\n"
+        "int g();\n"
+        "#endif  // SPES_CORE_OK_HEADER_H_\n"
+    ),
+}
+
+# (rule, path) pairs that MUST be flagged...
+SELF_TEST_EXPECTED = [
+    ("R1", "src/sim/bad_clock.cc"),
+    ("R1", "src/sim/bad_bare_detok.cc"),
+    ("R2", "src/metrics/bad_unordered.cc"),
+    ("R3", "src/policies/bad_name.cc"),
+    ("R3", "src/policies/bad_silent.cc"),
+    ("R4", "src/core/bad_header.h"),
+]
+# ...and paths that must stay clean.
+SELF_TEST_CLEAN = [
+    "bench/ok_timer.cc",
+    "src/sim/ok_justified.cc",
+    "src/cluster/ok_unordered.cc",
+    "src/policies/ok_datastructure.cc",
+    "src/core/ok_header.h",
+]
+
+
+def self_test():
+    with tempfile.TemporaryDirectory() as root:
+        for relpath, content in SELF_TEST_TREE.items():
+            path = os.path.join(root, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        findings = lint_tree(root)
+        fired = {(f.rule, f.path) for f in findings}
+        failures = []
+        for rule, path in SELF_TEST_EXPECTED:
+            if (rule, path) not in fired:
+                failures.append(f"expected {rule} to fire on {path}, it did not")
+        for path in SELF_TEST_CLEAN:
+            hits = [f for f in findings if f.path == path]
+            for f in hits:
+                failures.append(f"false positive: {f}")
+        if failures:
+            for f in failures:
+                print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"self-test OK: {len(SELF_TEST_EXPECTED)} seeded violations "
+            f"flagged, {len(SELF_TEST_CLEAN)} clean files untouched "
+            f"({len(findings)} findings total)"
+        )
+        return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".", help="repository root to lint")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="seed a violation of every rule in a temp tree and verify "
+        "each is flagged",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if not os.path.isdir(args.root):
+        print(f"error: not a directory: {args.root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(args.root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("invariant lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Run the curated .clang-tidy gate over src/ and tests/.
+
+Reads compile_commands.json from the build directory (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON), filters the entries to the requested
+source roots, and runs clang-tidy on each translation unit in parallel.
+.clang-tidy sets WarningsAsErrors: '*', so any finding fails the gate.
+
+Usage:
+  tools/run_clang_tidy.py -p build               # lint src/ + tests/
+  tools/run_clang_tidy.py -p build src/sim       # lint a subtree
+  tools/run_clang_tidy.py -p build --binary clang-tidy-18 -j 8
+
+Exit status: 0 clean, 1 findings, 2 setup error (missing binary or
+compile_commands.json).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+DEFAULT_ROOTS = ("src", "tests")
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        print(
+            f"error: {path} not found; configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON",
+            file=sys.stderr,
+        )
+        return None
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_files(entries, repo_root, roots):
+    """Translation units from the compilation database under `roots`,
+    de-duplicated and sorted for a stable run order."""
+    wanted = []
+    prefixes = tuple(os.path.join(repo_root, r) + os.sep for r in roots)
+    for entry in entries:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"])
+        )
+        if path.startswith(prefixes):
+            wanted.append(path)
+    return sorted(set(wanted))
+
+
+def run_one(binary, build_dir, path):
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return path, proc.returncode, proc.stdout
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-p",
+        "--build-dir",
+        required=True,
+        help="build directory containing compile_commands.json",
+    )
+    parser.add_argument(
+        "--binary",
+        default=os.environ.get("CLANG_TIDY", "clang-tidy"),
+        help="clang-tidy executable (default: $CLANG_TIDY or clang-tidy)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="parallel clang-tidy processes",
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        default=list(DEFAULT_ROOTS),
+        help=f"source roots to lint (default: {' '.join(DEFAULT_ROOTS)})",
+    )
+    args = parser.parse_args()
+
+    if shutil.which(args.binary) is None:
+        print(f"error: clang-tidy binary not found: {args.binary}",
+              file=sys.stderr)
+        return 2
+    entries = load_compile_commands(args.build_dir)
+    if entries is None:
+        return 2
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = select_files(entries, repo_root, args.roots)
+    if not files:
+        print(
+            f"error: no translation units under {args.roots} in the "
+            "compilation database",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(f"clang-tidy ({args.binary}) over {len(files)} files, "
+          f"{args.jobs} jobs")
+    failures = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, args.binary, args.build_dir, f)
+            for f in files
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            path, code, output = future.result()
+            rel = os.path.relpath(path, repo_root)
+            if code != 0:
+                failures += 1
+                print(f"FAIL {rel}")
+                sys.stdout.write(output)
+            else:
+                print(f"  ok {rel}")
+    if failures:
+        print(f"{failures}/{len(files)} files with findings",
+              file=sys.stderr)
+        return 1
+    print("clang-tidy clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
