@@ -35,6 +35,11 @@
 #include "sim/reference_kernel.h"
 #include "sim/stream.h"
 #include "trace/generator.h"
+#include "trace/trace_file.h"
+#include "trace/trace_source.h"
+
+#include <filesystem>
+#include <string>
 
 namespace spes {
 namespace {
@@ -156,6 +161,74 @@ void BM_ArrivalDecodeColumnar(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * kBlock);
 }
 BENCHMARK(BM_ArrivalDecodeColumnar)->Apply(FleetArgs);
+
+// --------------------------------------------------------------------------
+// Packed-file streaming decode vs the in-memory source. Both go through
+// the same ArrivalDecoder block transpose; the streamed variant adds the
+// trace_file read + varint/LZ block decode, so the items/sec gap IS the
+// out-of-core overhead. check_bench_regression.py gates that gap
+// (--max-stream-overhead). Counters record the packed file size and its
+// compression ratio vs the dense u32 matrix.
+// --------------------------------------------------------------------------
+
+/// Packs the shared fleet once per size; reopened by every iteration set.
+const std::string& SharedPackedFleet(int64_t num_functions,
+                                     TraceFileStats* stats) {
+  static std::map<int64_t, std::pair<std::string, TraceFileStats>> cache;
+  std::pair<std::string, TraceFileStats>& slot = cache[num_functions];
+  if (slot.first.empty()) {
+    slot.first = (std::filesystem::temp_directory_path() /
+                  ("spes_bench_" + std::to_string(num_functions) + ".spt"))
+                     .string();
+    slot.second =
+        WriteTraceFile(SharedFleet(num_functions).trace, slot.first)
+            .ValueOrDie();
+  }
+  if (stats != nullptr) *stats = slot.second;
+  return slot.first;
+}
+
+/// Decodes every minute of one 256-minute block per iteration through
+/// `decoder`, cycling blocks; items/sec counts function-minutes, directly
+/// comparable between the two sources (and with BM_ArrivalDecodeColumnar).
+template <typename MakeDecoder>
+void DecodeBlocksLoop(benchmark::State& state, int num_minutes,
+                      MakeDecoder make_decoder) {
+  ArrivalDecoder decoder = make_decoder();
+  constexpr int kBlock = ArrivalDecoder::kDefaultBlockMinutes;
+  const int num_blocks = num_minutes / kBlock;
+  int block = 0;
+  for (auto _ : state) {
+    const int start = block * kBlock;
+    uint64_t arrivals = 0;
+    for (int t = start; t < start + kBlock; ++t) {
+      arrivals += decoder.Decode(t).size();
+    }
+    benchmark::DoNotOptimize(arrivals);
+    block = (block + 1) % num_blocks;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * kBlock);
+}
+
+void BM_InMemoryDecode(benchmark::State& state) {
+  const GeneratedTrace& fleet = SharedFleet(state.range(0));
+  InMemoryTraceSource source(fleet.trace);
+  DecodeBlocksLoop(state, fleet.trace.num_minutes(),
+                   [&source] { return ArrivalDecoder(&source); });
+}
+BENCHMARK(BM_InMemoryDecode)->Apply(FleetArgs);
+
+void BM_TraceFileStreamDecode(benchmark::State& state) {
+  TraceFileStats stats;
+  const std::string& path = SharedPackedFleet(state.range(0), &stats);
+  std::unique_ptr<TraceFileSource> source =
+      OpenTraceFile(path).ValueOrDie();
+  DecodeBlocksLoop(state, source->num_minutes(),
+                   [&source] { return ArrivalDecoder(source.get()); });
+  state.counters["file_bytes"] = static_cast<double>(stats.file_bytes);
+  state.counters["compression_ratio"] = stats.CompressionRatio();
+}
+BENCHMARK(BM_TraceFileStreamDecode)->Apply(FleetArgs);
 
 // --------------------------------------------------------------------------
 // SPES provision step. Arrivals are pre-decoded OUTSIDE the timed region —

@@ -222,23 +222,25 @@ Status ValidateClusterSpec(const ClusterSpec& spec) {
   return Status::OK();
 }
 
-ClusterSession::ClusterSession(const Trace& trace, const SimOptions& options,
-                               int end)
-    : trace_(&trace),
+ClusterSession::ClusterSession(TraceSource* source,
+                               std::unique_ptr<TraceSource> owned,
+                               const SimOptions& options, int end)
+    : owned_source_(std::move(owned)),
+      source_(source),
       options_(options),
       start_(options.train_minutes),
       end_(end),
       cursor_(options.train_minutes),
-      assignment_(trace.num_functions(), -1),
-      decoder_(trace) {}
+      assignment_(source->num_functions(), -1),
+      decoder_(source) {}
 
-Result<ClusterSession> ClusterSession::Create(const Trace& trace,
-                                              const ClusterSpec& cluster,
-                                              const PolicySpec& policy,
-                                              const SimOptions& options) {
+Result<ClusterSession> ClusterSession::CreateImpl(
+    TraceSource* source, std::unique_ptr<TraceSource> owned,
+    const Trace* full_trace, const ClusterSpec& cluster,
+    const PolicySpec& policy, const SimOptions& options) {
   SPES_RETURN_NOT_OK(ValidateClusterSpec(cluster));
   SPES_RETURN_NOT_OK(ValidateSimOptions(options));
-  const int horizon = trace.num_minutes();
+  const int horizon = source->num_minutes();
   if (options.train_minutes > horizon) {
     return Status::InvalidArgument(
         "SimOptions.train_minutes (=" + std::to_string(options.train_minutes) +
@@ -252,13 +254,23 @@ Result<ClusterSession> ClusterSession::Create(const Trace& trace,
   SPES_ASSIGN_OR_RETURN(std::unique_ptr<Router> router,
                         RouterRegistry::Global().Create(cluster.router));
 
-  ClusterSession session(trace, options, end);
+  // Streamed sources only materialize the train prefix — once, shared by
+  // every node's policy. The in-memory overload keeps handing policies
+  // the real full trace, preserving oracle behaviour bit for bit.
+  Trace train_prefix;
+  if (full_trace == nullptr) {
+    SPES_ASSIGN_OR_RETURN(train_prefix,
+                          source->MaterializePrefix(options.train_minutes));
+  }
+  const Trace& training = full_trace != nullptr ? *full_trace : train_prefix;
+
+  ClusterSession session(source, std::move(owned), options, end);
   session.router_ = std::move(router);
   session.events_ = cluster.events;
 
   // One trained policy per node id — including nodes that only join via
   // an add event, so a joining node is ready the minute it appears.
-  const size_t n = trace.num_functions();
+  const size_t n = source->num_functions();
   size_t total_nodes = static_cast<size_t>(cluster.nodes);
   for (const NodeEvent& event : cluster.events) {
     if (event.kind == NodeEvent::Kind::kAdd) ++total_nodes;
@@ -281,7 +293,13 @@ Result<ClusterSession> ClusterSession::Create(const Trace& trace,
       ++add_index;
     }
     SPES_ASSIGN_OR_RETURN(node.policy, PolicyRegistry::Global().Create(policy));
-    node.policy->Train(trace, options.train_minutes);
+    if (full_trace == nullptr && node.policy->RequiresFullTrace()) {
+      return Status::InvalidArgument(
+          "policy '" + node.policy->name() +
+          "' requires the full realized trace, but a streamed source only "
+          "materializes the train prefix; run it over an in-memory Trace");
+    }
+    node.policy->Train(training, options.train_minutes);
     node.mem = MemSet(n);
     node.accounts.assign(n, FunctionAccount{});
     node.last_used.assign(n, -1);
@@ -290,6 +308,24 @@ Result<ClusterSession> ClusterSession::Create(const Trace& trace,
     session.nodes_.push_back(std::move(node));
   }
   return session;
+}
+
+Result<ClusterSession> ClusterSession::Create(const Trace& trace,
+                                              const ClusterSpec& cluster,
+                                              const PolicySpec& policy,
+                                              const SimOptions& options) {
+  auto owned = std::make_unique<InMemoryTraceSource>(trace);
+  TraceSource* source = owned.get();
+  return CreateImpl(source, std::move(owned), &trace, cluster, policy,
+                    options);
+}
+
+Result<ClusterSession> ClusterSession::Create(TraceSource& source,
+                                              const ClusterSpec& cluster,
+                                              const PolicySpec& policy,
+                                              const SimOptions& options) {
+  return CreateImpl(&source, nullptr, /*full_trace=*/nullptr, cluster, policy,
+                    options);
 }
 
 void ClusterSession::AddObserver(SimObserver* observer) {
@@ -318,7 +354,7 @@ void ClusterSession::ApplyEvents(int t) {
       case NodeEvent::Kind::kFail: {
         Node& node = nodes_[static_cast<size_t>(event.node)];
         node.state = NodeState::kFailed;
-        node.mem = MemSet(trace_->num_functions());  // instances lost
+        node.mem = MemSet(source_->num_functions());  // instances lost
         break;
       }
     }
@@ -362,7 +398,7 @@ void ClusterSession::EnsureStarted() {
   info.start_minute = start_;
   info.end_minute = end_;
   info.num_lanes = nodes_.size();
-  info.num_functions = trace_->num_functions();
+  info.num_functions = source_->num_functions();
   for (SimObserver* observer : observers_) observer->OnStreamStart(info);
 }
 
@@ -374,6 +410,7 @@ Status ClusterSession::StepLocked() {
   // Decode this minute's arrivals ONCE; every node shares the decode. The
   // block-transposing decoder makes this O(arrivals) amortized.
   const std::span<const Invocation> decoded = decoder_.Decode(t);
+  SPES_RETURN_NOT_OK(decoder_.status());
   arrivals_.assign(decoded.begin(), decoded.end());
   ++minutes_decoded_;
 
@@ -408,7 +445,7 @@ Status ClusterSession::StepLocked() {
     if (target < 0) {
       RoutingContext context;
       context.function = f;
-      context.function_name = &trace_->function(f).meta.name;
+      context.function_name = &source_->function_meta(f).name;
       context.previous_node =
           (prev >= 0 &&
            nodes_[static_cast<size_t>(prev)].state == NodeState::kRoutable)
@@ -557,7 +594,7 @@ Result<ClusterOutcome> ClusterSession::Finish() {
   if (!run.ok() && run.code() != StatusCode::kCancelled) return run;
   finished_ = true;
 
-  const size_t n = trace_->num_functions();
+  const size_t n = source_->num_functions();
   const std::string policy_name = nodes_[0].policy->name();
 
   ClusterOutcome outcome;

@@ -42,6 +42,7 @@
 #include "sim/observer.h"
 #include "sim/policy.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace spes {
 
@@ -154,6 +155,17 @@ class ClusterSession {
                                        const PolicySpec& policy,
                                        const SimOptions& options);
 
+  /// \brief Streamed form over any TraceSource (e.g. a packed trace file):
+  /// arrivals are pulled in chunked minute windows instead of from a
+  /// realized Trace. The train prefix is materialized ONCE and shared by
+  /// every node's policy; policies whose RequiresFullTrace() is true are
+  /// rejected with InvalidArgument. The source must outlive the session.
+  /// Outcomes are bitwise-identical to the in-memory overload.
+  static Result<ClusterSession> Create(TraceSource& source,
+                                       const ClusterSpec& cluster,
+                                       const PolicySpec& policy,
+                                       const SimOptions& options);
+
   /// \brief Attaches a per-minute observer (borrowed). Observers see one
   /// MinuteView per *live* node per minute, with MinuteView::lane equal
   /// to the node id; StreamInfo::num_lanes is the total node-id space
@@ -213,7 +225,19 @@ class ClusterSession {
     std::vector<Invocation> arrivals;
   };
 
-  ClusterSession(const Trace& trace, const SimOptions& options, int end);
+  ClusterSession(TraceSource* source, std::unique_ptr<TraceSource> owned,
+                 const SimOptions& options, int end);
+
+  /// Shared body of the Create() overloads. `full_trace` is non-null for
+  /// the in-memory path (policies then train on the real full trace);
+  /// when null, the train prefix is materialized from `source` and
+  /// RequiresFullTrace() policies are rejected.
+  static Result<ClusterSession> CreateImpl(TraceSource* source,
+                                           std::unique_ptr<TraceSource> owned,
+                                           const Trace* full_trace,
+                                           const ClusterSpec& cluster,
+                                           const PolicySpec& policy,
+                                           const SimOptions& options);
 
   [[nodiscard]] bool NodeLive(const Node& node) const {
     return node.state == NodeState::kRoutable ||
@@ -234,7 +258,10 @@ class ClusterSession {
   /// Evicts idle instances in LRU order until `node` fits its capacity.
   void EnforceCapacity(Node* node, int t);
 
-  const Trace* trace_;
+  /// The in-memory adapter when created from a Trace; null for borrowed
+  /// sources. Heap-allocated so source_ stays stable across moves.
+  std::unique_ptr<TraceSource> owned_source_;
+  TraceSource* source_;
   SimOptions options_;
   int start_;
   int end_;

@@ -43,6 +43,31 @@ class BinaryWriter {
     out_.append(bytes);
   }
 
+  /// \name LEB128 varints (canonical form)
+  ///
+  /// Seven payload bits per byte, least-significant group first, high bit
+  /// as the continuation flag. The encoder always emits the minimal form,
+  /// which is what the readers below accept — so varint fields are
+  /// byte-for-byte canonical and a re-encode of parsed data reproduces the
+  /// input exactly. A uint64_t takes at most 10 bytes.
+  /// @{
+  void PutVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    out_.push_back(static_cast<char>(v));
+  }
+  void PutVarU32(uint32_t v) { PutVarU64(v); }
+
+  /// \brief Varint-length-prefixed byte string (compact alternative to
+  /// PutBytes for high-multiplicity records such as trace-file tables).
+  void PutVarBytes(const std::string& bytes) {
+    PutVarU64(bytes.size());
+    out_.append(bytes);
+  }
+  /// @}
+
   [[nodiscard]] const std::string& data() const { return out_; }
   std::string Take() { return std::move(out_); }
 
@@ -101,6 +126,79 @@ class BinaryReader {
     pos_ += static_cast<size_t>(size);
     return bytes;
   }
+
+  /// \name Hardened LEB128 varint decoding
+  ///
+  /// Rejects three classes of hostile input with InvalidArgument: values
+  /// that overflow the target width, encodings longer than the maximal
+  /// 10-byte form (a continuation chain that never terminates in range),
+  /// and non-minimal encodings (a redundant trailing 0x00 group, e.g.
+  /// `80 00` for zero) — so every accepted varint has exactly one byte
+  /// representation and re-encoding reproduces the input.
+  /// @{
+  Result<uint64_t> VarU64() {
+    uint64_t value = 0;
+    for (int shift = 0; shift <= 63; shift += 7) {
+      SPES_ASSIGN_OR_RETURN(const uint8_t byte, U8());
+      const uint64_t group = byte & 0x7f;
+      if (shift == 63 && group > 1) {
+        return Status::InvalidArgument(
+            "corrupt varint: value overflows uint64 at offset " +
+            std::to_string(pos_ - 1));
+      }
+      value |= group << shift;
+      if ((byte & 0x80) == 0) {
+        if (shift > 0 && byte == 0) {
+          return Status::InvalidArgument(
+              "corrupt varint: non-minimal encoding at offset " +
+              std::to_string(pos_ - 1));
+        }
+        return value;
+      }
+    }
+    return Status::InvalidArgument(
+        "corrupt varint: continuation past the 10-byte maximum at offset " +
+        std::to_string(pos_));
+  }
+  Result<uint32_t> VarU32() {
+    SPES_ASSIGN_OR_RETURN(const uint64_t v, VarU64());
+    if (v > UINT32_MAX) {
+      return Status::InvalidArgument(
+          "corrupt varint: value " + std::to_string(v) +
+          " overflows uint32 before offset " + std::to_string(pos_));
+    }
+    return static_cast<uint32_t>(v);
+  }
+
+  /// \brief Varint-length-prefixed byte string (inverse of PutVarBytes),
+  /// with the announced size validated against the bytes remaining before
+  /// any allocation happens.
+  Result<std::string> VarBytes() {
+    SPES_ASSIGN_OR_RETURN(const uint64_t size, VarU64());
+    SPES_RETURN_NOT_OK(Need(size));
+    std::string bytes = in_.substr(pos_, static_cast<size_t>(size));
+    pos_ += static_cast<size_t>(size);
+    return bytes;
+  }
+
+  /// \brief Varint element count validated like Length(): `count` elements
+  /// need at least count * min_element_bytes of the remaining input, with
+  /// the comparison phrased as a division so it cannot overflow.
+  Result<uint64_t> VarLength(uint64_t min_element_bytes) {
+    if (min_element_bytes == 0) {
+      return Status::Internal(
+          "VarLength() requires a positive min_element_bytes");
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t count, VarU64());
+    if (count > (in_.size() - pos_) / min_element_bytes) {
+      return Status::InvalidArgument(
+          "corrupt blob: element count (=" + std::to_string(count) +
+          ") exceeds the remaining " + std::to_string(in_.size() - pos_) +
+          " bytes");
+    }
+    return count;
+  }
+  /// @}
 
   /// \brief A length announced in the blob, validated against the bytes
   /// actually remaining so a corrupt count cannot drive a huge allocation:

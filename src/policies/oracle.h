@@ -30,6 +30,11 @@ class OraclePolicy : public Policy {
   void OnMinute(int t, const std::vector<Invocation>& arrivals,
                 MemSet* mem) override;
 
+  /// \brief The oracle reads minute t+1 of the trace bound at Train(), so
+  /// it cannot run over a streamed source that materializes only the train
+  /// prefix.
+  [[nodiscard]] bool RequiresFullTrace() const override { return true; }
+
   /// \name Checkpointing: the oracle keeps no online-mutable state (its
   /// only member is the trace bound at Train()), so its blob is empty.
   /// @{

@@ -7,53 +7,37 @@
 namespace spes {
 
 ArrivalDecoder::ArrivalDecoder(const Trace& trace, int block_minutes)
-    : trace_(&trace),
+    : owned_(std::make_unique<InMemoryTraceSource>(trace)),
+      source_(owned_.get()),
       // Clamped so a block minute index always fits scatter_minute_'s u16.
       block_minutes_(std::clamp(block_minutes, 1, 65535)) {}
 
+ArrivalDecoder::ArrivalDecoder(TraceSource* source, int block_minutes)
+    : source_(source), block_minutes_(std::clamp(block_minutes, 1, 65535)) {}
+
 std::span<const Invocation> ArrivalDecoder::Decode(int t) {
-  assert(trace_ != nullptr && "ArrivalDecoder used before construction");
-  assert(t >= 0 && t < trace_->num_minutes());
-  if (t < block_start_ || t >= block_end_) DecodeBlock(t);
+  assert(source_ != nullptr && "ArrivalDecoder used before construction");
+  assert(t >= 0 && t < source_->num_minutes());
+  if (!status_.ok()) return {};
+  if (t < block_start_ || t >= block_end_) {
+    // Blocks are aligned to multiples of block_minutes_ so repeated seeks
+    // land on a stable grid — and so file-backed sources with the same
+    // block size serve each decode from exactly one stored block.
+    status_ = DecodeBlock(t - t % block_minutes_);
+    if (!status_.ok()) {
+      block_end_ = block_start_;  // nothing decoded
+      return {};
+    }
+  }
   const std::vector<Invocation>& bucket =
       buckets_[static_cast<size_t>(t - block_start_)];
   return std::span<const Invocation>(bucket.data(), bucket.size());
 }
 
-void ArrivalDecoder::DecodeBlock(int block_start) {
-  const size_t n = trace_->num_functions();
+Status ArrivalDecoder::DecodeBlock(int block_start) {
   block_start_ = block_start;
-  block_end_ = std::min(block_start + block_minutes_, trace_->num_minutes());
-  const size_t len = static_cast<size_t>(block_end_ - block_start_);
-
-  if (rows_.size() != n) {
-    rows_.resize(n);
-    for (size_t f = 0; f < n; ++f) rows_[f] = trace_->function(f).counts.data();
-  }
-
-  // One pass: read each function's block slice exactly once and append its
-  // nonzero entries to the owning minute's bucket. Walking f in ascending
-  // order keeps every bucket sorted by function id, matching the order the
-  // seed's per-minute O(n) scan produced. The rows are contiguous per
-  // function but scattered across the heap — a pattern the hardware
-  // prefetcher resets on at every row — so software-prefetch the next
-  // row's cache lines while scanning the current one.
-  if (buckets_.size() < len) buckets_.resize(len);
-  for (size_t i = 0; i < len; ++i) buckets_[i].clear();
-  constexpr size_t kPrefetchRows = 4;
-  constexpr size_t kLineWords = 16;  // 64-byte line / 4-byte count
-  for (size_t f = 0; f < n; ++f) {
-    if (f + kPrefetchRows < n) {
-      const uint32_t* next = rows_[f + kPrefetchRows] + block_start_;
-      for (size_t i = 0; i < len; i += kLineWords) __builtin_prefetch(next + i);
-    }
-    const uint32_t* counts = rows_[f] + block_start_;
-    for (size_t i = 0; i < len; ++i) {
-      if (counts[i] > 0) {
-        buckets_[i].push_back(Invocation{static_cast<uint32_t>(f), counts[i]});
-      }
-    }
-  }
+  block_end_ = std::min(block_start + block_minutes_, source_->num_minutes());
+  return source_->FillArrivals(block_start_, block_end_, &buckets_);
 }
 
 void LaneColumns::Reset(size_t num_functions) {

@@ -28,48 +28,65 @@
 #define SPES_SIM_COLUMNAR_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/accounting.h"
 #include "sim/memset.h"
 #include "sim/policy.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace spes {
 
-/// \brief Batched minute-major arrival decode over a function-major trace.
+/// \brief Batched minute-major arrival decode over any TraceSource.
 ///
 /// Decode(t) returns minute t's arrivals in ascending function order. The
-/// decoder reads the trace in blocks of `block_minutes`, visiting each
-/// function's count vector once per block (sequential reads), so the
-/// amortized per-minute cost is O(n / block_minutes + arrivals) instead of
-/// the O(n) pointer-chasing scan the seed engine did.
+/// decoder pulls the source in aligned blocks of `block_minutes` (block k
+/// covers minutes [k*block_minutes, (k+1)*block_minutes)), visiting each
+/// function's counts once per block, so the amortized per-minute cost is
+/// O(n / block_minutes + arrivals) instead of the O(n) pointer-chasing
+/// scan the seed engine did. Over an in-memory trace that is the
+/// sequential transpose it always was; over a packed trace file
+/// (trace/trace_file.h) the aligned block grid coincides with the file's
+/// block grid, so each file block is read and decompressed exactly once
+/// per pass.
 class ArrivalDecoder {
  public:
   static constexpr int kDefaultBlockMinutes = 256;
 
   ArrivalDecoder() = default;
+  /// \brief Decodes a realized trace (owns the in-memory adapter).
   explicit ArrivalDecoder(const Trace& trace,
+                          int block_minutes = kDefaultBlockMinutes);
+  /// \brief Decodes a borrowed source, which must outlive the decoder.
+  explicit ArrivalDecoder(TraceSource* source,
                           int block_minutes = kDefaultBlockMinutes);
 
   /// \brief Arrivals of absolute minute `t` (ascending function id). The
   /// span is valid until the next Decode() call. Decoding a minute outside
   /// the current block (any seek, forward or backward) re-aims the block,
-  /// so checkpoint restores just work.
+  /// so checkpoint restores just work. On a source error the span is empty
+  /// and status() reports the failure (and stays failed — engines check it
+  /// once per step).
   std::span<const Invocation> Decode(int t);
 
- private:
-  void DecodeBlock(int block_start);
+  /// \brief OK until a source read/decode fails; sticky thereafter.
+  [[nodiscard]] const Status& status() const { return status_; }
 
-  const Trace* trace_ = nullptr;
+ private:
+  Status DecodeBlock(int block_start);
+
+  /// Set when constructed from a Trace: the adapter the decoder owns. A
+  /// unique_ptr keeps `source_` stable across moves of the decoder.
+  std::unique_ptr<TraceSource> owned_;
+  TraceSource* source_ = nullptr;
+  Status status_;
   int block_minutes_ = kDefaultBlockMinutes;
   int block_start_ = 0;
   int block_end_ = 0;  ///< decoded minutes are [block_start_, block_end_)
-  /// rows_[f] = f's count vector; caching the data pointers turns the
-  /// per-function FunctionTrace chase (struct load -> vector load -> data)
-  /// into independent loads the CPU can overlap across functions.
-  std::vector<const uint32_t*> rows_;
   /// buckets_[i] = arrivals of block minute block_start_ + i, ascending by
   /// function id. Bucket capacity persists across blocks, so after the
   /// first block the transpose reads the trace once and appends without

@@ -16,14 +16,9 @@
 #include "common/status.h"
 #include "sim/memset.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"  // Invocation lives with the trace sources
 
 namespace spes {
-
-/// \brief One function's arrivals within a single minute.
-struct Invocation {
-  uint32_t function = 0;  ///< index into the trace's function list
-  uint32_t count = 0;     ///< number of arrivals in this minute (>= 1)
-};
 
 /// \brief Interface implemented by every provisioning strategy.
 class Policy {
@@ -56,6 +51,14 @@ class Policy {
   /// that produced the blob; it only needs to reinstate online-mutable
   /// state. The default implementation opts out.
   /// @{
+  /// \brief True when the policy retains a pointer into the trained trace
+  /// and reads minutes beyond the train window at OnMinute() time (the
+  /// oracle does). The streamed entry points — SimStream/ClusterSession
+  /// over a TraceSource — materialize only the train prefix, so they
+  /// reject such policies with InvalidArgument instead of silently feeding
+  /// them a horizon that ends at the train boundary.
+  [[nodiscard]] virtual bool RequiresFullTrace() const { return false; }
+
   [[nodiscard]] virtual bool SupportsCheckpoint() const { return false; }
   [[nodiscard]] virtual Result<std::string> SaveState() const {
     return Status::NotImplemented("policy '" + name() +

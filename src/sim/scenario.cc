@@ -1,8 +1,11 @@
 #include "sim/scenario.h"
 
+#include <cstdio>
+#include <filesystem>
 #include <utility>
 
 #include "trace/azure_csv.h"
+#include "trace/trace_file.h"
 
 namespace spes {
 
@@ -26,7 +29,22 @@ std::string GeneratorFingerprint(const GeneratorConfig& config) {
          ",chain_follow_probability=" + d(config.chain_follow_probability) +
          ",chain_max_lag=" + std::to_string(config.chain_max_lag) +
          ",intensity_zipf_exponent=" + d(config.intensity_zipf_exponent) +
-         "}";
+         ",rare_fraction=" + d(config.rare_fraction) + "}";
+}
+
+/// Stable file name for a packed trace: FNV-1a 64 over the spec key, hex,
+/// with a format-identifying extension. The key is the full fingerprint,
+/// so distinct specs land in distinct files.
+std::string PackedFileName(const std::string& key) {
+  uint64_t hash = 14695981039346656037ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(hex) + ".spt";
 }
 
 }  // namespace
@@ -42,6 +60,9 @@ std::string TraceSpecKey(const TraceSpec& spec) {
       break;
     case TraceSpec::Source::kAzureCsvDir:
       key = "csv{dir=" + spec.csv_dir + "}";
+      break;
+    case TraceSpec::Source::kTraceFile:
+      key = "trace_file{path=" + spec.trace_file + "}";
       break;
   }
   if (!spec.transforms.empty()) {
@@ -79,6 +100,13 @@ Result<Trace> RealizeTrace(const TraceSpec& spec) {
               "TraceSpec.csv_dir must not be empty for Source::kAzureCsvDir");
         }
         return ReadAzureTraceDir(spec.csv_dir);
+      case TraceSpec::Source::kTraceFile:
+        if (spec.trace_file.empty()) {
+          return Status::InvalidArgument(
+              "TraceSpec.trace_file must not be empty for "
+              "Source::kTraceFile");
+        }
+        return ReadTraceFile(spec.trace_file);
     }
     return Status::Internal("unhandled TraceSpec::Source");
   }();
@@ -226,6 +254,42 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec) {
   return RunValidated(trace, spec);
 }
 
+Result<ScenarioOutcome> RunScenarioStreamed(TraceSource& source,
+                                            const ScenarioSpec& spec) {
+  SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  if (!spec.trace.transforms.empty()) {
+    return Status::InvalidArgument(
+        "streamed scenarios cannot apply transform chains (transforms need "
+        "a realized trace); pack the transformed workload instead — a "
+        "TraceCache with a pack directory applies transforms before "
+        "packing");
+  }
+  if (spec.cluster.has_value()) {
+    SPES_ASSIGN_OR_RETURN(ClusterSession session,
+                          ClusterSession::Create(source, *spec.cluster,
+                                                 spec.policy, spec.options));
+    for (SimObserver* observer : spec.observers) {
+      session.AddObserver(observer);
+    }
+    SPES_ASSIGN_OR_RETURN(ClusterOutcome cluster, session.Finish());
+    ScenarioOutcome result;
+    result.outcome = cluster.fleet;  // per-node detail keeps its own copy
+    result.cluster =
+        std::make_shared<const ClusterOutcome>(std::move(cluster));
+    return result;
+  }
+  SPES_ASSIGN_OR_RETURN(std::unique_ptr<Policy> policy,
+                        PolicyRegistry::Global().Create(spec.policy));
+  SPES_ASSIGN_OR_RETURN(SimStream stream,
+                        SimStream::Create(source, policy.get(), spec.options));
+  for (SimObserver* observer : spec.observers) stream.AddObserver(observer);
+  SPES_ASSIGN_OR_RETURN(SimulationOutcome outcome, stream.Finish());
+  ScenarioOutcome result;
+  result.outcome = std::move(outcome);
+  result.policy = std::move(policy);
+  return result;
+}
+
 Result<ScenarioStream> OpenScenario(const Trace& trace,
                                     const ScenarioSpec& spec) {
   SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
@@ -248,10 +312,73 @@ Result<std::shared_ptr<const Trace>> TraceCache::Get(const TraceSpec& spec) {
   // distinct keys should not serialize on each other. A racing double
   // realization of the same key is benign (both are bitwise identical;
   // the first insert wins).
-  SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(spec));
+  Trace trace;
+  if (!pack_dir_.empty() && spec.source != TraceSpec::Source::kProvided) {
+    // Disk tier: realize + pack once (or reuse a pack an earlier run left
+    // behind), then load the packed bytes. The pack round-trips the trace
+    // bit for bit, so callers cannot tell the tiers apart.
+    SPES_ASSIGN_OR_RETURN(const std::string path, EnsurePacked(spec));
+    SPES_ASSIGN_OR_RETURN(trace, ReadTraceFile(path));
+  } else {
+    SPES_ASSIGN_OR_RETURN(trace, RealizeTrace(spec));
+  }
   auto shared = std::make_shared<const Trace>(std::move(trace));
   std::lock_guard<std::mutex> lock(mu_);
   return by_key_.emplace(key, std::move(shared)).first->second;
+}
+
+Result<std::string> TraceCache::EnsurePacked(const TraceSpec& spec) {
+  if (pack_dir_.empty()) {
+    return Status::InvalidArgument(
+        "TraceCache has no disk tier; construct it with a pack directory "
+        "to pack traces");
+  }
+  const std::string key = TraceSpecKey(spec);
+  // One packer at a time: concurrent misses on the same spec must realize
+  // it once, and realization is far more expensive than the serialization.
+  std::lock_guard<std::mutex> lock(pack_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(pack_dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create trace pack directory '" +
+                           pack_dir_ + "': " + ec.message());
+  }
+  const std::string path =
+      (std::filesystem::path(pack_dir_) / PackedFileName(key)).string();
+  if (std::filesystem::exists(path, ec)) return path;
+  SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(spec));
+  // Write to a temp name and rename into place, so a concurrent reader
+  // (another process sharing the directory) never sees a partial pack.
+  const std::string tmp = path + ".tmp";
+  SPES_ASSIGN_OR_RETURN(const TraceFileStats stats,
+                        WriteTraceFile(trace, tmp));
+  (void)stats;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("cannot move packed trace into place at '" +
+                           path + "': " + ec.message());
+  }
+  return path;
+}
+
+Result<std::unique_ptr<TraceSource>> TraceCache::OpenStream(
+    const TraceSpec& spec) {
+  // A trace-file spec with no transforms already IS the packed form.
+  if (spec.source == TraceSpec::Source::kTraceFile &&
+      spec.transforms.empty()) {
+    SPES_ASSIGN_OR_RETURN(std::unique_ptr<TraceFileSource> source,
+                          OpenTraceFile(spec.trace_file));
+    return std::unique_ptr<TraceSource>(std::move(source));
+  }
+  if (spec.source == TraceSpec::Source::kProvided) {
+    return Status::InvalidArgument(
+        "TraceSpec.source is kProvided (no materializable source); streams "
+        "only serve realizable specs");
+  }
+  SPES_ASSIGN_OR_RETURN(const std::string path, EnsurePacked(spec));
+  SPES_ASSIGN_OR_RETURN(std::unique_ptr<TraceFileSource> source,
+                        OpenTraceFile(path));
+  return std::unique_ptr<TraceSource>(std::move(source));
 }
 
 size_t TraceCache::size() const {

@@ -46,11 +46,16 @@ struct TraceSpec {
     kGenerator,
     /// Parsed from Azure-format daily CSVs under `csv_dir`.
     kAzureCsvDir,
+    /// Read from a packed binary trace file (trace/trace_file.h) at
+    /// `trace_file`. RealizeTrace() loads it fully; TraceCache::OpenStream
+    /// serves it as a chunk-streamed source without materializing.
+    kTraceFile,
   };
 
   Source source = Source::kProvided;
   GeneratorConfig generator;
   std::string csv_dir;
+  std::string trace_file;
 
   /// Transform chain applied, in order, after the source is realized
   /// (trace/transform.h). Empty means the raw source trace.
@@ -78,6 +83,14 @@ struct TraceSpec {
     TraceSpec spec;
     spec.source = Source::kAzureCsvDir;
     spec.csv_dir = std::move(dir);
+    return spec;
+  }
+
+  /// \brief A packed-trace-file-backed spec (no transforms).
+  static TraceSpec FromTraceFile(std::string path) {
+    TraceSpec spec;
+    spec.source = Source::kTraceFile;
+    spec.trace_file = std::move(path);
     return spec;
   }
 };
@@ -140,6 +153,16 @@ Result<ScenarioOutcome> RunScenario(const Trace& trace,
 /// its transform chain, then runs as above.
 Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec);
 
+/// \brief Runs `spec` against a chunk-streamed source (the spec's trace
+/// source is ignored; e.g. a TraceFileSource over a packed trace that
+/// would not fit in memory). The spec must not carry transforms —
+/// transforms need a realized trace; pack the transformed workload
+/// instead (a TraceCache with a pack directory does exactly that).
+/// Cluster specs drive a ClusterSession over the source. Outcomes are
+/// bitwise-identical to running the realized trace in memory.
+Result<ScenarioOutcome> RunScenarioStreamed(TraceSource& source,
+                                            const ScenarioSpec& spec);
+
 /// \brief An open, incrementally drivable scenario: the registry-built
 /// policy plus the SimStream over it, with the spec's observers already
 /// attached. Move-only; the trace must outlive it.
@@ -175,16 +198,47 @@ Result<std::vector<ScenarioOutcome>> RunLockstep(
 /// per variant, not once per spec.
 class TraceCache {
  public:
+  /// \brief Purely in-memory cache (the original behaviour).
+  TraceCache() = default;
+
+  /// \brief Adds a disk tier: realized traces are packed once into
+  /// `pack_dir` (created on demand) as binary trace files named by the
+  /// TraceSpecKey fingerprint, so later misses — in this process or any
+  /// other pointed at the same directory — reopen the packed file instead
+  /// of re-realizing the source ("realize once, reopen many").
+  /// OpenStream() additionally hands out chunk-streamed sources over the
+  /// packed files without materializing the trace at all.
+  explicit TraceCache(std::string pack_dir) : pack_dir_(std::move(pack_dir)) {}
+
   /// \brief The realized trace for `spec`, materializing on first use.
-  /// Source::kProvided yields InvalidArgument (nothing to realize).
+  /// Source::kProvided yields InvalidArgument (nothing to realize). With
+  /// a disk tier, a miss realizes + packs the spec, then loads the packed
+  /// file (or just loads it, if an earlier run left it behind).
   Result<std::shared_ptr<const Trace>> Get(const TraceSpec& spec);
 
-  /// \brief Number of distinct realized traces held.
+  /// \brief A chunk-streamed TraceSource for `spec`. A kTraceFile spec
+  /// without transforms opens its file directly; everything else needs
+  /// the disk tier (InvalidArgument without one): the spec is realized
+  /// and packed once — transform chains are applied *before* packing, so
+  /// the stream serves the transformed workload — and every call opens a
+  /// fresh handle over the packed file.
+  Result<std::unique_ptr<TraceSource>> OpenStream(const TraceSpec& spec);
+
+  /// \brief Packs `spec` into the disk tier and returns the packed file's
+  /// path (realizing only when the file does not exist yet). Requires a
+  /// disk tier.
+  Result<std::string> EnsurePacked(const TraceSpec& spec);
+
+  /// \brief Number of distinct realized traces held in memory.
   [[nodiscard]] size_t size() const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Trace>> by_key_;
+  /// Disk tier root; empty = memory only. pack_mu_ serializes packing so
+  /// concurrent misses on one spec realize it exactly once.
+  std::string pack_dir_;
+  std::mutex pack_mu_;
 };
 
 /// \brief A realized workload that many scenarios run against. Opening a

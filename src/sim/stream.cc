@@ -14,24 +14,8 @@ namespace {
 constexpr char kCheckpointMagic[] = "SPESCKPT";
 constexpr uint32_t kCheckpointVersion = 1;
 
-}  // namespace
-
-SimStream::SimStream(const Trace& trace, const SimOptions& options, int end)
-    : trace_(&trace),
-      options_(options),
-      start_(options.train_minutes),
-      end_(end),
-      cursor_(options.train_minutes),
-      decoder_(trace) {}
-
-Result<SimStream> SimStream::Create(const Trace& trace, Policy* policy,
-                                    const SimOptions& options) {
-  return Create(trace, std::vector<Policy*>{policy}, options);
-}
-
-Result<SimStream> SimStream::Create(const Trace& trace,
-                                    std::vector<Policy*> policies,
-                                    const SimOptions& options) {
+/// Shared lane validation of the Create() overloads.
+Status ValidateStreamPolicies(const std::vector<Policy*>& policies) {
   if (policies.empty()) {
     return Status::InvalidArgument("a SimStream needs at least one policy");
   }
@@ -51,8 +35,12 @@ Result<SimStream> SimStream::Create(const Trace& trace,
       }
     }
   }
+  return Status::OK();
+}
+
+/// Validates the options against `horizon` and resolves the end minute.
+Result<int> ResolveStreamWindow(int horizon, const SimOptions& options) {
   SPES_RETURN_NOT_OK(ValidateSimOptions(options));
-  const int horizon = trace.num_minutes();
   if (options.train_minutes > horizon) {
     return Status::InvalidArgument(
         "SimOptions.train_minutes (=" + std::to_string(options.train_minutes) +
@@ -61,15 +49,85 @@ Result<SimStream> SimStream::Create(const Trace& trace,
   }
   // end_minute == 0 means the trace horizon; a larger request clamps to it
   // (a policy cannot be replayed past the recorded trace).
-  const int end = options.end_minute > 0
-                      ? std::min(options.end_minute, horizon)
-                      : horizon;
+  return options.end_minute > 0 ? std::min(options.end_minute, horizon)
+                                : horizon;
+}
 
-  SimStream stream(trace, options, end);
+}  // namespace
+
+SimStream::SimStream(TraceSource* source, std::unique_ptr<TraceSource> owned,
+                     const SimOptions& options, int end)
+    : owned_source_(std::move(owned)),
+      source_(source),
+      options_(options),
+      start_(options.train_minutes),
+      end_(end),
+      cursor_(options.train_minutes),
+      decoder_(source) {}
+
+Result<SimStream> SimStream::Create(const Trace& trace, Policy* policy,
+                                    const SimOptions& options) {
+  return Create(trace, std::vector<Policy*>{policy}, options);
+}
+
+Result<SimStream> SimStream::Create(TraceSource& source, Policy* policy,
+                                    const SimOptions& options) {
+  return Create(source, std::vector<Policy*>{policy}, options);
+}
+
+Result<SimStream> SimStream::Create(const Trace& trace,
+                                    std::vector<Policy*> policies,
+                                    const SimOptions& options) {
+  SPES_RETURN_NOT_OK(ValidateStreamPolicies(policies));
+  SPES_ASSIGN_OR_RETURN(const int end,
+                        ResolveStreamWindow(trace.num_minutes(), options));
+
+  auto owned = std::make_unique<InMemoryTraceSource>(trace);
+  TraceSource* source = owned.get();
+  SimStream stream(source, std::move(owned), options, end);
   const size_t n = trace.num_functions();
   stream.lanes_.reserve(policies.size());
   for (Policy* policy : policies) {
+    // In-memory streams train on the real full trace, so policies that
+    // peek past the train window (the oracle) keep their exact behaviour.
     policy->Train(trace, options.train_minutes);
+    Lane lane;
+    lane.policy = policy;
+    lane.mem = MemSet(n);
+    lane.cols.Reset(n);
+    lane.memory_series.reserve(static_cast<size_t>(end -
+                                                   options.train_minutes));
+    stream.lanes_.push_back(std::move(lane));
+  }
+  return stream;
+}
+
+Result<SimStream> SimStream::Create(TraceSource& source,
+                                    std::vector<Policy*> policies,
+                                    const SimOptions& options) {
+  SPES_RETURN_NOT_OK(ValidateStreamPolicies(policies));
+  for (size_t i = 0; i < policies.size(); ++i) {
+    if (policies[i]->RequiresFullTrace()) {
+      return Status::InvalidArgument(
+          "policy '" + policies[i]->name() + "'" +
+          (policies.size() == 1 ? std::string()
+                                : " (lane " + std::to_string(i) + ")") +
+          " requires the full realized trace, but a streamed source only "
+          "materializes the train prefix; run it over an in-memory Trace");
+    }
+  }
+  SPES_ASSIGN_OR_RETURN(const int end,
+                        ResolveStreamWindow(source.num_minutes(), options));
+  // Policies train on a materialized prefix — exactly the minutes the
+  // Train() contract allows them to observe — shared across lanes.
+  SPES_ASSIGN_OR_RETURN(const Trace train_prefix,
+                        source.MaterializePrefix(options.train_minutes));
+
+  SimStream stream(&source, nullptr, options, end);
+  const size_t n = source.num_functions();
+  stream.lanes_.reserve(policies.size());
+  for (Policy* policy : policies) {
+    policy->Train(train_prefix, options.train_minutes);
     Lane lane;
     lane.policy = policy;
     lane.mem = MemSet(n);
@@ -85,13 +143,16 @@ void SimStream::AddObserver(SimObserver* observer) {
   if (observer != nullptr) observers_.push_back(observer);
 }
 
-void SimStream::StepLocked() {
+Status SimStream::StepLocked() {
   const int t = cursor_;
 
   // Decode this minute's arrivals ONCE; every lane shares the decode. The
   // decoder transposes a whole block of minutes at a time, so this is
   // O(arrivals) amortized; the copy feeds the vector-taking Policy API.
+  // A failed decode (corrupt/vanished disk block) aborts the step before
+  // any lane state changes, so the cursor stays consistent.
   const std::span<const Invocation> decoded = decoder_.Decode(t);
+  SPES_RETURN_NOT_OK(decoder_.status());
   arrivals_.assign(decoded.begin(), decoded.end());
   ++minutes_decoded_;
 
@@ -161,6 +222,7 @@ void SimStream::StepLocked() {
 
   ++cursor_;
   if (stop_requested) stopped_ = true;
+  return Status::OK();
 }
 
 Status SimStream::Step() {
@@ -178,8 +240,7 @@ Status SimStream::Step() {
         ") reached end_minute (=" + std::to_string(end_) + ")");
   }
   EnsureStarted();
-  StepLocked();
-  return Status::OK();
+  return StepLocked();
 }
 
 void SimStream::EnsureStarted() {
@@ -190,7 +251,7 @@ void SimStream::EnsureStarted() {
   info.start_minute = start_;
   info.end_minute = end_;
   info.num_lanes = lanes_.size();
-  info.num_functions = trace_->num_functions();
+  info.num_functions = source_->num_functions();
   for (SimObserver* observer : observers_) observer->OnStreamStart(info);
 }
 
@@ -279,7 +340,7 @@ Result<SimCheckpoint> SimStream::Checkpoint() const {
   checkpoint.train_minutes = options_.train_minutes;
   checkpoint.end_minute = end_;
   checkpoint.pin_executing_functions = options_.pin_executing_functions;
-  checkpoint.num_functions = trace_->num_functions();
+  checkpoint.num_functions = source_->num_functions();
   checkpoint.stopped = stopped_;
   checkpoint.lanes.reserve(lanes_.size());
   for (const Lane& lane : lanes_) {
@@ -300,7 +361,7 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
   if (finished_) {
     return Status::OutOfRange("cannot Restore a stream consumed by Finish()");
   }
-  const size_t n = trace_->num_functions();
+  const size_t n = source_->num_functions();
   if (checkpoint.num_functions != n) {
     return Status::InvalidArgument(
         "checkpoint num_functions (=" +

@@ -25,6 +25,7 @@
 #define SPES_SIM_STREAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "sim/observer.h"
 #include "sim/policy.h"
 #include "trace/trace.h"
+#include "trace/trace_source.h"
 
 namespace spes {
 
@@ -87,6 +89,20 @@ class SimStream {
   /// shared arrival decode per minute. Lanes must be distinct, non-null
   /// policy instances (each lane owns its MemSet and counters).
   static Result<SimStream> Create(const Trace& trace,
+                                  std::vector<Policy*> policies,
+                                  const SimOptions& options);
+
+  /// \brief Streamed single-policy stream over any TraceSource (e.g. a
+  /// packed trace file): arrivals are pulled in chunked minute windows, so
+  /// the full trace never needs to exist in memory. The policy trains on
+  /// the materialized train prefix; policies whose RequiresFullTrace() is
+  /// true are rejected with InvalidArgument. The source must outlive the
+  /// stream. Outcomes are bitwise-identical to the in-memory overloads.
+  static Result<SimStream> Create(TraceSource& source, Policy* policy,
+                                  const SimOptions& options);
+
+  /// \brief Streamed lockstep form; see the TraceSource overload above.
+  static Result<SimStream> Create(TraceSource& source,
                                   std::vector<Policy*> policies,
                                   const SimOptions& options);
 
@@ -172,15 +188,21 @@ class SimStream {
     std::vector<FunctionAccount> scratch_accounts;
   };
 
-  SimStream(const Trace& trace, const SimOptions& options, int end);
+  SimStream(TraceSource* source, std::unique_ptr<TraceSource> owned,
+            const SimOptions& options, int end);
 
   /// Delivers OnStreamStart exactly once, before any other callback.
   void EnsureStarted();
 
   /// One simulated minute for every lane over a single arrival decode.
-  void StepLocked();
+  /// Fails (without advancing the cursor) when the source fails mid-run —
+  /// only possible for disk-backed sources.
+  Status StepLocked();
 
-  const Trace* trace_;
+  /// The in-memory adapter when created from a Trace; null for borrowed
+  /// sources. Heap-allocated so source_ stays stable across moves.
+  std::unique_ptr<TraceSource> owned_source_;
+  TraceSource* source_;
   SimOptions options_;
   int start_;
   int end_;

@@ -320,7 +320,8 @@ void SynthKind(Rng* rng, PatternKind kind, double intensity,
 
 }  // namespace
 
-Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config) {
+Status GenerateTraceStreamed(const GeneratorConfig& config,
+                             const GeneratedFunctionSink& sink) {
   if (config.num_functions <= 0) {
     return Status::InvalidArgument("num_functions must be positive");
   }
@@ -330,9 +331,8 @@ Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config) {
   const int horizon = config.days * kMinutesPerDay;
   Rng rng(config.seed);
 
-  GeneratedTrace out;
-  out.trace = Trace(horizon);
-  out.truth.reserve(static_cast<size_t>(config.num_functions));
+  /// Functions emitted so far == the index the next function will get.
+  int64_t emitted = 0;
 
   // --- Carve the fleet into owners and applications. -----------------------
   struct AppPlan {
@@ -466,15 +466,29 @@ Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config) {
         }
 
         if (app.is_chain && k == 0) {
-          driver_index = static_cast<int64_t>(out.trace.num_functions());
+          driver_index = emitted;
           driver_counts = f.counts;
         }
       }
 
-      SPES_RETURN_NOT_OK(out.trace.Add(std::move(f)));
-      out.truth.push_back(truth);
+      SPES_RETURN_NOT_OK(sink(std::move(f), truth));
+      ++emitted;
     }
   }
+  return Status::OK();
+}
+
+Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config) {
+  GeneratedTrace out;
+  out.trace = Trace(config.days * kMinutesPerDay);
+  out.truth.reserve(static_cast<size_t>(
+      std::max(config.num_functions, 0)));
+  SPES_RETURN_NOT_OK(GenerateTraceStreamed(
+      config, [&out](FunctionTrace&& f, const GroundTruth& truth) -> Status {
+        SPES_RETURN_NOT_OK(out.trace.Add(std::move(f)));
+        out.truth.push_back(truth);
+        return Status::OK();
+      }));
   return out;
 }
 

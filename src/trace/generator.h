@@ -24,6 +24,7 @@
 #define SPES_TRACE_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -123,6 +124,21 @@ struct GeneratedTrace {
 ///
 /// Deterministic: equal configs yield bit-identical traces.
 Result<GeneratedTrace> GenerateTrace(const GeneratorConfig& config);
+
+/// \brief Receives one synthesized function (its counts span the full
+/// horizon) plus its ground truth. Returning an error aborts generation.
+using GeneratedFunctionSink =
+    std::function<Status(FunctionTrace&&, const GroundTruth&)>;
+
+/// \brief Sink-based generator: each function is handed to `sink` in
+/// fleet order and then dropped, so an Azure-scale fleet can be packed
+/// straight to disk (trace/trace_file.h) without the full trace ever
+/// existing in memory. The RNG schedule is shared with GenerateTrace —
+/// that function is literally this one with an accumulate-into-Trace
+/// sink — so equal configs yield bit-identical functions through either
+/// entry point.
+Status GenerateTraceStreamed(const GeneratorConfig& config,
+                             const GeneratedFunctionSink& sink);
 
 /// \name Archetype synthesizers (exposed for unit tests).
 /// Each fills `counts` (pre-sized to the horizon) from slot `begin` on.

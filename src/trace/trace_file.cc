@@ -1,0 +1,775 @@
+#include "trace/trace_file.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace spes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Format constants. The header is 72 fixed little-endian bytes:
+//   0   8  magic "SPESTRCF"
+//   8   4  format version (=1)
+//  12   4  flags (bit0: writer had compression enabled; others reserved)
+//  16   4  num_minutes        (>= 1, <= INT32_MAX)
+//  20   4  block_minutes      (in [1, 65535])
+//  24   8  num_functions      (<= UINT32_MAX)
+//  32   8  total_invocations  (must equal the function-table sum)
+//  40   8  function table offset (= 72)
+//  48   8  block index offset
+//  56   8  blocks offset
+//  64   8  file size
+// ---------------------------------------------------------------------------
+constexpr char kMagic[8] = {'S', 'P', 'E', 'S', 'T', 'R', 'C', 'F'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFlagCompression = 1u;
+constexpr uint64_t kHeaderBytes = 72;
+constexpr uint64_t kIndexEntryBytes = 17;  // u64 + u32 + u32 + u8
+/// Hard cap on a decoded block's payload so a hostile index entry cannot
+/// drive a multi-gigabyte allocation. 2^28 bytes comfortably fits any
+/// legitimate block (even 1M functions x 256 minutes of sparse events).
+constexpr uint32_t kMaxBlockRawBytes = 1u << 28;
+constexpr uint8_t kCodecRaw = 0;
+constexpr uint8_t kCodecLz = 1;
+
+// ---------------------------------------------------------------------------
+// Per-block LZ codec, LZ4-block-style: a sequence is a token byte (high
+// nibble = literal run, low nibble = match length - 4, each extended by
+// 255-runs when saturated), the literal bytes, then a u16le match distance.
+// The final sequence is literals-only (the stream simply ends after them).
+// Self-contained so the file format has zero external dependencies; the
+// decoder is fully bounds-checked and must reproduce exactly `raw_len`
+// bytes.
+// ---------------------------------------------------------------------------
+constexpr size_t kLzMinMatch = 4;
+constexpr size_t kLzMaxDistance = 65535;
+/// The last bytes of a block are always emitted as literals, so the match
+/// extension loop never reads past the input.
+constexpr size_t kLzTailLiterals = 5;
+constexpr uint32_t kLzHashSize = 1u << 13;
+
+uint32_t LzLoad32(const char* p) {
+  // Explicit little-endian load: the compressed bytes are byte-for-byte
+  // identical across hosts, keeping packed files deterministic everywhere.
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24);
+}
+
+uint32_t LzHash(const char* p) {
+  return (LzLoad32(p) * 2654435761u) >> (32 - 13);
+}
+
+void LzPutRun(size_t rest, std::string* out) {
+  while (rest >= 255) {
+    out->push_back(static_cast<char>(255));
+    rest -= 255;
+  }
+  out->push_back(static_cast<char>(rest));
+}
+
+std::string LzCompress(const std::string& in) {
+  std::string out;
+  const size_t n = in.size();
+  size_t anchor = 0;
+
+  auto emit = [&](size_t lit_end, size_t match_len, size_t distance) {
+    const size_t lit = lit_end - anchor;
+    const size_t match_extra = match_len == 0 ? 0 : match_len - kLzMinMatch;
+    uint8_t token =
+        static_cast<uint8_t>(std::min<size_t>(lit, 15) << 4);
+    if (match_len != 0) {
+      token |= static_cast<uint8_t>(std::min<size_t>(match_extra, 15));
+    }
+    out.push_back(static_cast<char>(token));
+    if (lit >= 15) LzPutRun(lit - 15, &out);
+    out.append(in, anchor, lit);
+    if (match_len != 0) {
+      out.push_back(static_cast<char>(distance & 0xff));
+      out.push_back(static_cast<char>(distance >> 8));
+      if (match_extra >= 15) LzPutRun(match_extra - 15, &out);
+    }
+  };
+
+  if (n > kLzMinMatch + kLzTailLiterals) {
+    std::vector<int64_t> table(kLzHashSize, -1);
+    const size_t limit = n - kLzTailLiterals;
+    size_t i = 0;
+    while (i + kLzMinMatch <= limit) {
+      const uint32_t h = LzHash(in.data() + i);
+      const int64_t cand = table[h];
+      table[h] = static_cast<int64_t>(i);
+      if (cand >= 0 && i - static_cast<size_t>(cand) <= kLzMaxDistance &&
+          LzLoad32(in.data() + cand) == LzLoad32(in.data() + i)) {
+        size_t len = kLzMinMatch;
+        while (i + len < limit &&
+               in[static_cast<size_t>(cand) + len] == in[i + len]) {
+          ++len;
+        }
+        emit(i, len, i - static_cast<size_t>(cand));
+        i += len;
+        anchor = i;
+      } else {
+        ++i;
+      }
+    }
+  }
+  emit(n, 0, 0);
+  return out;
+}
+
+Status LzDecompress(const std::string& in, size_t raw_len, std::string* out) {
+  out->clear();
+  out->reserve(raw_len);
+  const size_t n = in.size();
+  size_t pos = 0;
+
+  auto run = [&](uint64_t base) -> Result<uint64_t> {
+    uint64_t value = base;
+    uint8_t byte = 0;
+    do {
+      if (pos >= n) {
+        return Status::InvalidArgument(
+            "LZ block: truncated run-length extension");
+      }
+      byte = static_cast<uint8_t>(in[pos++]);
+      // At most one extension byte per input byte, so `value` is bounded
+      // by 15 + 255 * in.size() and cannot overflow uint64.
+      value += byte;
+    } while (byte == 255);
+    return value;
+  };
+
+  while (pos < n) {
+    const uint8_t token = static_cast<uint8_t>(in[pos++]);
+    uint64_t lit = token >> 4;
+    if (lit == 15) {
+      SPES_ASSIGN_OR_RETURN(lit, run(15));
+    }
+    if (lit > n - pos) {
+      return Status::InvalidArgument(
+          "LZ block: literal run past the stored bytes");
+    }
+    if (lit > raw_len - out->size()) {
+      return Status::InvalidArgument(
+          "LZ block: literal run past the declared raw size");
+    }
+    out->append(in, pos, static_cast<size_t>(lit));
+    pos += static_cast<size_t>(lit);
+    if (pos == n) break;  // final, literals-only sequence
+    if (n - pos < 2) {
+      return Status::InvalidArgument("LZ block: truncated match distance");
+    }
+    const size_t distance =
+        static_cast<size_t>(static_cast<uint8_t>(in[pos])) |
+        (static_cast<size_t>(static_cast<uint8_t>(in[pos + 1])) << 8);
+    pos += 2;
+    if (distance == 0 || distance > out->size()) {
+      return Status::InvalidArgument(
+          "LZ block: match distance outside the decoded prefix");
+    }
+    uint64_t match_len = (token & 0xf) + kLzMinMatch;
+    if ((token & 0xf) == 15) {
+      SPES_ASSIGN_OR_RETURN(match_len, run(match_len));
+    }
+    if (match_len > raw_len - out->size()) {
+      return Status::InvalidArgument(
+          "LZ block: match run past the declared raw size");
+    }
+    // Byte-at-a-time so overlapping matches (distance < length) replicate,
+    // exactly like the reference LZ4 semantics.
+    size_t src = out->size() - distance;
+    for (uint64_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[src + static_cast<size_t>(k)]);
+    }
+  }
+  if (out->size() != raw_len) {
+    return Status::InvalidArgument(
+        "LZ block: decoded " + std::to_string(out->size()) +
+        " bytes, index declared " + std::to_string(raw_len));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(int num_minutes,
+                                 const TraceFileOptions& options)
+    : options_(options),
+      num_minutes_(num_minutes),
+      num_blocks_((num_minutes + options.block_minutes - 1) /
+                  options.block_minutes) {
+  block_payloads_.resize(static_cast<size_t>(num_blocks_));
+}
+
+Result<TraceFileWriter> TraceFileWriter::Create(int num_minutes,
+                                                TraceFileOptions options) {
+  if (num_minutes <= 0) {
+    return Status::InvalidArgument(
+        "trace file requires a positive horizon, got " +
+        std::to_string(num_minutes) + " minutes");
+  }
+  if (options.block_minutes < 1 || options.block_minutes > 65535) {
+    return Status::InvalidArgument(
+        "trace file block_minutes must be in [1, 65535], got " +
+        std::to_string(options.block_minutes));
+  }
+  return TraceFileWriter(num_minutes, options);
+}
+
+Status TraceFileWriter::Add(const FunctionMeta& meta,
+                            std::span<const uint32_t> counts) {
+  if (counts.size() != static_cast<size_t>(num_minutes_)) {
+    return Status::InvalidArgument(
+        "function '" + meta.name + "' has " + std::to_string(counts.size()) +
+        " count minutes, writer horizon is " + std::to_string(num_minutes_));
+  }
+  if (num_functions_ == UINT32_MAX) {
+    return Status::InvalidArgument(
+        "trace file function count exceeds the uint32 index space");
+  }
+
+  uint64_t total = 0;
+  for (const uint32_t c : counts) total += c;
+  total_invocations_ += total;
+
+  table_.PutVarBytes(meta.owner);
+  table_.PutVarBytes(meta.app);
+  table_.PutVarBytes(meta.name);
+  table_.PutU8(static_cast<uint8_t>(meta.trigger));
+  table_.PutVarU64(total);
+
+  // Per block: varint event count, then (minute delta, count) varint pairs.
+  // The first delta is relative to the block start (>= 0), subsequent
+  // deltas are strictly positive — the canonical form the reader enforces.
+  const int bm = options_.block_minutes;
+  for (int b = 0; b < num_blocks_; ++b) {
+    const int begin = b * bm;
+    const int end = std::min(begin + bm, num_minutes_);
+    BinaryWriter& block = block_payloads_[static_cast<size_t>(b)];
+    uint32_t events = 0;
+    for (int t = begin; t < end; ++t) {
+      if (counts[static_cast<size_t>(t)] > 0) ++events;
+    }
+    block.PutVarU32(events);
+    int prev = -1;
+    for (int t = begin; t < end; ++t) {
+      const uint32_t c = counts[static_cast<size_t>(t)];
+      if (c == 0) continue;
+      block.PutVarU32(static_cast<uint32_t>(prev < 0 ? t - begin : t - prev));
+      block.PutVarU32(c);
+      prev = t;
+    }
+  }
+  ++num_functions_;
+  return Status::OK();
+}
+
+Result<std::string> TraceFileWriter::ToBytes(TraceFileStats* stats) {
+  std::vector<std::string> stored(static_cast<size_t>(num_blocks_));
+  std::vector<uint32_t> raw_bytes(static_cast<size_t>(num_blocks_), 0);
+  std::vector<uint8_t> codec(static_cast<size_t>(num_blocks_), kCodecRaw);
+  uint64_t payload_raw = 0;
+  uint64_t payload_stored = 0;
+  for (int b = 0; b < num_blocks_; ++b) {
+    std::string raw = block_payloads_[static_cast<size_t>(b)].Take();
+    if (raw.size() > kMaxBlockRawBytes) {
+      return Status::InvalidArgument(
+          "trace file block " + std::to_string(b) + " encodes to " +
+          std::to_string(raw.size()) + " bytes, over the " +
+          std::to_string(kMaxBlockRawBytes) +
+          "-byte block cap; use a smaller block_minutes");
+    }
+    raw_bytes[static_cast<size_t>(b)] = static_cast<uint32_t>(raw.size());
+    payload_raw += raw.size();
+    if (options_.compress && raw.size() >= 32) {
+      std::string lz = LzCompress(raw);
+      if (lz.size() < raw.size()) {
+        stored[static_cast<size_t>(b)] = std::move(lz);
+        codec[static_cast<size_t>(b)] = kCodecLz;
+      } else {
+        stored[static_cast<size_t>(b)] = std::move(raw);
+      }
+    } else {
+      stored[static_cast<size_t>(b)] = std::move(raw);
+    }
+    payload_stored += stored[static_cast<size_t>(b)].size();
+  }
+
+  const std::string table = table_.Take();
+  const uint64_t table_offset = kHeaderBytes;
+  const uint64_t index_offset = table_offset + table.size();
+  const uint64_t blocks_offset =
+      index_offset + kIndexEntryBytes * static_cast<uint64_t>(num_blocks_);
+  const uint64_t file_size = blocks_offset + payload_stored;
+
+  BinaryWriter out;
+  for (const char c : kMagic) out.PutU8(static_cast<uint8_t>(c));
+  out.PutU32(kFormatVersion);
+  out.PutU32(options_.compress ? kFlagCompression : 0);
+  out.PutU32(static_cast<uint32_t>(num_minutes_));
+  out.PutU32(static_cast<uint32_t>(options_.block_minutes));
+  out.PutU64(num_functions_);
+  out.PutU64(total_invocations_);
+  out.PutU64(table_offset);
+  out.PutU64(index_offset);
+  out.PutU64(blocks_offset);
+  out.PutU64(file_size);
+
+  std::string bytes = out.Take();
+  bytes.reserve(static_cast<size_t>(file_size));
+  bytes.append(table);
+
+  BinaryWriter index;
+  uint64_t cursor = blocks_offset;
+  for (int b = 0; b < num_blocks_; ++b) {
+    index.PutU64(cursor);
+    index.PutU32(static_cast<uint32_t>(stored[static_cast<size_t>(b)].size()));
+    index.PutU32(raw_bytes[static_cast<size_t>(b)]);
+    index.PutU8(codec[static_cast<size_t>(b)]);
+    cursor += stored[static_cast<size_t>(b)].size();
+  }
+  bytes.append(index.data());
+  for (int b = 0; b < num_blocks_; ++b) {
+    bytes.append(stored[static_cast<size_t>(b)]);
+  }
+
+  if (stats != nullptr) {
+    stats->num_functions = num_functions_;
+    stats->num_minutes = static_cast<uint32_t>(num_minutes_);
+    stats->total_invocations = total_invocations_;
+    stats->file_bytes = file_size;
+    stats->metadata_bytes = blocks_offset;
+    stats->payload_raw_bytes = payload_raw;
+    stats->payload_stored_bytes = payload_stored;
+  }
+  return bytes;
+}
+
+Result<TraceFileStats> TraceFileWriter::WriteTo(const std::string& path) {
+  TraceFileStats stats;
+  SPES_ASSIGN_OR_RETURN(const std::string bytes, ToBytes(&stats));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out.good()) {
+    return Status::IOError("short write to trace file '" + path + "'");
+  }
+  return stats;
+}
+
+Result<TraceFileStats> WriteTraceFile(const Trace& trace,
+                                      const std::string& path,
+                                      const TraceFileOptions& options) {
+  SPES_ASSIGN_OR_RETURN(TraceFileWriter writer,
+                        TraceFileWriter::Create(trace.num_minutes(), options));
+  for (size_t f = 0; f < trace.num_functions(); ++f) {
+    const FunctionTrace& fn = trace.function(f);
+    SPES_RETURN_NOT_OK(writer.Add(
+        fn.meta, std::span<const uint32_t>(fn.counts.data(),
+                                           fn.counts.size())));
+  }
+  return writer.WriteTo(path);
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TraceFileSource>> TraceFileSource::Open(
+    const std::string& path) {
+  std::unique_ptr<TraceFileSource> source(new TraceFileSource());
+  source->path_ = path;
+  source->file_.open(path, std::ios::binary);
+  if (!source->file_) {
+    return Status::IOError("cannot open trace file '" + path + "'");
+  }
+  source->file_.seekg(0, std::ios::end);
+  const std::streamoff size = source->file_.tellg();
+  if (size < 0) {
+    return Status::IOError("cannot size trace file '" + path + "'");
+  }
+  SPES_RETURN_NOT_OK(source->ParseMetadata(static_cast<uint64_t>(size)));
+  return source;
+}
+
+Result<std::unique_ptr<TraceFileSource>> TraceFileSource::FromBytes(
+    std::string bytes) {
+  std::unique_ptr<TraceFileSource> source(new TraceFileSource());
+  source->from_bytes_ = true;
+  source->bytes_ = std::move(bytes);
+  SPES_RETURN_NOT_OK(source->ParseMetadata(source->bytes_.size()));
+  return source;
+}
+
+Status TraceFileSource::ReadAt(uint64_t offset, size_t size,
+                               std::string* out) {
+  if (from_bytes_) {
+    // Callers validated offset + size against the image during
+    // ParseMetadata, so this never reads out of bounds.
+    out->assign(bytes_, static_cast<size_t>(offset), size);
+    return Status::OK();
+  }
+  out->resize(size);
+  file_.clear();
+  file_.seekg(static_cast<std::streamoff>(offset));
+  file_.read(out->data(), static_cast<std::streamsize>(size));
+  if (file_.gcount() != static_cast<std::streamsize>(size)) {
+    return Status::IOError(
+        "trace file '" + path_ + "': short read of " + std::to_string(size) +
+        " bytes at offset " + std::to_string(offset) +
+        " (file changed underneath the reader?)");
+  }
+  return Status::OK();
+}
+
+Status TraceFileSource::ParseMetadata(uint64_t file_size) {
+  const std::string where =
+      path_.empty() ? "trace file" : "trace file '" + path_ + "'";
+  if (file_size < kHeaderBytes) {
+    return Status::InvalidArgument(
+        where + ": truncated header (" + std::to_string(file_size) +
+        " bytes, a valid file has at least " + std::to_string(kHeaderBytes) +
+        ")");
+  }
+
+  std::string head;
+  SPES_RETURN_NOT_OK(ReadAt(0, kHeaderBytes, &head));
+  BinaryReader reader(head);
+  for (const char expected : kMagic) {
+    SPES_ASSIGN_OR_RETURN(const uint8_t got, reader.U8());
+    if (got != static_cast<uint8_t>(expected)) {
+      return Status::InvalidArgument(where +
+                                     ": bad magic, not a SPES trace file");
+    }
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t version, reader.U32());
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument(
+        where + ": unsupported format version " + std::to_string(version) +
+        " (this reader supports version " + std::to_string(kFormatVersion) +
+        ")");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t flags, reader.U32());
+  if ((flags & ~kFlagCompression) != 0) {
+    return Status::InvalidArgument(
+        where + ": unknown header flag bits (" +
+        std::to_string(flags & ~kFlagCompression) +
+        "); refusing to guess at a future format");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t num_minutes, reader.U32());
+  if (num_minutes == 0 ||
+      num_minutes > static_cast<uint32_t>(INT32_MAX)) {
+    return Status::InvalidArgument(where + ": invalid horizon of " +
+                                   std::to_string(num_minutes) + " minutes");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t block_minutes, reader.U32());
+  if (block_minutes < 1 || block_minutes > 65535) {
+    return Status::InvalidArgument(
+        where + ": block_minutes " + std::to_string(block_minutes) +
+        " outside [1, 65535]");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_functions, reader.U64());
+  if (num_functions > UINT32_MAX) {
+    return Status::InvalidArgument(
+        where + ": " + std::to_string(num_functions) +
+        " functions overflow the uint32 index space");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint64_t total_invocations, reader.U64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t table_offset, reader.U64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t index_offset, reader.U64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t blocks_offset, reader.U64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t declared_size, reader.U64());
+
+  if (declared_size != file_size) {
+    return Status::InvalidArgument(
+        where + ": header declares " + std::to_string(declared_size) +
+        " bytes but the file has " + std::to_string(file_size));
+  }
+  if (table_offset != kHeaderBytes || index_offset < table_offset ||
+      blocks_offset < index_offset || blocks_offset > file_size) {
+    return Status::InvalidArgument(where + ": section offsets out of order");
+  }
+  const uint64_t num_blocks =
+      (static_cast<uint64_t>(num_minutes) + block_minutes - 1) /
+      block_minutes;
+  if (blocks_offset - index_offset != num_blocks * kIndexEntryBytes) {
+    return Status::InvalidArgument(
+        where + ": block index spans " +
+        std::to_string(blocks_offset - index_offset) + " bytes, expected " +
+        std::to_string(num_blocks * kIndexEntryBytes) + " for " +
+        std::to_string(num_blocks) + " blocks");
+  }
+  // The smallest table entry is 5 bytes (three empty varint strings, the
+  // trigger byte, a one-byte total), bounding the function count before
+  // any per-function allocation happens.
+  const uint64_t table_size = index_offset - table_offset;
+  if (num_functions > table_size / 5) {
+    return Status::InvalidArgument(
+        where + ": function table of " + std::to_string(table_size) +
+        " bytes is too small for " + std::to_string(num_functions) +
+        " functions");
+  }
+
+  std::string table;
+  SPES_RETURN_NOT_OK(
+      ReadAt(table_offset, static_cast<size_t>(table_size), &table));
+  BinaryReader table_reader(table);
+  metas_.reserve(static_cast<size_t>(num_functions));
+  totals_.reserve(static_cast<size_t>(num_functions));
+  uint64_t total_check = 0;
+  for (uint64_t f = 0; f < num_functions; ++f) {
+    FunctionMeta meta;
+    SPES_ASSIGN_OR_RETURN(meta.owner, table_reader.VarBytes());
+    SPES_ASSIGN_OR_RETURN(meta.app, table_reader.VarBytes());
+    SPES_ASSIGN_OR_RETURN(meta.name, table_reader.VarBytes());
+    SPES_ASSIGN_OR_RETURN(const uint8_t trigger, table_reader.U8());
+    if (trigger >= kNumTriggerTypes) {
+      return Status::InvalidArgument(
+          where + ": function " + std::to_string(f) +
+          " has invalid trigger type " + std::to_string(trigger));
+    }
+    meta.trigger = static_cast<TriggerType>(trigger);
+    SPES_ASSIGN_OR_RETURN(const uint64_t total, table_reader.VarU64());
+    total_check += total;
+    metas_.push_back(std::move(meta));
+    totals_.push_back(total);
+  }
+  if (!table_reader.AtEnd()) {
+    return Status::InvalidArgument(
+        where + ": " + std::to_string(table_reader.remaining()) +
+        " trailing bytes after the function table");
+  }
+  if (total_check != total_invocations) {
+    return Status::InvalidArgument(
+        where + ": function totals sum to " + std::to_string(total_check) +
+        " but the header declares " + std::to_string(total_invocations) +
+        " invocations");
+  }
+
+  std::string index;
+  SPES_RETURN_NOT_OK(ReadAt(index_offset,
+                            static_cast<size_t>(blocks_offset - index_offset),
+                            &index));
+  BinaryReader index_reader(index);
+  index_.reserve(static_cast<size_t>(num_blocks));
+  uint64_t cursor = blocks_offset;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    BlockEntry entry;
+    SPES_ASSIGN_OR_RETURN(entry.offset, index_reader.U64());
+    SPES_ASSIGN_OR_RETURN(entry.stored_bytes, index_reader.U32());
+    SPES_ASSIGN_OR_RETURN(entry.raw_bytes, index_reader.U32());
+    SPES_ASSIGN_OR_RETURN(entry.codec, index_reader.U8());
+    const std::string at = where + ": block " + std::to_string(b);
+    if (entry.codec > kCodecLz) {
+      return Status::InvalidArgument(at + " uses unknown codec " +
+                                     std::to_string(entry.codec));
+    }
+    if (entry.raw_bytes > kMaxBlockRawBytes) {
+      return Status::InvalidArgument(
+          at + " declares " + std::to_string(entry.raw_bytes) +
+          " raw bytes, over the " + std::to_string(kMaxBlockRawBytes) +
+          "-byte cap");
+    }
+    if (entry.raw_bytes < num_functions) {
+      return Status::InvalidArgument(
+          at + " declares " + std::to_string(entry.raw_bytes) +
+          " raw bytes, below the one-byte-per-function minimum of " +
+          std::to_string(num_functions));
+    }
+    if (entry.codec == kCodecRaw && entry.stored_bytes != entry.raw_bytes) {
+      return Status::InvalidArgument(
+          at + " is stored raw but stored size " +
+          std::to_string(entry.stored_bytes) + " != raw size " +
+          std::to_string(entry.raw_bytes));
+    }
+    if (entry.codec == kCodecLz && entry.stored_bytes >= entry.raw_bytes) {
+      return Status::InvalidArgument(
+          at + " is compressed but not smaller than raw (" +
+          std::to_string(entry.stored_bytes) + " >= " +
+          std::to_string(entry.raw_bytes) + ")");
+    }
+    // Blocks are stored contiguously in index order, so each entry's
+    // offset is forced; enforcing that kills overlap/past-EOF games in
+    // one check (the final cursor must land exactly on file_size).
+    if (entry.offset != cursor) {
+      return Status::InvalidArgument(
+          at + " starts at offset " + std::to_string(entry.offset) +
+          ", expected " + std::to_string(cursor));
+    }
+    cursor += entry.stored_bytes;
+    if (cursor > file_size) {
+      return Status::InvalidArgument(at + " extends past the end of file");
+    }
+    index_.push_back(entry);
+    stats_.payload_raw_bytes += entry.raw_bytes;
+    stats_.payload_stored_bytes += entry.stored_bytes;
+  }
+  if (!index_reader.AtEnd()) {
+    return Status::InvalidArgument(where +
+                                   ": trailing bytes after the block index");
+  }
+  if (cursor != file_size) {
+    return Status::InvalidArgument(
+        where + ": blocks end at offset " + std::to_string(cursor) +
+        " but the file has " + std::to_string(file_size) + " bytes");
+  }
+
+  num_minutes_ = static_cast<int>(num_minutes);
+  block_minutes_ = static_cast<int>(block_minutes);
+  stats_.num_functions = num_functions;
+  stats_.num_minutes = num_minutes;
+  stats_.total_invocations = total_invocations;
+  stats_.file_bytes = file_size;
+  stats_.metadata_bytes = blocks_offset;
+  return Status::OK();
+}
+
+Status TraceFileSource::EnsureBlockDecoded(int b) {
+  if (cached_block_ == b) return Status::OK();
+  cached_block_ = -1;
+
+  const BlockEntry& entry = index_[static_cast<size_t>(b)];
+  SPES_RETURN_NOT_OK(ReadAt(entry.offset, entry.stored_bytes,
+                            &stored_scratch_));
+  const std::string* raw = &stored_scratch_;
+  if (entry.codec == kCodecLz) {
+    Status decompressed =
+        LzDecompress(stored_scratch_, entry.raw_bytes, &raw_scratch_);
+    if (!decompressed.ok()) {
+      return Status(decompressed.code(),
+                    "trace file block " + std::to_string(b) + ": " +
+                        decompressed.message());
+    }
+    raw = &raw_scratch_;
+  }
+
+  const int begin = b * block_minutes_;
+  const int len = std::min(block_minutes_, num_minutes_ - begin);
+  if (block_buckets_.size() < static_cast<size_t>(len)) {
+    block_buckets_.resize(static_cast<size_t>(len));
+  }
+  for (int i = 0; i < len; ++i) block_buckets_[static_cast<size_t>(i)].clear();
+
+  const std::string at = "trace file block " + std::to_string(b);
+  BinaryReader reader(*raw);
+  const size_t n = metas_.size();
+  for (size_t f = 0; f < n; ++f) {
+    // Each event is at least two varint bytes (delta + count).
+    SPES_ASSIGN_OR_RETURN(const uint64_t events, reader.VarLength(2));
+    int prev = -1;
+    for (uint64_t e = 0; e < events; ++e) {
+      SPES_ASSIGN_OR_RETURN(const uint32_t gap, reader.VarU32());
+      SPES_ASSIGN_OR_RETURN(const uint32_t count, reader.VarU32());
+      if (count == 0) {
+        return Status::InvalidArgument(
+            at + ": zero-count event for function " + std::to_string(f));
+      }
+      if (prev >= 0 && gap == 0) {
+        return Status::InvalidArgument(
+            at + ": non-increasing minute delta for function " +
+            std::to_string(f));
+      }
+      const int64_t minute =
+          prev < 0 ? static_cast<int64_t>(gap)
+                   : static_cast<int64_t>(prev) + gap;
+      if (minute >= len) {
+        return Status::InvalidArgument(
+            at + ": event minute " + std::to_string(minute) +
+            " past the block's " + std::to_string(len) + " minutes");
+      }
+      block_buckets_[static_cast<size_t>(minute)].push_back(
+          Invocation{static_cast<uint32_t>(f), count});
+      prev = static_cast<int>(minute);
+    }
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        at + ": " + std::to_string(reader.remaining()) +
+        " trailing bytes after the event chunks");
+  }
+  cached_block_ = b;
+  return Status::OK();
+}
+
+Status TraceFileSource::FillArrivals(
+    int begin, int end, std::vector<std::vector<Invocation>>* buckets) {
+  if (begin < 0 || end < begin || end > num_minutes_) {
+    return Status::InvalidArgument(
+        "FillArrivals: window [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") outside the horizon of " +
+        std::to_string(num_minutes_) + " minutes");
+  }
+  const size_t len = static_cast<size_t>(end - begin);
+  if (buckets->size() < len) buckets->resize(len);
+  for (size_t i = 0; i < len; ++i) (*buckets)[i].clear();
+  if (len == 0) return Status::OK();
+
+  for (int b = begin / block_minutes_; b <= (end - 1) / block_minutes_; ++b) {
+    SPES_RETURN_NOT_OK(EnsureBlockDecoded(b));
+    const int block_begin = b * block_minutes_;
+    const int lo = std::max(begin, block_begin);
+    const int hi = std::min(end, block_begin + block_minutes_);
+    for (int t = lo; t < hi; ++t) {
+      const std::vector<Invocation>& src =
+          block_buckets_[static_cast<size_t>(t - block_begin)];
+      std::vector<Invocation>& dst = (*buckets)[static_cast<size_t>(t - begin)];
+      dst.insert(dst.end(), src.begin(), src.end());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Trace> TraceFileSource::MaterializePrefix(int num_minutes) {
+  if (num_minutes < 0 || num_minutes > num_minutes_) {
+    return Status::InvalidArgument(
+        "MaterializePrefix: prefix of " + std::to_string(num_minutes) +
+        " minutes is outside the file horizon of " +
+        std::to_string(num_minutes_) + " minutes");
+  }
+  const size_t n = metas_.size();
+  std::vector<FunctionTrace> functions(n);
+  for (size_t f = 0; f < n; ++f) {
+    functions[f].meta = metas_[f];
+    functions[f].counts.assign(static_cast<size_t>(num_minutes), 0);
+  }
+  for (int b = 0; num_minutes > 0 && b <= (num_minutes - 1) / block_minutes_;
+       ++b) {
+    SPES_RETURN_NOT_OK(EnsureBlockDecoded(b));
+    const int block_begin = b * block_minutes_;
+    const int hi = std::min(num_minutes, block_begin + block_minutes_);
+    for (int t = block_begin; t < hi; ++t) {
+      for (const Invocation& inv :
+           block_buckets_[static_cast<size_t>(t - block_begin)]) {
+        functions[inv.function].counts[static_cast<size_t>(t)] = inv.count;
+      }
+    }
+  }
+  Trace prefix(num_minutes);
+  for (size_t f = 0; f < n; ++f) {
+    SPES_RETURN_NOT_OK(prefix.Add(std::move(functions[f])));
+  }
+  return prefix;
+}
+
+Result<std::unique_ptr<TraceFileSource>> OpenTraceFile(
+    const std::string& path) {
+  return TraceFileSource::Open(path);
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  SPES_ASSIGN_OR_RETURN(std::unique_ptr<TraceFileSource> source,
+                        OpenTraceFile(path));
+  return source->MaterializePrefix(source->num_minutes());
+}
+
+}  // namespace spes

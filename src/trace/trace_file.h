@@ -1,0 +1,203 @@
+// Compact on-disk trace format with streamed realization.
+//
+// A packed trace file holds a fleet's per-minute invocation counts as
+// delta-encoded varint event lists, grouped into 256-minute blocks that
+// align with ArrivalDecoder's transpose granularity, each optionally
+// LZ-compressed. The layout (docs/trace_format.md has the full diagram):
+//
+//   [ header        ]  72 bytes, fixed-width little-endian
+//   [ function table]  per function: owner/app/name (varint-length-
+//                      prefixed), trigger byte, varint total invocations
+//   [ block index   ]  per block: u64 offset, u32 stored, u32 raw, u8 codec
+//   [ blocks        ]  per block: concatenated per-function event chunks
+//
+// Every field a reader consumes is bounds-checked through BinaryReader
+// (common/binary_io.h) — the parser treats the file as hostile input and
+// turns any malformation into InvalidArgument, never a crash or OOB read
+// (fuzz/fuzz_trace_file.cc hammers this). Decoding a block yields exactly
+// the arrival stream the in-memory path produces, so simulations served
+// from disk are bitwise-identical to in-memory runs (tests/trace_file_test
+// pins this against the seed-99 goldens).
+
+#ifndef SPES_TRACE_TRACE_FILE_H_
+#define SPES_TRACE_TRACE_FILE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "trace/trace.h"
+#include "trace/trace_source.h"
+
+namespace spes {
+
+/// \brief Writer knobs for packing a trace.
+struct TraceFileOptions {
+  /// Try the per-block LZ codec and keep it wherever it shrinks the block
+  /// (blocks that don't compress are stored raw; the codec byte per index
+  /// entry records the choice).
+  bool compress = true;
+  /// Minutes per block. The default matches ArrivalDecoder's transpose
+  /// granularity so one decoded file block serves exactly one decoder
+  /// block. Must be in [1, 65535].
+  int block_minutes = 256;
+};
+
+/// \brief Size/ratio accounting of one packed file.
+struct TraceFileStats {
+  uint64_t num_functions = 0;
+  uint32_t num_minutes = 0;
+  uint64_t total_invocations = 0;
+  /// Total bytes of the packed file.
+  uint64_t file_bytes = 0;
+  /// Header + function table + block index bytes.
+  uint64_t metadata_bytes = 0;
+  /// Event-chunk payload before block compression.
+  uint64_t payload_raw_bytes = 0;
+  /// Event-chunk payload as stored (after per-block codec choice).
+  uint64_t payload_stored_bytes = 0;
+
+  /// \brief Bytes of the equivalent dense in-memory count matrix
+  /// (4 * num_functions * num_minutes) — what a realized Trace's count
+  /// vectors alone would occupy.
+  [[nodiscard]] uint64_t DenseBytes() const {
+    return 4ull * num_functions * num_minutes;
+  }
+  /// \brief Dense in-memory bytes per packed file byte (higher is better).
+  [[nodiscard]] double CompressionRatio() const {
+    return file_bytes == 0
+               ? 0.0
+               : static_cast<double>(DenseBytes()) /
+                     static_cast<double>(file_bytes);
+  }
+};
+
+/// \brief Incremental packer: functions are added one at a time (metadata +
+/// full-horizon counts) and encoded straight into per-block buffers, so an
+/// arbitrarily large fleet packs in O(num_minutes + encoded bytes) memory —
+/// nothing requires the realized Trace to exist. Move-only.
+class TraceFileWriter {
+ public:
+  /// \brief A writer for a fleet over `num_minutes` minutes.
+  static Result<TraceFileWriter> Create(int num_minutes,
+                                        TraceFileOptions options = {});
+
+  /// \brief Appends one function; `counts` must span num_minutes.
+  Status Add(const FunctionMeta& meta, std::span<const uint32_t> counts);
+
+  /// \brief Assembles the file and writes it to `path` (atomically sized:
+  /// the stream is fully buffered before the first byte lands). The writer
+  /// is spent afterwards.
+  Result<TraceFileStats> WriteTo(const std::string& path);
+
+  /// \brief Assembles the file in memory (tests, fuzz corpus seeds). The
+  /// writer is spent afterwards. When `stats` is non-null it receives the
+  /// same accounting WriteTo() returns.
+  Result<std::string> ToBytes(TraceFileStats* stats = nullptr);
+
+ private:
+  TraceFileWriter(int num_minutes, const TraceFileOptions& options);
+
+  TraceFileOptions options_;
+  int num_minutes_;
+  int num_blocks_;
+  uint64_t num_functions_ = 0;
+  uint64_t total_invocations_ = 0;
+  BinaryWriter table_;
+  std::vector<BinaryWriter> block_payloads_;
+};
+
+/// \brief Packs a realized trace to `path`. Convenience over
+/// TraceFileWriter for in-memory fleets.
+Result<TraceFileStats> WriteTraceFile(const Trace& trace,
+                                      const std::string& path,
+                                      const TraceFileOptions& options = {});
+
+/// \brief A packed trace file opened for streaming: metadata, function
+/// table and block index live in memory; event blocks are read and decoded
+/// on demand, one block cached at a time, so peak memory is O(fleet
+/// metadata + one block) regardless of horizon. Implements TraceSource, so
+/// SimStream/ClusterSession/ArrivalDecoder run straight off the file.
+class TraceFileSource final : public TraceSource {
+ public:
+  /// \brief Opens and fully validates `path`'s header/table/index.
+  static Result<std::unique_ptr<TraceFileSource>> Open(
+      const std::string& path);
+
+  /// \brief Same, over an in-memory byte image (tests and the fuzzer
+  /// exercise the identical parse path files go through).
+  static Result<std::unique_ptr<TraceFileSource>> FromBytes(
+      std::string bytes);
+
+  [[nodiscard]] int num_minutes() const override { return num_minutes_; }
+  [[nodiscard]] size_t num_functions() const override { return metas_.size(); }
+  [[nodiscard]] const FunctionMeta& function_meta(size_t f) const override {
+    return metas_[f];
+  }
+
+  Status FillArrivals(int begin, int end,
+                      std::vector<std::vector<Invocation>>* buckets) override;
+
+  Result<Trace> MaterializePrefix(int num_minutes) override;
+
+  /// \brief Size/ratio accounting recomputed from the opened file.
+  [[nodiscard]] const TraceFileStats& stats() const { return stats_; }
+  /// \brief Minutes per block as recorded in the header.
+  [[nodiscard]] int block_minutes() const { return block_minutes_; }
+  /// \brief Whole-horizon invocation total of function `f` from the table.
+  [[nodiscard]] uint64_t function_total(size_t f) const { return totals_[f]; }
+
+ private:
+  struct BlockEntry {
+    uint64_t offset = 0;  ///< absolute file offset of the stored bytes
+    uint32_t stored_bytes = 0;
+    uint32_t raw_bytes = 0;
+    uint8_t codec = 0;  ///< 0 = raw, 1 = LZ
+  };
+
+  TraceFileSource() = default;
+
+  /// \brief Reads `size` bytes at absolute offset `offset` into `out`.
+  Status ReadAt(uint64_t offset, size_t size, std::string* out);
+  /// \brief Parses everything up to (not including) the block payloads.
+  Status ParseMetadata(uint64_t file_size);
+  /// \brief Decodes block `b` into block_buckets_ (cached; no-op if hot).
+  Status EnsureBlockDecoded(int b);
+
+  // Exactly one of the two backings is active: a seekable stream for
+  // Open(path), an owned byte image for FromBytes().
+  std::ifstream file_;
+  std::string bytes_;
+  bool from_bytes_ = false;
+  std::string path_;  ///< for error messages; empty for byte images
+
+  int num_minutes_ = 0;
+  int block_minutes_ = 0;
+  std::vector<FunctionMeta> metas_;
+  std::vector<uint64_t> totals_;
+  std::vector<BlockEntry> index_;
+  TraceFileStats stats_;
+
+  int cached_block_ = -1;
+  std::vector<std::vector<Invocation>> block_buckets_;
+  std::string stored_scratch_;
+  std::string raw_scratch_;
+};
+
+/// \brief Opens `path` for streaming (alias of TraceFileSource::Open — the
+/// name the rest of the codebase uses).
+Result<std::unique_ptr<TraceFileSource>> OpenTraceFile(
+    const std::string& path);
+
+/// \brief Fully realizes `path` as an in-memory Trace (open + materialize
+/// the whole horizon). The streamed path's inverse of WriteTraceFile.
+Result<Trace> ReadTraceFile(const std::string& path);
+
+}  // namespace spes
+
+#endif  // SPES_TRACE_TRACE_FILE_H_

@@ -1,0 +1,63 @@
+#include "trace/trace_source.h"
+
+#include <cassert>
+
+namespace spes {
+
+Status InMemoryTraceSource::FillArrivals(
+    int begin, int end, std::vector<std::vector<Invocation>>* buckets) {
+  assert(begin >= 0 && begin <= end && end <= trace_->num_minutes());
+  const size_t n = trace_->num_functions();
+  const size_t len = static_cast<size_t>(end - begin);
+
+  if (rows_.size() != n) {
+    rows_.resize(n);
+    for (size_t f = 0; f < n; ++f) rows_[f] = trace_->function(f).counts.data();
+  }
+
+  // One pass: read each function's window slice exactly once and append its
+  // nonzero entries to the owning minute's bucket. Walking f in ascending
+  // order keeps every bucket sorted by function id, matching the order the
+  // seed's per-minute O(n) scan produced. The rows are contiguous per
+  // function but scattered across the heap — a pattern the hardware
+  // prefetcher resets on at every row — so software-prefetch the next
+  // row's cache lines while scanning the current one.
+  if (buckets->size() < len) buckets->resize(len);
+  for (size_t i = 0; i < len; ++i) (*buckets)[i].clear();
+  constexpr size_t kPrefetchRows = 4;
+  constexpr size_t kLineWords = 16;  // 64-byte line / 4-byte count
+  for (size_t f = 0; f < n; ++f) {
+    if (f + kPrefetchRows < n) {
+      const uint32_t* next = rows_[f + kPrefetchRows] + begin;
+      for (size_t i = 0; i < len; i += kLineWords) __builtin_prefetch(next + i);
+    }
+    const uint32_t* counts = rows_[f] + begin;
+    for (size_t i = 0; i < len; ++i) {
+      if (counts[i] > 0) {
+        (*buckets)[i].push_back(
+            Invocation{static_cast<uint32_t>(f), counts[i]});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Trace> InMemoryTraceSource::MaterializePrefix(int num_minutes) {
+  if (num_minutes < 0 || num_minutes > trace_->num_minutes()) {
+    return Status::InvalidArgument(
+        "MaterializePrefix: prefix of " + std::to_string(num_minutes) +
+        " minutes is outside the source horizon of " +
+        std::to_string(trace_->num_minutes()) + " minutes");
+  }
+  Trace prefix(num_minutes);
+  for (size_t f = 0; f < trace_->num_functions(); ++f) {
+    const FunctionTrace& full = trace_->function(f);
+    FunctionTrace cut;
+    cut.meta = full.meta;
+    cut.counts.assign(full.counts.begin(), full.counts.begin() + num_minutes);
+    SPES_RETURN_NOT_OK(prefix.Add(std::move(cut)));
+  }
+  return prefix;
+}
+
+}  // namespace spes

@@ -6,15 +6,21 @@ Reads two google-benchmark JSON files — the committed trajectory artifact
 items_per_second of any gated benchmark drops more than --tolerance
 (default 20%) below the committed value.
 
-Also enforces the machine-independent speedup invariant inside the fresh
-run itself: with --min-ratio R, BM_SimKernelColumnar must be at least R
-times faster (items/sec) than BM_SimKernelReference at every common fleet
-size. The ratio compares two measurements from the same process on the
-same machine, so it holds on any runner class.
+Also enforces two machine-independent invariants inside the fresh run
+itself (each compares two measurements from the same process on the same
+machine, so they hold on any runner class):
+
+  * --min-ratio R: BM_SimKernelColumnar must be at least R times faster
+    (items/sec) than BM_SimKernelReference at every common fleet size.
+  * --max-stream-overhead F: BM_TraceFileStreamDecode (the packed-file
+    streaming decode) may be at most F times slower than BM_InMemoryDecode
+    at every common fleet size — the out-of-core path must stay within a
+    bounded factor of reading RAM.
 
 Usage:
   tools/check_bench_regression.py BASELINE.json FRESH.json \
-      [--tolerance 0.20] [--min-ratio 10] [--gate BM_SimKernelColumnar]
+      [--tolerance 0.20] [--min-ratio 10] [--max-stream-overhead 6] \
+      [--gate BM_SimKernelColumnar]
 """
 
 import argparse
@@ -50,6 +56,9 @@ def main():
     parser.add_argument("--min-ratio", type=float, default=None,
                         help="required columnar/reference items/sec ratio "
                              "within the fresh run")
+    parser.add_argument("--max-stream-overhead", type=float, default=None,
+                        help="max allowed in-memory/streamed decode "
+                             "items/sec ratio within the fresh run")
     parser.add_argument("--gate", action="append", default=None,
                         help="benchmark name prefix to gate vs the baseline "
                              "(repeatable; default: BM_SimKernelColumnar)")
@@ -96,6 +105,28 @@ def main():
                     f"columnar kernel only {ratio:.1f}x the reference at "
                     f"{size or 'default'} functions "
                     f"(requires >= {args.min_ratio:g}x)")
+
+    if args.max_stream_overhead is not None:
+        in_memory = {fleet_size(n): v for n, v in fresh.items()
+                     if n.startswith("BM_InMemoryDecode")}
+        streamed = {fleet_size(n): v for n, v in fresh.items()
+                    if n.startswith("BM_TraceFileStreamDecode")}
+        common = sorted(set(in_memory) & set(streamed))
+        if not common:
+            failures.append("--max-stream-overhead given but the fresh run "
+                            "has no common InMemory/TraceFileStream decode "
+                            "sizes")
+        for size in common:
+            overhead = in_memory[size] / streamed[size]
+            status = ("ok" if overhead <= args.max_stream_overhead
+                      else "TOO SLOW")
+            print(f"streamed decode overhead @ {size or 'default'} "
+                  f"functions: {overhead:.2f}x [{status}]")
+            if overhead > args.max_stream_overhead:
+                failures.append(
+                    f"streamed decode {overhead:.2f}x slower than in-memory "
+                    f"at {size or 'default'} functions "
+                    f"(allows <= {args.max_stream_overhead:g}x)")
 
     if failures:
         print("\nBENCH REGRESSION CHECK FAILED:", file=sys.stderr)

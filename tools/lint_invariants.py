@@ -24,9 +24,15 @@ docs/correctness.md):
   R4 header-hygiene    Every public header under src/ must carry an include
                        guard derived from its path (SPES_<PATH>_H_) and at
                        least one Doxygen \brief.
+  R5 no-raw-reinterpret
+                       No reinterpret_cast in library code (src/) outside
+                       src/common/binary_io.*: byte-level reinterpretation
+                       is how endianness and alignment bugs sneak into the
+                       deterministic file formats, so all of it is confined
+                       to the one hardened serialization module.
 
-Allowlist: a line that would fire R1 or R2 is suppressed when it (or the
-line directly above it) carries a justification comment of the form
+Allowlist: a line that would fire R1, R2 or R5 is suppressed when it (or
+the line directly above it) carries a justification comment of the form
 
     // det-ok: <non-empty reason>
 
@@ -264,10 +270,42 @@ def lint_r4(relpath, lines):
 
 
 # --------------------------------------------------------------------------
+# R5: reinterpret_cast confined to the hardened serialization module
+# --------------------------------------------------------------------------
+
+R5_PATTERN = re.compile(r"\breinterpret_cast\b")
+R5_ALLOWED = re.compile(r"^src/common/binary_io\.(h|cc)$")
+
+
+def lint_r5(relpath, lines):
+    if not relpath.startswith("src/") or R5_ALLOWED.match(relpath):
+        return []
+    findings = []
+    for i, line in enumerate(lines):
+        if R5_PATTERN.search(line.split("//", 1)[0]):
+            allowed, extra = _allowlisted(lines, i)
+            if extra:
+                findings.append(Finding(relpath, extra[0], "R5", extra[1]))
+            if not allowed:
+                findings.append(
+                    Finding(
+                        relpath,
+                        i + 1,
+                        "R5",
+                        "reinterpret_cast outside src/common/binary_io.*; "
+                        "byte-level reinterpretation belongs in the hardened "
+                        "serialization module (or justify with "
+                        "'// det-ok: <reason>')",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
-RULES = (lint_r1, lint_r2, lint_r3, lint_r4)
+RULES = (lint_r1, lint_r2, lint_r3, lint_r4, lint_r5)
 SCAN_DIRS = ("src", "tests", "examples", "fuzz", "bench")
 SOURCE_EXT = (".h", ".cc", ".cpp")
 
@@ -351,6 +389,24 @@ SELF_TEST_TREE = {
         "int g();\n"
         "#endif  // SPES_CORE_OK_HEADER_H_\n"
     ),
+    # R5: byte reinterpretation outside the serialization module.
+    "src/trace/bad_cast.cc": (
+        "const char* B(const int* p) {\n"
+        "  return reinterpret_cast<const char*>(p);\n"
+        "}\n"
+    ),
+    # R5 (negative): justified use, mention in a comment, and code outside
+    # src/ (the fuzz drivers take raw libFuzzer byte pointers) are fine.
+    "src/sim/ok_cast.cc": (
+        "// det-ok: span over POD bytes already validated by binary_io\n"
+        "const char* C(const int* p) "
+        "{ return reinterpret_cast<const char*>(p); }\n"
+        "// a reinterpret_cast mentioned in a comment is fine\n"
+    ),
+    "fuzz/ok_driver_cast.cc": (
+        "const char* D(const unsigned char* p) "
+        "{ return reinterpret_cast<const char*>(p); }\n"
+    ),
 }
 
 # (rule, path) pairs that MUST be flagged...
@@ -361,6 +417,7 @@ SELF_TEST_EXPECTED = [
     ("R3", "src/policies/bad_name.cc"),
     ("R3", "src/policies/bad_silent.cc"),
     ("R4", "src/core/bad_header.h"),
+    ("R5", "src/trace/bad_cast.cc"),
 ]
 # ...and paths that must stay clean.
 SELF_TEST_CLEAN = [
@@ -369,6 +426,8 @@ SELF_TEST_CLEAN = [
     "src/cluster/ok_unordered.cc",
     "src/policies/ok_datastructure.cc",
     "src/core/ok_header.h",
+    "src/sim/ok_cast.cc",
+    "fuzz/ok_driver_cast.cc",
 ]
 
 
