@@ -1,5 +1,6 @@
 // Scenario catalog: registry introspection. Lists every registered policy,
-// every registered trace transform and every registered cluster router
+// every registered trace transform, every registered cluster router and
+// every registered latency model (plus the `queue{...}` admission schema)
 // with its typed parameter schema and defaults — the complete vocabulary
 // available to ScenarioSpecs and spec strings — then runs one
 // default-parameter scenario per policy on a small generated fleet, and
@@ -16,6 +17,7 @@
 #include "cluster/router.h"
 #include "common/table.h"
 #include "core/policy_registry.h"
+#include "latency/latency.h"
 #include "metrics/report.h"
 #include "runner/suite_runner.h"
 #include "sim/scenario.h"
@@ -69,6 +71,18 @@ int main() {
     const RouterRegistry::Entry* entry = routers.Find(name);
     PrintSchema(name, entry->summary, entry->params);
   }
+
+  std::printf("registered latency models\n");
+  std::printf("=========================\n\n");
+  const LatencyModelRegistry& latency_models = LatencyModelRegistry::Global();
+  for (const std::string& name : latency_models.Names()) {
+    const LatencyModelRegistry::Entry* entry = latency_models.Find(name);
+    PrintSchema(name, entry->summary, entry->params);
+  }
+  // The admission side of a latency block: `<model> @ queue{...}`.
+  PrintSchema("queue",
+              "per-lane/per-node admission control for latency blocks",
+              LatencyQueueParamSchema());
 
   // 2. One default-parameter scenario per registered policy on a small
   //    fleet (300 functions, 4 days; train 2, simulate 2).

@@ -1,0 +1,36 @@
+// Fuzzes ParseLatencySpec (the `<model> @ queue{k=v,...}` grammar) and,
+// when the block parses, the registry-backed semantic validation.
+// Properties checked beyond "no crash":
+//   * Format(Parse(x)) reparses, and the canonical form is a fixed point.
+//   * ValidateLatencySpec never crashes on a parsed spec — it either
+//     accepts the block or returns a precise Status.
+
+#include <string>
+
+#include "fuzz/fuzz_common.h"
+#include "latency/latency.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  const spes::Result<spes::LatencySpec> parsed = spes::ParseLatencySpec(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.status().message().empty());
+    return 0;
+  }
+
+  const std::string canonical =
+      spes::FormatLatencySpec(parsed.ValueOrDie());
+  const spes::Result<spes::LatencySpec> reparsed =
+      spes::ParseLatencySpec(canonical);
+  FUZZ_ASSERT(reparsed.ok());
+  FUZZ_ASSERT(reparsed.ValueOrDie() == parsed.ValueOrDie());
+  FUZZ_ASSERT(spes::FormatLatencySpec(reparsed.ValueOrDie()) == canonical);
+
+  // Semantic validation must be total over parsed specs.
+  const spes::Status valid = spes::ValidateLatencySpec(parsed.ValueOrDie());
+  if (!valid.ok()) {
+    FUZZ_ASSERT(!valid.message().empty());
+  }
+  return 0;
+}

@@ -5,9 +5,18 @@
 #include <string>
 #include <utility>
 
+#include "common/binary_io.h"
+
 namespace spes {
 
 namespace {
+
+/// Format tag of the serialized cluster checkpoint byte stream. The
+/// format postdates the latency subsystem, so version 1 always carries
+/// one latency-state blob per node (empty when the run has no latency
+/// block) — no conditional layout like the SimStream checkpoint needs.
+constexpr char kClusterCheckpointMagic[] = "SPESCLCK";
+constexpr uint32_t kClusterCheckpointVersion = 1;
 
 /// Typed accessor over a parsed node-event spec: `name` must be a declared
 /// int parameter of the event kind; errors mirror the registry wording.
@@ -307,6 +316,18 @@ Result<ClusterSession> ClusterSession::CreateImpl(
         static_cast<size_t>(end - options.train_minutes));
     session.nodes_.push_back(std::move(node));
   }
+  if (options.latency.has_value()) {
+    const LatencySpec& latency = *options.latency;
+    // One shared hash table: the keys depend only on function names and
+    // the latency seed, never on placement, so every node samples the
+    // same per-request stream a single-fleet run would.
+    session.latency_hashes_ = std::make_shared<const std::vector<uint64_t>>(
+        ComputeFunctionHashes(*source, latency.seed));
+    for (Node& node : session.nodes_) {
+      SPES_ASSIGN_OR_RETURN(
+          node.latency, CreateLatencyLane(latency, session.latency_hashes_));
+    }
+  }
   return session;
 }
 
@@ -478,22 +499,51 @@ Status ClusterSession::StepLocked() {
     Node& node = nodes_[k];
     if (!NodeLive(node)) {
       node.memory_series.push_back(0);
+      if (node.latency != nullptr) {
+        // No arrivals route here (node.arrivals was cleared above), but
+        // the queue keeps draining: requests admitted before the node
+        // died or drained still complete, and waiters still time out on
+        // schedule.
+        node.cold_flags.clear();
+        node.latency->OnMinute(t, node.arrivals, node.cold_flags);
+      }
       continue;
     }
 
     // 1-2. Cold-start accounting, then execution pins the instance —
     // identical to a SimStream lane over this node's routed arrivals.
-    for (const Invocation& inv : node.arrivals) {
-      FunctionAccount& acc = node.accounts[inv.function];
-      acc.invocations += inv.count;
-      acc.invoked_minutes += 1;
-      node.totals.invocations += inv.count;
-      if (!node.mem.Contains(inv.function)) {
-        acc.cold_starts += 1;
-        node.totals.cold_starts += 1;
+    // The latency variant additionally records which arrivals were cold
+    // (the flags feed LatencyLane::OnMinute below); the plain variant is
+    // the original loop, untouched so disabled runs stay byte-identical.
+    if (node.latency == nullptr) {
+      for (const Invocation& inv : node.arrivals) {
+        FunctionAccount& acc = node.accounts[inv.function];
+        acc.invocations += inv.count;
+        acc.invoked_minutes += 1;
+        node.totals.invocations += inv.count;
+        if (!node.mem.Contains(inv.function)) {
+          acc.cold_starts += 1;
+          node.totals.cold_starts += 1;
+        }
+        node.mem.Add(inv.function);
+        node.last_used[inv.function] = t;
       }
-      node.mem.Add(inv.function);
-      node.last_used[inv.function] = t;
+    } else {
+      node.cold_flags.assign(node.arrivals.size(), 0);
+      for (size_t i = 0; i < node.arrivals.size(); ++i) {
+        const Invocation& inv = node.arrivals[i];
+        FunctionAccount& acc = node.accounts[inv.function];
+        acc.invocations += inv.count;
+        acc.invoked_minutes += 1;
+        node.totals.invocations += inv.count;
+        if (!node.mem.Contains(inv.function)) {
+          acc.cold_starts += 1;
+          node.totals.cold_starts += 1;
+          node.cold_flags[i] = 1;
+        }
+        node.mem.Add(inv.function);
+        node.last_used[inv.function] = t;
+      }
     }
 
     // 3. Policy step (timed for the RQ2 overhead measurement).
@@ -525,6 +575,10 @@ Status ClusterSession::StepLocked() {
     });
     node.memory_series.push_back(static_cast<uint32_t>(node.mem.Count()));
 
+    if (node.latency != nullptr) {
+      node.latency->OnMinute(t, node.arrivals, node.cold_flags);
+    }
+
     if (!observers_.empty()) {
       MinuteView view;
       view.minute = t;
@@ -535,6 +589,7 @@ Status ClusterSession::StepLocked() {
       view.accounts = &node.accounts;
       view.memory_series = &node.memory_series;
       view.totals = node.totals;
+      if (node.latency != nullptr) view.latency = &node.latency->live();
       for (SimObserver* observer : observers_) {
         if (!observer->OnMinute(view)) stop_requested = true;
       }
@@ -606,6 +661,10 @@ Result<ClusterOutcome> ClusterSession::Finish() {
   std::vector<FunctionAccount> fleet_accounts(n);
   std::vector<uint32_t> fleet_series;
   double fleet_overhead = 0.0;
+  // Fleet latency: the exact histogram merge of every node's outcome
+  // (fixed bucket geometry makes the merge lossless).
+  const bool has_latency = nodes_[0].latency != nullptr;
+  LatencyOutcome fleet_latency;
 
   outcome.nodes.reserve(nodes_.size());
   for (size_t k = 0; k < nodes_.size(); ++k) {
@@ -650,6 +709,12 @@ Result<ClusterOutcome> ClusterSession::Finish() {
                             node.overhead_seconds);
     out.sim.accounts = std::move(node.accounts);
     out.sim.memory_series = std::move(node.memory_series);
+    if (node.latency != nullptr) {
+      LatencyOutcome node_latency = node.latency->TakeOutcome();
+      MergeLatencyOutcome(&fleet_latency, node_latency);
+      out.sim.latency =
+          std::make_shared<const LatencyOutcome>(std::move(node_latency));
+    }
     out.policy = std::move(node.policy);
     outcome.nodes.push_back(std::move(out));
   }
@@ -658,6 +723,11 @@ Result<ClusterOutcome> ClusterSession::Finish() {
                                               fleet_series, fleet_overhead);
   outcome.fleet.accounts = std::move(fleet_accounts);
   outcome.fleet.memory_series = std::move(fleet_series);
+  if (has_latency) {
+    FinalizeLatencyOutcome(&fleet_latency);
+    outcome.fleet.latency =
+        std::make_shared<const LatencyOutcome>(std::move(fleet_latency));
+  }
 
   for (SimObserver* observer : observers_) {
     for (size_t k = 0; k < outcome.nodes.size(); ++k) {
@@ -665,6 +735,333 @@ Result<ClusterOutcome> ClusterSession::Finish() {
     }
   }
   return outcome;
+}
+
+Result<ClusterCheckpoint> ClusterSession::Checkpoint() const {
+  if (finished_) {
+    return Status::OutOfRange(
+        "cannot Checkpoint a session consumed by Finish()");
+  }
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    if (!nodes_[k].policy->SupportsCheckpoint()) {
+      return Status::NotImplemented(
+          "policy '" + nodes_[k].policy->name() + "' (node " +
+          std::to_string(k) + ") does not support checkpointing");
+    }
+  }
+  ClusterCheckpoint checkpoint;
+  checkpoint.cursor = cursor_;
+  checkpoint.train_minutes = options_.train_minutes;
+  checkpoint.end_minute = end_;
+  checkpoint.pin_executing_functions = options_.pin_executing_functions;
+  checkpoint.num_functions = source_->num_functions();
+  checkpoint.stopped = stopped_;
+  checkpoint.reroutes = reroutes_;
+  checkpoint.event_index = event_index_;
+  checkpoint.assignment = assignment_;
+  checkpoint.nodes.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    ClusterCheckpoint::Node out;
+    out.policy_name = node.policy->name();
+    out.state = static_cast<uint8_t>(node.state);
+    out.capacity = node.capacity;
+    out.accounts = node.accounts;
+    out.memory_series = node.memory_series;
+    out.loaded = node.mem.ToBytes();
+    out.last_used = node.last_used;
+    out.totals = node.totals;
+    out.overhead_seconds = node.overhead_seconds;
+    out.pressure_evictions = node.pressure_evictions;
+    out.reroutes_in = node.reroutes_in;
+    SPES_ASSIGN_OR_RETURN(out.policy_state, node.policy->SaveState());
+    if (node.latency != nullptr) out.latency_state = node.latency->SaveState();
+    checkpoint.nodes.push_back(std::move(out));
+  }
+  return checkpoint;
+}
+
+Status ClusterSession::Restore(const ClusterCheckpoint& checkpoint) {
+  if (finished_) {
+    return Status::OutOfRange(
+        "cannot Restore a session consumed by Finish()");
+  }
+  const size_t n = source_->num_functions();
+  if (checkpoint.num_functions != n) {
+    return Status::InvalidArgument(
+        "checkpoint num_functions (=" +
+        std::to_string(checkpoint.num_functions) +
+        ") does not match this session's trace (=" + std::to_string(n) + ")");
+  }
+  if (checkpoint.train_minutes != options_.train_minutes) {
+    return Status::InvalidArgument(
+        "checkpoint train_minutes (=" +
+        std::to_string(checkpoint.train_minutes) +
+        ") does not match this session (=" +
+        std::to_string(options_.train_minutes) + ")");
+  }
+  if (checkpoint.end_minute != end_) {
+    return Status::InvalidArgument(
+        "checkpoint end_minute (=" + std::to_string(checkpoint.end_minute) +
+        ") does not match this session (=" + std::to_string(end_) + ")");
+  }
+  if (checkpoint.pin_executing_functions !=
+      options_.pin_executing_functions) {
+    return Status::InvalidArgument(
+        "checkpoint pin_executing_functions (=" +
+        std::string(checkpoint.pin_executing_functions ? "true" : "false") +
+        ") does not match this session");
+  }
+  if (checkpoint.cursor < start_ || checkpoint.cursor > end_) {
+    return Status::InvalidArgument(
+        "checkpoint cursor (=" + std::to_string(checkpoint.cursor) +
+        ") is outside this session's window [" + std::to_string(start_) +
+        ", " + std::to_string(end_) + "]");
+  }
+  if (checkpoint.event_index > events_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint event_index (=" + std::to_string(checkpoint.event_index) +
+        ") exceeds this session's timeline (=" +
+        std::to_string(events_.size()) + " events)");
+  }
+  if (checkpoint.assignment.size() != n) {
+    return Status::InvalidArgument(
+        "checkpoint assignment is sized for (=" +
+        std::to_string(checkpoint.assignment.size()) +
+        ") functions, expected (=" + std::to_string(n) + ")");
+  }
+  if (checkpoint.nodes.size() != nodes_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has (=" + std::to_string(checkpoint.nodes.size()) +
+        ") nodes but this session has (=" + std::to_string(nodes_.size()) +
+        ")");
+  }
+  for (size_t f = 0; f < n; ++f) {
+    const int32_t a = checkpoint.assignment[f];
+    if (a < -1 || a >= static_cast<int32_t>(nodes_.size())) {
+      return Status::InvalidArgument(
+          "checkpoint assignment[" + std::to_string(f) + "] (=" +
+          std::to_string(a) + ") is outside [-1, " +
+          std::to_string(nodes_.size() - 1) + "]");
+    }
+  }
+  const size_t expected_series =
+      static_cast<size_t>(checkpoint.cursor - start_);
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    const ClusterCheckpoint::Node& in = checkpoint.nodes[k];
+    if (in.policy_name != nodes_[k].policy->name()) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) + " holds policy '" +
+          in.policy_name + "' but this session has '" +
+          nodes_[k].policy->name() + "'");
+    }
+    if (in.state > static_cast<uint8_t>(NodeState::kFailed)) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) + " state (=" +
+          std::to_string(in.state) + ") is not a node lifecycle state");
+    }
+    if (in.capacity != nodes_[k].capacity) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) + " capacity (=" +
+          std::to_string(in.capacity) +
+          ") does not match this session's cluster spec (=" +
+          std::to_string(nodes_[k].capacity) + ")");
+    }
+    if (in.accounts.size() != n || in.loaded.size() != n ||
+        in.last_used.size() != n) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) +
+          " is sized for (=" + std::to_string(in.accounts.size()) +
+          ") functions, expected (=" + std::to_string(n) + ")");
+    }
+    // Every node — live, pending or dead — pushes one series entry per
+    // simulated minute, so the length pins the cursor for all of them.
+    if (in.memory_series.size() != expected_series) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) + " memory series has (=" +
+          std::to_string(in.memory_series.size()) +
+          ") entries but the cursor implies (=" +
+          std::to_string(expected_series) + ")");
+    }
+    // A LatencyLane blob is never empty, so presence of latency state is
+    // exactly "the origin session ran with a latency block".
+    if (in.latency_state.empty() != (nodes_[k].latency == nullptr)) {
+      return Status::InvalidArgument(
+          "checkpoint node " + std::to_string(k) +
+          (in.latency_state.empty()
+               ? " has no latency state but this session has a latency block"
+               : " carries latency state but this session has no latency "
+                 "block"));
+    }
+  }
+
+  // Shape checks all passed; hand the policies (and latency lanes) their
+  // state, then reinstate the engine-side counters. A failure here leaves
+  // the session in an unspecified mix of old and new state — callers must
+  // discard the session on a non-OK Restore.
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    SPES_RETURN_NOT_OK(
+        nodes_[k].policy->RestoreState(checkpoint.nodes[k].policy_state));
+    if (nodes_[k].latency != nullptr) {
+      SPES_RETURN_NOT_OK(nodes_[k].latency->RestoreState(
+          checkpoint.nodes[k].latency_state, expected_series));
+    }
+  }
+  for (size_t k = 0; k < nodes_.size(); ++k) {
+    const ClusterCheckpoint::Node& in = checkpoint.nodes[k];
+    Node& node = nodes_[k];
+    node.state = static_cast<NodeState>(in.state);
+    node.accounts = in.accounts;
+    node.memory_series = in.memory_series;
+    MemSet mem(n);
+    for (size_t f = 0; f < n; ++f) {
+      if (in.loaded[f]) mem.Add(f);
+    }
+    node.mem = std::move(mem);
+    node.last_used = in.last_used;
+    node.totals = in.totals;
+    node.overhead_seconds = in.overhead_seconds;
+    node.pressure_evictions = in.pressure_evictions;
+    node.reroutes_in = in.reroutes_in;
+  }
+  cursor_ = checkpoint.cursor;
+  stopped_ = checkpoint.stopped;
+  reroutes_ = checkpoint.reroutes;
+  event_index_ = static_cast<size_t>(checkpoint.event_index);
+  assignment_ = checkpoint.assignment;
+  return Status::OK();
+}
+
+std::string SerializeClusterCheckpoint(const ClusterCheckpoint& checkpoint) {
+  BinaryWriter w;
+  w.PutBytes(kClusterCheckpointMagic);
+  w.PutU32(kClusterCheckpointVersion);
+  w.PutI32(checkpoint.cursor);
+  w.PutI32(checkpoint.train_minutes);
+  w.PutI32(checkpoint.end_minute);
+  w.PutBool(checkpoint.pin_executing_functions);
+  w.PutU64(checkpoint.num_functions);
+  w.PutBool(checkpoint.stopped);
+  w.PutU64(checkpoint.reroutes);
+  w.PutU64(checkpoint.event_index);
+  w.PutU64(checkpoint.assignment.size());
+  for (int32_t a : checkpoint.assignment) w.PutI32(a);
+  w.PutU64(checkpoint.nodes.size());
+  for (const ClusterCheckpoint::Node& node : checkpoint.nodes) {
+    w.PutBytes(node.policy_name);
+    w.PutU8(node.state);
+    w.PutI32(node.capacity);
+    w.PutU64(node.accounts.size());
+    for (const FunctionAccount& acc : node.accounts) {
+      w.PutU64(acc.invocations);
+      w.PutU64(acc.invoked_minutes);
+      w.PutU64(acc.cold_starts);
+      w.PutU64(acc.loaded_minutes);
+      w.PutU64(acc.wasted_minutes);
+    }
+    w.PutU64(node.memory_series.size());
+    for (uint32_t v : node.memory_series) w.PutU32(v);
+    w.PutU64(node.loaded.size());
+    for (uint8_t v : node.loaded) w.PutU8(v);
+    w.PutU64(node.last_used.size());
+    for (int32_t v : node.last_used) w.PutI32(v);
+    w.PutU64(node.totals.invocations);
+    w.PutU64(node.totals.cold_starts);
+    w.PutU64(node.totals.loaded_instance_minutes);
+    w.PutU64(node.totals.wasted_memory_minutes);
+    w.PutDouble(node.overhead_seconds);
+    w.PutU64(node.pressure_evictions);
+    w.PutU64(node.reroutes_in);
+    w.PutBytes(node.policy_state);
+    w.PutBytes(node.latency_state);
+  }
+  return w.Take();
+}
+
+Result<ClusterCheckpoint> ParseClusterCheckpoint(const std::string& bytes) {
+  BinaryReader r(bytes);
+  SPES_ASSIGN_OR_RETURN(const std::string magic, r.Bytes());
+  if (magic != kClusterCheckpointMagic) {
+    return Status::InvalidArgument(
+        "not a SPES cluster checkpoint (bad magic tag)");
+  }
+  SPES_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
+  if (version != kClusterCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported cluster checkpoint version (=" +
+        std::to_string(version) + "), expected (=" +
+        std::to_string(kClusterCheckpointVersion) + ")");
+  }
+  ClusterCheckpoint checkpoint;
+  SPES_ASSIGN_OR_RETURN(checkpoint.cursor, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.train_minutes, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.end_minute, r.I32());
+  SPES_ASSIGN_OR_RETURN(checkpoint.pin_executing_functions, r.Bool());
+  SPES_ASSIGN_OR_RETURN(checkpoint.num_functions, r.U64());
+  SPES_ASSIGN_OR_RETURN(checkpoint.stopped, r.Bool());
+  SPES_ASSIGN_OR_RETURN(checkpoint.reroutes, r.U64());
+  SPES_ASSIGN_OR_RETURN(checkpoint.event_index, r.U64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_assignment, r.Length(4));
+  checkpoint.assignment.reserve(num_assignment);
+  for (uint64_t f = 0; f < num_assignment; ++f) {
+    SPES_ASSIGN_OR_RETURN(const int32_t a, r.I32());
+    checkpoint.assignment.push_back(a);
+  }
+  // Minimal encoded node: 117 bytes (empty name/blob/vector prefixes +
+  // state + capacity + totals + overhead + cluster counters) — bounds
+  // reserve() against corrupt counts.
+  SPES_ASSIGN_OR_RETURN(const uint64_t num_nodes, r.Length(117));
+  checkpoint.nodes.reserve(num_nodes);
+  for (uint64_t k = 0; k < num_nodes; ++k) {
+    ClusterCheckpoint::Node node;
+    SPES_ASSIGN_OR_RETURN(node.policy_name, r.Bytes());
+    SPES_ASSIGN_OR_RETURN(node.state, r.U8());
+    SPES_ASSIGN_OR_RETURN(node.capacity, r.I32());
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_accounts, r.Length(40));
+    node.accounts.reserve(num_accounts);
+    for (uint64_t i = 0; i < num_accounts; ++i) {
+      FunctionAccount acc;
+      SPES_ASSIGN_OR_RETURN(acc.invocations, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.invoked_minutes, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.cold_starts, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.loaded_minutes, r.U64());
+      SPES_ASSIGN_OR_RETURN(acc.wasted_minutes, r.U64());
+      node.accounts.push_back(acc);
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_series, r.Length(4));
+    node.memory_series.reserve(num_series);
+    for (uint64_t i = 0; i < num_series; ++i) {
+      SPES_ASSIGN_OR_RETURN(const uint32_t v, r.U32());
+      node.memory_series.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_loaded, r.Length(1));
+    node.loaded.reserve(num_loaded);
+    for (uint64_t i = 0; i < num_loaded; ++i) {
+      SPES_ASSIGN_OR_RETURN(const uint8_t v, r.U8());
+      node.loaded.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(const uint64_t num_last_used, r.Length(4));
+    node.last_used.reserve(num_last_used);
+    for (uint64_t i = 0; i < num_last_used; ++i) {
+      SPES_ASSIGN_OR_RETURN(const int32_t v, r.I32());
+      node.last_used.push_back(v);
+    }
+    SPES_ASSIGN_OR_RETURN(node.totals.invocations, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.totals.cold_starts, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.totals.loaded_instance_minutes, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.totals.wasted_memory_minutes, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.overhead_seconds, r.Double());
+    SPES_ASSIGN_OR_RETURN(node.pressure_evictions, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.reroutes_in, r.U64());
+    SPES_ASSIGN_OR_RETURN(node.policy_state, r.Bytes());
+    SPES_ASSIGN_OR_RETURN(node.latency_state, r.Bytes());
+    checkpoint.nodes.push_back(std::move(node));
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument(
+        "cluster checkpoint has " + std::to_string(r.remaining()) +
+        " trailing bytes");
+  }
+  return checkpoint;
 }
 
 }  // namespace spes

@@ -133,13 +133,62 @@ struct NodeOutcome {
 
 /// \brief Full outcome of a cluster run: the fleet-wide aggregate (the
 /// element-wise sum of the per-node accounts and memory series, with
-/// metrics derived from the sums) plus every node's breakdown.
+/// metrics derived from the sums) plus every node's breakdown. When the
+/// run had a latency block, `fleet.latency` is the exact histogram merge
+/// of every node's latency outcome.
 struct ClusterOutcome {
   SimulationOutcome fleet;
   std::vector<NodeOutcome> nodes;  ///< in node-id order, added nodes last
   /// Total sticky assignments that moved between nodes mid-window.
   uint64_t reroutes = 0;
 };
+
+/// \brief A resumable snapshot of a ClusterSession: the cursor, the
+/// routing state (sticky assignments, consumed events, reroute counters)
+/// and, per node, every engine counter plus the policy's and latency
+/// lane's serialized state. Produced by ClusterSession::Checkpoint(),
+/// consumed by ClusterSession::Restore();
+/// SerializeClusterCheckpoint()/ParseClusterCheckpoint() round-trip it
+/// through bytes ("SPESCLCK" magic).
+struct ClusterCheckpoint {
+  /// Next minute to simulate when resumed.
+  int cursor = 0;
+  /// The window the session was created with (validated on Restore).
+  int train_minutes = 0;
+  int end_minute = 0;
+  bool pin_executing_functions = true;
+  uint64_t num_functions = 0;
+  bool stopped = false;
+  /// Routing state at the snapshot.
+  uint64_t reroutes = 0;
+  uint64_t event_index = 0;  ///< timeline events already applied
+  std::vector<int32_t> assignment;  ///< sticky function->node; -1 = none
+
+  struct Node {
+    std::string policy_name;  ///< Policy::name(), validated on Restore
+    /// Lifecycle state: 0 pending, 1 routable, 2 draining, 3 failed.
+    uint8_t state = 1;
+    int capacity = 0;  ///< structural; validated (not restored)
+    std::vector<FunctionAccount> accounts;
+    std::vector<uint32_t> memory_series;
+    std::vector<uint8_t> loaded;     ///< MemSet membership bytes
+    std::vector<int32_t> last_used;  ///< LRU clock; -1 = never
+    LiveTotals totals;
+    double overhead_seconds = 0.0;
+    uint64_t pressure_evictions = 0;
+    uint64_t reroutes_in = 0;
+    std::string policy_state;   ///< Policy::SaveState() blob
+    std::string latency_state;  ///< LatencyLane::SaveState(); empty = none
+  };
+  std::vector<Node> nodes;
+};
+
+/// \brief Byte form of a cluster checkpoint (magic-tagged, little-endian).
+std::string SerializeClusterCheckpoint(const ClusterCheckpoint& checkpoint);
+
+/// \brief Parses bytes produced by SerializeClusterCheckpoint(); truncated
+/// or corrupt input yields InvalidArgument instead of undefined behaviour.
+Result<ClusterCheckpoint> ParseClusterCheckpoint(const std::string& bytes);
 
 /// \brief An open, incrementally drivable cluster simulation. Create()
 /// builds one policy instance per node (including nodes that join later)
@@ -201,6 +250,19 @@ class ClusterSession {
   /// returns the aggregated + per-node outcome, consuming the session.
   Result<ClusterOutcome> Finish();
 
+  /// \brief Snapshot of the cursor, routing state, per-node counters and
+  /// policy/latency state. Every node's policy must support
+  /// checkpointing (NotImplemented naming the first node that does not,
+  /// otherwise). Fails once the session was consumed by Finish().
+  [[nodiscard]] Result<ClusterCheckpoint> Checkpoint() const;
+
+  /// \brief Rewinds/forwards this session to `checkpoint`. The session
+  /// must have been created over the same trace, window, cluster spec and
+  /// policy as the checkpoint's origin (validated field by field,
+  /// InvalidArgument naming the mismatch). On a non-OK Restore the
+  /// session may hold a mix of old and new state — discard it.
+  Status Restore(const ClusterCheckpoint& checkpoint);
+
  private:
   enum class NodeState {
     kPending,   ///< scheduled by an add event, not joined yet
@@ -223,6 +285,13 @@ class ClusterSession {
     uint64_t reroutes_in = 0;
     /// This minute's arrivals routed here (scratch, rebuilt per minute).
     std::vector<Invocation> arrivals;
+    /// Per-node latency/queue state when SimOptions.latency is set; null
+    /// (and the latency path untouched) otherwise. A failed node's queue
+    /// keeps draining — admitted requests complete even if the node dies
+    /// later in the window.
+    std::unique_ptr<LatencyLane> latency;
+    /// Scratch: per-arrival cold flags for the latency path.
+    std::vector<uint8_t> cold_flags;
   };
 
   ClusterSession(TraceSource* source, std::unique_ptr<TraceSource> owned,
@@ -285,6 +354,10 @@ class ClusterSession {
   // Per-minute scratch, reused across steps.
   std::vector<Invocation> arrivals_;
   std::vector<NodeView> views_;
+
+  /// Per-request sampling keys shared by every node's latency lane; null
+  /// when the latency subsystem is disabled.
+  std::shared_ptr<const std::vector<uint64_t>> latency_hashes_;
 };
 
 }  // namespace spes

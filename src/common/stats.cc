@@ -1,8 +1,11 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
+
+#include "common/binary_io.h"
 
 namespace spes {
 
@@ -63,7 +66,147 @@ double Percentile(std::vector<int64_t> xs, double p) {
   return PercentileSorted(ds, p);
 }
 
+double Quantile(std::vector<double> xs, double q) {
+  return Percentile(std::move(xs), q * 100.0);
+}
+
+double Quantile(std::vector<int64_t> xs, double q) {
+  return Percentile(std::move(xs), q * 100.0);
+}
+
 double Median(const std::vector<int64_t>& xs) { return Percentile(xs, 50.0); }
+
+namespace {
+
+/// Highest possible bucket index + 1: the top bit of a uint64 sample is
+/// bit 63, whose octave block is 63 - kSubBits + 1 = 59, and each block
+/// holds kSubBuckets buckets — so 60 blocks cover the full domain.
+constexpr size_t kNumBuckets =
+    (64 - FixedBucketHistogram::kSubBits + 1) *
+    FixedBucketHistogram::kSubBuckets;
+
+}  // namespace
+
+FixedBucketHistogram::FixedBucketHistogram() : counts_(kNumBuckets, 0) {}
+
+size_t FixedBucketHistogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // Octave of the sample's top bit, split into kSubBuckets linear
+  // sub-buckets by the bits just below it. Contiguous with the exact
+  // range: the first octave block maps [32, 63] to indexes [32, 63].
+  const uint64_t top = static_cast<uint64_t>(std::bit_width(value)) - 1;
+  const uint64_t shift = top - kSubBits;
+  const uint64_t sub = (value >> shift) & (kSubBuckets - 1);
+  const uint64_t block = top - kSubBits + 1;
+  return static_cast<size_t>(block * kSubBuckets + sub);
+}
+
+uint64_t FixedBucketHistogram::BucketMidpoint(size_t index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);  // exact
+  const uint64_t block = static_cast<uint64_t>(index) >> kSubBits;
+  const uint64_t sub = static_cast<uint64_t>(index) & (kSubBuckets - 1);
+  const uint64_t shift = block - 1;
+  const uint64_t lo = (kSubBuckets + sub) << shift;
+  const uint64_t width = uint64_t{1} << shift;
+  return lo + (width >> 1);
+}
+
+void FixedBucketHistogram::Record(uint64_t value) { RecordMany(value, 1); }
+
+void FixedBucketHistogram::RecordMany(uint64_t value, uint64_t count) {
+  if (count == 0) return;
+  counts_[BucketIndex(value)] += count;
+  if (total_count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  total_count_ += count;
+  sum_ += value * count;
+}
+
+uint64_t FixedBucketHistogram::ValueAtQuantile(double q) const {
+  if (total_count_ == 0) return 0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(clamped * static_cast<double>(total_count_)));
+  target = std::min(std::max<uint64_t>(target, 1), total_count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) {
+      // The midpoint can under/overshoot the recorded extremes by up to
+      // half a bucket; clamping makes Min()/Max() exact at q=0 / q=1.
+      return std::min(std::max(BucketMidpoint(i), Min()), max_);
+    }
+  }
+  return max_;  // unreachable: cumulative reaches total_count_
+}
+
+void FixedBucketHistogram::Merge(const FixedBucketHistogram& other) {
+  if (other.total_count_ == 0) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (total_count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+void FixedBucketHistogram::SerializeTo(BinaryWriter* writer) const {
+  writer->PutVarU64(total_count_);
+  writer->PutVarU64(sum_);
+  writer->PutVarU64(min_);
+  writer->PutVarU64(max_);
+  uint64_t occupied = 0;
+  for (uint64_t c : counts_) occupied += c != 0 ? 1 : 0;
+  writer->PutVarU64(occupied);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    writer->PutVarU64(i);
+    writer->PutVarU64(counts_[i]);
+  }
+}
+
+Result<FixedBucketHistogram> FixedBucketHistogram::ParseFrom(
+    BinaryReader* reader) {
+  FixedBucketHistogram histogram;
+  SPES_ASSIGN_OR_RETURN(histogram.total_count_, reader->VarU64());
+  SPES_ASSIGN_OR_RETURN(histogram.sum_, reader->VarU64());
+  SPES_ASSIGN_OR_RETURN(histogram.min_, reader->VarU64());
+  SPES_ASSIGN_OR_RETURN(histogram.max_, reader->VarU64());
+  SPES_ASSIGN_OR_RETURN(const uint64_t occupied, reader->VarLength(2));
+  uint64_t running = 0;
+  int64_t previous = -1;
+  for (uint64_t k = 0; k < occupied; ++k) {
+    SPES_ASSIGN_OR_RETURN(const uint64_t index, reader->VarU64());
+    SPES_ASSIGN_OR_RETURN(const uint64_t count, reader->VarU64());
+    if (index >= kNumBuckets) {
+      return Status::InvalidArgument(
+          "corrupt histogram: bucket index (=" + std::to_string(index) +
+          ") is out of range");
+    }
+    if (static_cast<int64_t>(index) <= previous) {
+      return Status::InvalidArgument(
+          "corrupt histogram: bucket indexes are not strictly increasing");
+    }
+    if (count == 0) {
+      return Status::InvalidArgument(
+          "corrupt histogram: empty bucket (=" + std::to_string(index) +
+          ") was serialized");
+    }
+    previous = static_cast<int64_t>(index);
+    histogram.counts_[index] = count;
+    running += count;
+  }
+  if (running != histogram.total_count_) {
+    return Status::InvalidArgument(
+        "corrupt histogram: bucket counts sum to " + std::to_string(running) +
+        " but the total says " + std::to_string(histogram.total_count_));
+  }
+  if (histogram.total_count_ == 0 &&
+      (histogram.sum_ != 0 || histogram.min_ != 0 || histogram.max_ != 0)) {
+    return Status::InvalidArgument(
+        "corrupt histogram: empty histogram carries non-zero aggregates");
+  }
+  return histogram;
+}
 
 std::vector<ModeEntry> TopModes(const std::vector<int64_t>& xs, int n) {
   if (n <= 0 || xs.empty()) return {};

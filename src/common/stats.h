@@ -1,6 +1,7 @@
 // Descriptive statistics used throughout SPES's categorization rules:
 // percentiles, modes, coefficient of variation, medians, CDFs and a simple
-// least-squares linear fit (for the Fig. 13 trade-off analysis).
+// least-squares linear fit (for the Fig. 13 trade-off analysis) — plus the
+// mergeable fixed-bucket latency histogram the SLO reporting is built on.
 
 #ifndef SPES_COMMON_STATS_H_
 #define SPES_COMMON_STATS_H_
@@ -9,7 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spes {
+
+class BinaryWriter;  // common/binary_io.h
+class BinaryReader;
 
 /// \brief Arithmetic mean; 0 for an empty input.
 double Mean(const std::vector<double>& xs);
@@ -33,8 +39,84 @@ double CoefficientOfVariation(const std::vector<int64_t>& xs);
 double Percentile(std::vector<double> xs, double p);
 double Percentile(std::vector<int64_t> xs, double p);
 
+/// \brief q-th quantile (q in [0,1]) with linear interpolation; the
+/// fraction-domain twin of Percentile() (Quantile(xs, q) ==
+/// Percentile(xs, 100*q)). Returns 0 for an empty input.
+double Quantile(std::vector<double> xs, double q);
+double Quantile(std::vector<int64_t> xs, double q);
+
 /// \brief Median; 0 for an empty input.
 double Median(const std::vector<int64_t>& xs);
+
+/// \brief A mergeable fixed-bucket histogram over non-negative integer
+/// samples (the latency subsystem records end-to-end times in
+/// microseconds).
+///
+/// Bucketing is log2-linear (HDR-histogram style): values below 32 get
+/// exact unit buckets; above that, each power-of-two octave is split into
+/// 32 linear sub-buckets, so every bucket's relative width — and therefore
+/// the worst-case quantile error — is bounded by 1/32 (~3%). The bucket
+/// index is pure integer bit arithmetic, so recording is deterministic on
+/// every platform, and two histograms with the same geometry merge
+/// *exactly* (counts add), which is what lets per-node histograms combine
+/// into a fleet histogram with no approximation beyond the shared
+/// bucketing.
+class FixedBucketHistogram {
+ public:
+  /// Linear sub-buckets per octave; also the width of the exact range.
+  static constexpr uint64_t kSubBuckets = 32;
+  static constexpr uint64_t kSubBits = 5;  ///< log2(kSubBuckets)
+
+  FixedBucketHistogram();
+
+  /// \brief Records one sample.
+  void Record(uint64_t value);
+  /// \brief Records `count` identical samples.
+  void RecordMany(uint64_t value, uint64_t count);
+
+  [[nodiscard]] uint64_t TotalCount() const { return total_count_; }
+  [[nodiscard]] uint64_t Sum() const { return sum_; }
+  /// Smallest/largest recorded sample; 0 when empty.
+  [[nodiscard]] uint64_t Min() const { return total_count_ == 0 ? 0 : min_; }
+  [[nodiscard]] uint64_t Max() const { return max_; }
+  [[nodiscard]] double Mean() const {
+    return total_count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(total_count_);
+  }
+
+  /// \brief The representative value at quantile q in [0, 1] (0 when
+  /// empty): the midpoint of the first bucket whose cumulative count
+  /// reaches ceil(q * TotalCount()), clamped into [Min(), Max()] so the
+  /// extremes are exact.
+  [[nodiscard]] uint64_t ValueAtQuantile(double q) const;
+
+  /// \brief Exact merge: bucket counts, totals and extrema combine with
+  /// no precision loss (both sides always share the fixed geometry).
+  void Merge(const FixedBucketHistogram& other);
+
+  /// \brief Appends the histogram to `writer` in sparse (index, count)
+  /// varint form — empty buckets cost nothing.
+  void SerializeTo(BinaryWriter* writer) const;
+
+  /// \brief Parses bytes produced by SerializeTo(); truncated or corrupt
+  /// input (bad indexes, inconsistent totals) yields InvalidArgument.
+  static Result<FixedBucketHistogram> ParseFrom(BinaryReader* reader);
+
+  bool operator==(const FixedBucketHistogram&) const = default;
+
+ private:
+  /// Bucket index of a sample (total order, contiguous from 0).
+  [[nodiscard]] static size_t BucketIndex(uint64_t value);
+  /// Midpoint representative of bucket `index`.
+  [[nodiscard]] static uint64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
 
 /// \brief A value and how many times it occurs.
 struct ModeEntry {

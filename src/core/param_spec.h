@@ -82,6 +82,8 @@ struct ParamSpec {
 struct NamedSpec {
   std::string name;
   std::map<std::string, ParamValue> params;
+
+  bool operator==(const NamedSpec& other) const = default;
 };
 
 /// \brief True when `text` is a valid canonical/parameter identifier

@@ -1,0 +1,84 @@
+#include "latency/latency_model.h"
+
+#include <utility>
+
+namespace spes {
+
+Result<LatencyModelSpec> ParseLatencyModelSpec(const std::string& text) {
+  return ParseNamedSpec(text, "latency model");
+}
+
+std::string FormatLatencyModelSpec(const LatencyModelSpec& spec) {
+  return FormatNamedSpec(spec);
+}
+
+Status LatencyModelRegistry::Register(Entry entry) {
+  if (!IsSpecIdentifier(entry.canonical_name)) {
+    return Status::InvalidArgument("latency model canonical name '" +
+                                   entry.canonical_name +
+                                   "' is not an identifier");
+  }
+  if (!entry.factory) {
+    return Status::InvalidArgument("latency model '" + entry.canonical_name +
+                                   "' registered without a factory");
+  }
+  SPES_RETURN_NOT_OK(
+      ValidateParamSchema("latency model", entry.canonical_name, entry.params));
+  const std::string name = entry.canonical_name;
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    return Status::AlreadyExists("latency model '" + name +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<LatencyModel>> LatencyModelRegistry::Create(
+    const LatencyModelSpec& spec) const {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("LatencyModelSpec.name must not be empty");
+  }
+  const Entry* entry = Find(spec.name);
+  if (entry == nullptr) {
+    return Status::NotFound("unknown latency model '" + spec.name +
+                            "'; registered latency models: " +
+                            JoinNames(Names()));
+  }
+  SPES_ASSIGN_OR_RETURN(LatencyModelParams params,
+                        MergeSpecParams("latency model", spec, entry->params));
+  return entry->factory(params);
+}
+
+Result<std::unique_ptr<LatencyModel>> LatencyModelRegistry::CreateFromString(
+    const std::string& text) const {
+  SPES_ASSIGN_OR_RETURN(const LatencyModelSpec spec,
+                        ParseLatencyModelSpec(text));
+  return Create(spec);
+}
+
+bool LatencyModelRegistry::Contains(const std::string& name) const {
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> LatencyModelRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+const LatencyModelRegistry::Entry* LatencyModelRegistry::Find(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+LatencyModelRegistry& LatencyModelRegistry::Global() {
+  static LatencyModelRegistry* registry = [] {
+    auto* r = new LatencyModelRegistry();
+    RegisterBuiltinLatencyModels(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace spes

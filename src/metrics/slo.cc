@@ -1,0 +1,60 @@
+#include "metrics/slo.h"
+
+#include <string>
+
+namespace spes {
+
+namespace {
+
+const std::vector<std::string>& SloHeaders() {
+  static const std::vector<std::string> headers = {
+      "label",      "offered",   "served",  "cold",      "p50 ms",
+      "p95 ms",     "p99 ms",    "mean ms", "max ms",    "timeouts",
+      "timeout %",  "shed",      "shed %",  "max depth"};
+  return headers;
+}
+
+std::vector<std::string> SloCells(const std::string& label,
+                                  const LatencyOutcome& latency) {
+  return {label,
+          std::to_string(latency.offered()),
+          std::to_string(latency.served),
+          std::to_string(latency.cold_served),
+          FormatDouble(latency.p50_ms, 3),
+          FormatDouble(latency.p95_ms, 3),
+          FormatDouble(latency.p99_ms, 3),
+          FormatDouble(latency.mean_ms, 3),
+          FormatDouble(latency.max_ms, 3),
+          std::to_string(latency.timeouts),
+          FormatPercent(latency.timeout_rate, 2),
+          std::to_string(latency.shed),
+          FormatPercent(latency.shed_rate, 2),
+          std::to_string(latency.max_queue_depth)};
+}
+
+}  // namespace
+
+Table BuildLatencySloTable(const std::vector<LatencySloRow>& rows) {
+  Table table(SloHeaders());
+  for (const LatencySloRow& row : rows) {
+    if (row.latency == nullptr) continue;
+    table.AddRow(SloCells(row.label, *row.latency));
+  }
+  return table;
+}
+
+Table BuildClusterLatencySloTable(const ClusterOutcome& outcome) {
+  Table table(SloHeaders());
+  for (const NodeOutcome& node : outcome.nodes) {
+    if (node.sim.latency == nullptr) continue;
+    table.AddRow(SloCells("node " + std::to_string(node.node) + " (" +
+                              node.final_state + ")",
+                          *node.sim.latency));
+  }
+  if (outcome.fleet.latency != nullptr) {
+    table.AddRow(SloCells("fleet", *outcome.fleet.latency));
+  }
+  return table;
+}
+
+}  // namespace spes

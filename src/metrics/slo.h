@@ -1,0 +1,38 @@
+// SLO reporting over the opt-in latency subsystem (latency/latency.h):
+// per-policy and per-node p50/p95/p99 tables the bench harnesses print,
+// built from finalized LatencyOutcome summaries.
+
+#ifndef SPES_METRICS_SLO_H_
+#define SPES_METRICS_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "latency/latency.h"
+
+namespace spes {
+
+/// \brief One labelled row of an SLO comparison: a policy, a node, or a
+/// whole sweep cell. `latency` is borrowed and must be finalized (as
+/// every outcome handed out by the engine already is).
+struct LatencySloRow {
+  std::string label;
+  const LatencyOutcome* latency = nullptr;
+};
+
+/// \brief One comparison row per entry: offered/served/cold counts, the
+/// p50/p95/p99/mean/max end-to-end summary, timeout and shed rates, and
+/// the peak queue depth. Null-latency rows are skipped (a run without a
+/// latency block has nothing to report).
+Table BuildLatencySloTable(const std::vector<LatencySloRow>& rows);
+
+/// \brief Per-node SLO breakdown of one cluster run, fleet summary row
+/// last — the latency counterpart of BuildClusterNodeTable(). Requires
+/// the run to have had a latency block (every NodeOutcome carries one).
+Table BuildClusterLatencySloTable(const ClusterOutcome& outcome);
+
+}  // namespace spes
+
+#endif  // SPES_METRICS_SLO_H_

@@ -7,10 +7,13 @@
 #define SPES_SIM_ACCOUNTING_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace spes {
+
+struct LatencyOutcome;  // latency/latency.h
 
 /// \brief Counters kept by the engine for one function over the simulation
 /// window.
@@ -92,6 +95,9 @@ struct SimulationOutcome {
   std::vector<FunctionAccount> accounts;
   std::vector<uint32_t> memory_series;
   FleetMetrics metrics;
+  /// Latency/SLO outcome when the opt-in latency subsystem was enabled
+  /// for the run; null otherwise. Shared so outcomes stay cheap to copy.
+  std::shared_ptr<const LatencyOutcome> latency;
 };
 
 /// \brief Derives FleetMetrics from raw accounts and the memory series.

@@ -23,6 +23,9 @@ Status ValidateSimOptions(const SimOptions& options) {
         ") must not precede SimOptions.train_minutes (=" +
         std::to_string(options.train_minutes) + ")");
   }
+  if (options.latency.has_value()) {
+    SPES_RETURN_NOT_OK(ValidateLatencySpec(*options.latency));
+  }
   return Status::OK();
 }
 

@@ -10,7 +10,10 @@
 #ifndef SPES_SIM_ENGINE_H_
 #define SPES_SIM_ENGINE_H_
 
+#include <optional>
+
 #include "common/status.h"
+#include "latency/latency.h"
 #include "sim/accounting.h"
 #include "sim/policy.h"
 #include "trace/trace.h"
@@ -28,13 +31,20 @@ struct SimOptions {
   /// the policy step: an instance that just executed occupies memory at
   /// least through its arrival minute, whatever the policy decided.
   bool pin_executing_functions = true;
+  /// Opt-in latency subsystem (latency/latency.h): when set, every lane
+  /// (or cluster node) samples per-request service times, runs them
+  /// through its concurrency queue and reports SLO metrics. When unset
+  /// (the default) the latency path is never touched and runs are
+  /// byte-identical to an engine without the subsystem.
+  std::optional<LatencySpec> latency;
 };
 
 /// \brief Trace-independent validation of the engine knobs: a negative
-/// train_minutes or end_minute, or an end_minute before train_minutes,
-/// yields InvalidArgument naming the offending field. Shared by the
-/// engine and by ScenarioSpec validation (sim/scenario.h) so bad windows
-/// are rejected up front, before any trace is realized.
+/// train_minutes or end_minute, an end_minute before train_minutes, or an
+/// invalid latency block yields InvalidArgument naming the offending
+/// field. Shared by the engine and by ScenarioSpec validation
+/// (sim/scenario.h) so bad windows are rejected up front, before any
+/// trace is realized.
 Status ValidateSimOptions(const SimOptions& options);
 
 /// \brief Trains `policy` on the trace prefix and replays the rest.

@@ -19,6 +19,8 @@
 
 namespace spes {
 
+struct LatencyLiveTotals;  // latency/latency.h
+
 /// \brief Static facts about a stream, delivered once before its first
 /// simulated minute.
 struct StreamInfo {
@@ -41,6 +43,9 @@ struct MinuteView {
   const std::vector<FunctionAccount>* accounts = nullptr;  ///< incremental
   const std::vector<uint32_t>* memory_series = nullptr;    ///< so far
   LiveTotals totals;  ///< fleet-wide counters through this minute
+  /// Live latency counters when the opt-in latency subsystem is enabled;
+  /// null otherwise (latency/latency.h).
+  const LatencyLiveTotals* latency = nullptr;
 
   /// \brief Instances loaded at the end of this minute.
   [[nodiscard]] uint32_t loaded_instances() const {

@@ -203,6 +203,15 @@ Result<std::vector<ScenarioOutcome>> RunLockstepValidatedTrace(
           "lockstep lanes share one engine: spec " + std::to_string(i) +
           " pin_executing_functions differs from spec 0");
     }
+    if (a.latency != b.latency) {
+      return Status::InvalidArgument(
+          "lockstep lanes share one engine: spec " + std::to_string(i) +
+          " latency block (=\"" +
+          (a.latency.has_value() ? FormatLatencySpec(*a.latency) : "") +
+          "\") differs from spec 0 (=\"" +
+          (b.latency.has_value() ? FormatLatencySpec(*b.latency) : "") +
+          "\")");
+    }
   }
   std::vector<std::unique_ptr<Policy>> policies;
   std::vector<Policy*> lanes;

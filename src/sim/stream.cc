@@ -10,9 +10,13 @@ namespace spes {
 
 namespace {
 
-/// Format tag of the serialized checkpoint byte stream.
+/// Format tag of the serialized checkpoint byte stream. Version 1 is the
+/// pre-latency layout; version 2 appends one latency-state blob per lane.
+/// Streams without a latency block still serialize as version 1, byte for
+/// byte, so existing checkpoint goldens (and old readers) are unaffected.
 constexpr char kCheckpointMagic[] = "SPESCKPT";
 constexpr uint32_t kCheckpointVersion = 1;
+constexpr uint32_t kCheckpointVersionLatency = 2;
 
 /// Shared lane validation of the Create() overloads.
 Status ValidateStreamPolicies(const std::vector<Policy*>& policies) {
@@ -99,6 +103,7 @@ Result<SimStream> SimStream::Create(const Trace& trace,
                                                    options.train_minutes));
     stream.lanes_.push_back(std::move(lane));
   }
+  SPES_RETURN_NOT_OK(stream.EnableLatency());
   return stream;
 }
 
@@ -136,7 +141,23 @@ Result<SimStream> SimStream::Create(TraceSource& source,
                                                    options.train_minutes));
     stream.lanes_.push_back(std::move(lane));
   }
+  SPES_RETURN_NOT_OK(stream.EnableLatency());
   return stream;
+}
+
+Status SimStream::EnableLatency() {
+  if (!options_.latency.has_value()) return Status::OK();
+  const LatencySpec& spec = *options_.latency;
+  // One shared hash table: the keys depend only on function names and the
+  // latency seed, so lockstep lanes (and a cluster's nodes) sample
+  // identical per-request streams regardless of placement.
+  latency_hashes_ = std::make_shared<const std::vector<uint64_t>>(
+      ComputeFunctionHashes(*source_, spec.seed));
+  for (Lane& lane : lanes_) {
+    SPES_ASSIGN_OR_RETURN(lane.latency,
+                          CreateLatencyLane(spec, latency_hashes_));
+  }
+  return Status::OK();
 }
 
 void SimStream::AddObserver(SimObserver* observer) {
@@ -161,16 +182,35 @@ Status SimStream::StepLocked() {
     Lane& lane = lanes_[lane_index];
     LaneColumns& cols = lane.cols;
 
-    // 1-2. Cold-start accounting, then execution pins the instance.
-    for (const Invocation& inv : arrivals_) {
-      cols.invocations[inv.function] += inv.count;
-      cols.invoked_minutes[inv.function] += 1;
-      lane.totals.invocations += inv.count;
-      if (!lane.mem.Contains(inv.function)) {
-        cols.cold_starts[inv.function] += 1;
-        lane.totals.cold_starts += 1;
+    // 1-2. Cold-start accounting, then execution pins the instance. The
+    // latency variant additionally records which arrivals were cold (the
+    // flags feed LatencyLane::OnMinute below); the plain variant is the
+    // original loop, untouched so disabled runs stay byte-identical.
+    if (lane.latency == nullptr) {
+      for (const Invocation& inv : arrivals_) {
+        cols.invocations[inv.function] += inv.count;
+        cols.invoked_minutes[inv.function] += 1;
+        lane.totals.invocations += inv.count;
+        if (!lane.mem.Contains(inv.function)) {
+          cols.cold_starts[inv.function] += 1;
+          lane.totals.cold_starts += 1;
+        }
+        lane.mem.Add(inv.function);
       }
-      lane.mem.Add(inv.function);
+    } else {
+      cold_flags_.assign(arrivals_.size(), 0);
+      for (size_t i = 0; i < arrivals_.size(); ++i) {
+        const Invocation& inv = arrivals_[i];
+        cols.invocations[inv.function] += inv.count;
+        cols.invoked_minutes[inv.function] += 1;
+        lane.totals.invocations += inv.count;
+        if (!lane.mem.Contains(inv.function)) {
+          cols.cold_starts[inv.function] += 1;
+          lane.totals.cold_starts += 1;
+          cold_flags_[i] = 1;
+        }
+        lane.mem.Add(inv.function);
+      }
     }
 
     // 3. Policy step (timed for the RQ2 overhead measurement).
@@ -201,6 +241,10 @@ Status SimStream::StepLocked() {
     lane.totals.wasted_memory_minutes += live - invoked_loaded_now;
     lane.memory_series.push_back(static_cast<uint32_t>(live));
 
+    if (lane.latency != nullptr) {
+      lane.latency->OnMinute(t, arrivals_, cold_flags_);
+    }
+
     if (!observers_.empty()) {
       // Observers see the classic account view; materializing it per
       // minute is the documented cost of attaching one.
@@ -214,6 +258,7 @@ Status SimStream::StepLocked() {
       view.accounts = &lane.scratch_accounts;
       view.memory_series = &lane.memory_series;
       view.totals = lane.totals;
+      if (lane.latency != nullptr) view.latency = &lane.latency->live();
       for (SimObserver* observer : observers_) {
         if (!observer->OnMinute(view)) stop_requested = true;
       }
@@ -303,6 +348,10 @@ Result<std::vector<SimulationOutcome>> SimStream::FinishAll() {
                                           lane.memory_series,
                                           lane.overhead_seconds);
     outcome.memory_series = std::move(lane.memory_series);
+    if (lane.latency != nullptr) {
+      outcome.latency =
+          std::make_shared<const LatencyOutcome>(lane.latency->TakeOutcome());
+    }
     outcomes.push_back(std::move(outcome));
   }
   for (SimObserver* observer : observers_) {
@@ -352,6 +401,7 @@ Result<SimCheckpoint> SimStream::Checkpoint() const {
     out.totals = lane.totals;
     out.overhead_seconds = lane.overhead_seconds;
     SPES_ASSIGN_OR_RETURN(out.policy_state, lane.policy->SaveState());
+    if (lane.latency != nullptr) out.latency_state = lane.latency->SaveState();
     checkpoint.lanes.push_back(std::move(out));
   }
   return checkpoint;
@@ -422,6 +472,16 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
           ") entries but the cursor implies (=" +
           std::to_string(expected_series) + ")");
     }
+    // A LatencyLane blob is never empty, so presence of latency state is
+    // exactly "the origin stream ran with a latency block".
+    if (in.latency_state.empty() != (lanes_[i].latency == nullptr)) {
+      return Status::InvalidArgument(
+          "checkpoint lane " + std::to_string(i) +
+          (in.latency_state.empty()
+               ? " has no latency state but this stream has a latency block"
+               : " carries latency state but this stream has no latency "
+                 "block"));
+    }
   }
 
   // Shape checks all passed; hand the policies their state, then reinstate
@@ -431,6 +491,10 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
   for (size_t i = 0; i < lanes_.size(); ++i) {
     SPES_RETURN_NOT_OK(
         lanes_[i].policy->RestoreState(checkpoint.lanes[i].policy_state));
+    if (lanes_[i].latency != nullptr) {
+      SPES_RETURN_NOT_OK(lanes_[i].latency->RestoreState(
+          checkpoint.lanes[i].latency_state, expected_series));
+    }
   }
   for (size_t i = 0; i < lanes_.size(); ++i) {
     const SimCheckpoint::Lane& in = checkpoint.lanes[i];
@@ -451,9 +515,13 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
 }
 
 std::string SerializeCheckpoint(const SimCheckpoint& checkpoint) {
+  bool has_latency = false;
+  for (const SimCheckpoint::Lane& lane : checkpoint.lanes) {
+    if (!lane.latency_state.empty()) has_latency = true;
+  }
   BinaryWriter w;
   w.PutBytes(kCheckpointMagic);
-  w.PutU32(kCheckpointVersion);
+  w.PutU32(has_latency ? kCheckpointVersionLatency : kCheckpointVersion);
   w.PutI32(checkpoint.cursor);
   w.PutI32(checkpoint.train_minutes);
   w.PutI32(checkpoint.end_minute);
@@ -481,6 +549,7 @@ std::string SerializeCheckpoint(const SimCheckpoint& checkpoint) {
     w.PutU64(lane.totals.wasted_memory_minutes);
     w.PutDouble(lane.overhead_seconds);
     w.PutBytes(lane.policy_state);
+    if (has_latency) w.PutBytes(lane.latency_state);
   }
   return w.Take();
 }
@@ -493,10 +562,11 @@ Result<SimCheckpoint> ParseCheckpoint(const std::string& bytes) {
         "not a SPES checkpoint (bad magic tag)");
   }
   SPES_ASSIGN_OR_RETURN(const uint32_t version, r.U32());
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersion && version != kCheckpointVersionLatency) {
     return Status::InvalidArgument(
         "unsupported checkpoint version (=" + std::to_string(version) +
-        "), expected (=" + std::to_string(kCheckpointVersion) + ")");
+        "), expected (=" + std::to_string(kCheckpointVersion) + ") or (=" +
+        std::to_string(kCheckpointVersionLatency) + ")");
   }
   SimCheckpoint checkpoint;
   SPES_ASSIGN_OR_RETURN(checkpoint.cursor, r.I32());
@@ -541,6 +611,9 @@ Result<SimCheckpoint> ParseCheckpoint(const std::string& bytes) {
     SPES_ASSIGN_OR_RETURN(lane.totals.wasted_memory_minutes, r.U64());
     SPES_ASSIGN_OR_RETURN(lane.overhead_seconds, r.Double());
     SPES_ASSIGN_OR_RETURN(lane.policy_state, r.Bytes());
+    if (version >= kCheckpointVersionLatency) {
+      SPES_ASSIGN_OR_RETURN(lane.latency_state, r.Bytes());
+    }
     checkpoint.lanes.push_back(std::move(lane));
   }
   if (!r.AtEnd()) {

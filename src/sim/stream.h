@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "latency/latency.h"
 #include "sim/accounting.h"
 #include "sim/columnar.h"
 #include "sim/engine.h"
@@ -63,6 +64,12 @@ struct SimCheckpoint {
     LiveTotals totals;
     double overhead_seconds = 0.0;
     std::string policy_state;  ///< Policy::SaveState() blob
+    /// LatencyLane::SaveState() blob when the stream ran with a latency
+    /// block; empty otherwise. Serialized checkpoints stay at version 1
+    /// (byte-identical to before the latency subsystem existed) when
+    /// every lane's blob is empty; any non-empty blob bumps the tag to
+    /// version 2.
+    std::string latency_state;
   };
   std::vector<Lane> lanes;
 };
@@ -186,6 +193,9 @@ class SimStream {
     /// Classic account view, materialized on demand (observers attached,
     /// snapshots, checkpoints, outcomes); empty on the fast path.
     std::vector<FunctionAccount> scratch_accounts;
+    /// Per-lane latency/queue state when SimOptions.latency is set; null
+    /// (and the latency path untouched) otherwise.
+    std::unique_ptr<LatencyLane> latency;
   };
 
   SimStream(TraceSource* source, std::unique_ptr<TraceSource> owned,
@@ -193,6 +203,10 @@ class SimStream {
 
   /// Delivers OnStreamStart exactly once, before any other callback.
   void EnsureStarted();
+
+  /// Builds each lane's LatencyLane from options_.latency (called by the
+  /// Create() overloads after the lanes exist).
+  Status EnableLatency();
 
   /// One simulated minute for every lane over a single arrival decode.
   /// Fails (without advancing the cursor) when the source fails mid-run —
@@ -219,6 +233,11 @@ class SimStream {
   /// This minute's arrivals, copied from the decoder block (the Policy
   /// API takes a vector); reused across steps.
   std::vector<Invocation> arrivals_;
+  /// Per-request sampling keys shared by every latency lane; null when
+  /// the latency subsystem is disabled.
+  std::shared_ptr<const std::vector<uint64_t>> latency_hashes_;
+  /// Scratch: this minute's per-arrival cold flags (latency path only).
+  std::vector<uint8_t> cold_flags_;
 };
 
 }  // namespace spes

@@ -52,7 +52,7 @@ class KeepAllPolicy : public Policy {
 
 TEST(EngineTest, RejectsNullPolicy) {
   Trace trace = MakeTrace({{1, 0, 1}});
-  EXPECT_FALSE(Simulate(trace, nullptr, SimOptions{0, 0, true}).ok());
+  EXPECT_FALSE(Simulate(trace, nullptr, SimOptions{0, 0, true, {}}).ok());
 }
 
 TEST(EngineTest, RejectsBadWindow) {

@@ -15,8 +15,10 @@
 #include <memory>
 #include <numeric>
 
+#include "cluster/cluster.h"
 #include "core/policy_registry.h"
 #include "core/spes_policy.h"
+#include "latency/latency.h"
 #include "policies/fixed_keepalive.h"
 #include "runner/suite_runner.h"
 #include "sim/engine.h"
@@ -513,6 +515,202 @@ TEST(GoldenMetricsTest, ClusterSuiteIsBitwiseDeterministicAcrossThreads) {
   // The hash cluster anchors against the absolute goldens above.
   EXPECT_EQ(serial[0].outcome.metrics.total_cold_starts, 1535u);
   EXPECT_EQ(SeriesSum(serial[0].outcome.memory_series), 706610u);
+}
+
+// ---------------------------------------------------------------------
+// Latency subsystem goldens: the same stress chain as above with an
+// opt-in latency block. Two contracts at once: the engine-side counters
+// must match the latency-free goldens exactly (the subsystem observes
+// the run without perturbing it), and the SLO summary itself is pinned —
+// any change to sampling, queueing or histogram geometry fails loudly.
+// ---------------------------------------------------------------------
+
+constexpr char kLatencyChain[] =
+    "load_scale{factor=2.0} | "
+    "inject_burst{at=2900,width=15,amplitude=40,fraction=0.25,seed=7}";
+/// Tight enough (one slot, 4 queue slots, 250ms patience) that the burst
+/// produces all three admission classes: served, timed out, shed.
+constexpr char kLatencyBlock[] =
+    "lognormal{warm_median_ms=40,warm_sigma=0.4} @ "
+    "queue{capacity=4,concurrency=1,seed=42,timeout_ms=250}";
+
+ScenarioSpec LatencyChainSpec() {
+  GeneratorConfig config;
+  config.num_functions = 150;
+  config.days = 4;
+  config.seed = 99;
+  ScenarioSpec spec;
+  spec.trace = TraceSpec::FromGenerator(config);
+  spec.trace.transforms = ParseTransformChain(kLatencyChain).ValueOrDie();
+  spec.policy = {"fixed_keepalive", {{"minutes", 10}}};
+  spec.options.train_minutes = 2 * kMinutesPerDay;
+  spec.options.latency = ParseLatencySpec(kLatencyBlock).ValueOrDie();
+  return spec;
+}
+
+ScenarioSpec LatencyClusterSpec() {
+  ScenarioSpec spec = LatencyChainSpec();
+  spec.policy = {"spes", {}};
+  spec.cluster = ClusterSpec{};
+  spec.cluster->nodes = 4;
+  return spec;
+}
+
+TEST(GoldenMetricsTest, LatencyEnabledChainReproducesGoldenValues) {
+  const ScenarioOutcome run = RunScenario(LatencyChainSpec()).ValueOrDie();
+
+  // Engine-side counters match TransformedChainReproducesGoldenValues
+  // bit for bit: enabling the latency block perturbs nothing.
+  const FleetMetrics& m = run.outcome.metrics;
+  EXPECT_EQ(m.total_invocations, 1031468u);
+  EXPECT_EQ(m.total_cold_starts, 1588u);
+  EXPECT_EQ(m.wasted_memory_minutes, 79913u);
+  EXPECT_EQ(m.loaded_instance_minutes, 210407u);
+  EXPECT_EQ(m.max_memory, 91u);
+
+  ASSERT_NE(run.outcome.latency, nullptr);
+  const LatencyOutcome& l = *run.outcome.latency;
+  EXPECT_EQ(l.offered(), 1031468u);  // every arrival is accounted for
+  EXPECT_EQ(l.served, 1020800u);
+  EXPECT_EQ(l.cold_served, 1502u);  // cold arrivals whose first request ran
+  EXPECT_EQ(l.timeouts, 5266u);
+  EXPECT_EQ(l.shed, 5402u);
+  EXPECT_EQ(l.histogram.TotalCount(), l.served);
+  EXPECT_DOUBLE_EQ(l.p50_ms, 40.448);
+  EXPECT_DOUBLE_EQ(l.p95_ms, 87.040000000000006);
+  EXPECT_DOUBLE_EQ(l.p99_ms, 202.75200000000001);
+  EXPECT_DOUBLE_EQ(l.max_ms, 4346.7759999999998);
+  EXPECT_EQ(l.max_queue_depth, 4u);  // pinned at capacity: sheds happened
+  EXPECT_EQ(l.queue_depth_series.size(), 2880u);
+}
+
+TEST(GoldenMetricsTest, LatencyEnabledFourNodeClusterReproducesGoldenValues) {
+  const ScenarioOutcome run = RunScenario(LatencyClusterSpec()).ValueOrDie();
+  EXPECT_EQ(run.outcome.metrics.total_invocations, 1031468u);
+  EXPECT_EQ(run.outcome.metrics.total_cold_starts, 1556u);
+  ASSERT_NE(run.cluster, nullptr);
+  EXPECT_EQ(run.cluster->reroutes, 0u);
+
+  // Fleet summary: per-node queues see only their routed quarter of the
+  // load, so far fewer requests time out than in the single-lane run.
+  ASSERT_NE(run.outcome.latency, nullptr);
+  const LatencyOutcome& fleet = *run.outcome.latency;
+  EXPECT_EQ(fleet.offered(), 1031468u);
+  EXPECT_EQ(fleet.served, 1030521u);
+  EXPECT_EQ(fleet.cold_served, 1554u);
+  EXPECT_EQ(fleet.timeouts, 947u);
+  EXPECT_EQ(fleet.shed, 0u);
+  EXPECT_DOUBLE_EQ(fleet.p50_ms, 40.448);
+  EXPECT_DOUBLE_EQ(fleet.p95_ms, 76.799999999999997);
+  EXPECT_DOUBLE_EQ(fleet.p99_ms, 105.47199999999999);
+  EXPECT_DOUBLE_EQ(fleet.max_ms, 4013.0100000000002);
+  EXPECT_EQ(fleet.max_queue_depth, 1u);
+
+  // Per-node breakdown: the hash split concentrates the burst's queueing
+  // damage (node 1 pays 577 of the 947 timeouts).
+  ASSERT_EQ(run.cluster->nodes.size(), 4u);
+  const uint64_t node_served[] = {252104u, 294951u, 230800u, 252666u};
+  const uint64_t node_timeouts[] = {100u, 577u, 174u, 96u};
+  const uint64_t node_cold_served[] = {192u, 802u, 417u, 143u};
+  uint64_t served_sum = 0, timeout_sum = 0;
+  for (size_t k = 0; k < 4; ++k) {
+    const NodeOutcome& node = run.cluster->nodes[k];
+    ASSERT_NE(node.sim.latency, nullptr) << k;
+    EXPECT_EQ(node.sim.latency->served, node_served[k]) << k;
+    EXPECT_EQ(node.sim.latency->timeouts, node_timeouts[k]) << k;
+    EXPECT_EQ(node.sim.latency->cold_served, node_cold_served[k]) << k;
+    EXPECT_EQ(node.sim.latency->shed, 0u) << k;
+    served_sum += node.sim.latency->served;
+    timeout_sum += node.sim.latency->timeouts;
+  }
+  EXPECT_EQ(served_sum, fleet.served);
+  EXPECT_EQ(timeout_sum, fleet.timeouts);
+}
+
+TEST(GoldenMetricsTest, LatencySuiteIsBitwiseDeterministicAcrossThreads) {
+  std::vector<ScenarioSpec> specs = {LatencyChainSpec(),
+                                     LatencyClusterSpec()};
+  const std::vector<JobResult> serial = SuiteRunner({1, nullptr}).Run(specs);
+  const std::vector<JobResult> parallel =
+      SuiteRunner({4, nullptr}).Run(specs);
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].status.ok()) << serial[i].status.ToString();
+    ASSERT_TRUE(parallel[i].status.ok()) << parallel[i].status.ToString();
+    ASSERT_NE(serial[i].outcome.latency, nullptr);
+    ASSERT_NE(parallel[i].outcome.latency, nullptr);
+    EXPECT_EQ(*serial[i].outcome.latency, *parallel[i].outcome.latency) << i;
+  }
+  // Anchored to the absolute goldens above.
+  EXPECT_EQ(serial[0].outcome.latency->timeouts, 5266u);
+  EXPECT_EQ(serial[1].outcome.latency->timeouts, 947u);
+}
+
+TEST(GoldenMetricsTest, LatencyStreamCheckpointRestoreMatchesGoldens) {
+  const ScenarioSpec spec = LatencyChainSpec();
+  const Trace trace = RealizeTrace(spec.trace).ValueOrDie();
+  const int midpoint = 3 * kMinutesPerDay;  // inside the burst's aftermath
+
+  FixedKeepAlivePolicy original_policy(10);
+  SimStream original =
+      SimStream::Create(trace, &original_policy, spec.options).ValueOrDie();
+  ASSERT_TRUE(original.RunUntil(midpoint).ok());
+  const std::string bytes =
+      SerializeCheckpoint(original.Checkpoint().ValueOrDie());
+
+  FixedKeepAlivePolicy fresh_policy(10);
+  SimStream resumed =
+      SimStream::Create(trace, &fresh_policy, spec.options).ValueOrDie();
+  ASSERT_TRUE(resumed.Restore(ParseCheckpoint(bytes).ValueOrDie()).ok());
+  const SimulationOutcome from_start = original.Finish().ValueOrDie();
+  const SimulationOutcome from_restore = resumed.Finish().ValueOrDie();
+
+  ASSERT_NE(from_start.latency, nullptr);
+  ASSERT_NE(from_restore.latency, nullptr);
+  EXPECT_EQ(*from_start.latency, *from_restore.latency);
+  ExpectBitwiseIdenticalBehaviour(from_start, from_restore);
+  EXPECT_EQ(from_restore.latency->served, 1020800u);
+  EXPECT_EQ(from_restore.latency->timeouts, 5266u);
+  EXPECT_EQ(from_restore.latency->shed, 5402u);
+}
+
+TEST(GoldenMetricsTest, LatencyClusterCheckpointRestoreMatchesGoldens) {
+  const ScenarioSpec spec = LatencyClusterSpec();
+  const Trace trace = RealizeTrace(spec.trace).ValueOrDie();
+  const int midpoint = 3 * kMinutesPerDay;
+
+  ClusterSession original =
+      ClusterSession::Create(trace, *spec.cluster, spec.policy, spec.options)
+          .ValueOrDie();
+  ASSERT_TRUE(original.RunUntil(midpoint).ok());
+  const std::string bytes =
+      SerializeClusterCheckpoint(original.Checkpoint().ValueOrDie());
+
+  ClusterSession resumed =
+      ClusterSession::Create(trace, *spec.cluster, spec.policy, spec.options)
+          .ValueOrDie();
+  ASSERT_TRUE(
+      resumed.Restore(ParseClusterCheckpoint(bytes).ValueOrDie()).ok());
+  const ClusterOutcome from_start = original.Finish().ValueOrDie();
+  const ClusterOutcome from_restore = resumed.Finish().ValueOrDie();
+
+  ASSERT_NE(from_start.fleet.latency, nullptr);
+  ASSERT_NE(from_restore.fleet.latency, nullptr);
+  EXPECT_EQ(*from_start.fleet.latency, *from_restore.fleet.latency);
+  ExpectBitwiseIdenticalBehaviour(from_start.fleet, from_restore.fleet);
+  ASSERT_EQ(from_restore.nodes.size(), 4u);
+  for (size_t k = 0; k < 4; ++k) {
+    ASSERT_NE(from_start.nodes[k].sim.latency, nullptr) << k;
+    ASSERT_NE(from_restore.nodes[k].sim.latency, nullptr) << k;
+    EXPECT_EQ(*from_start.nodes[k].sim.latency,
+              *from_restore.nodes[k].sim.latency)
+        << k;
+  }
+  // Anchored to the cluster goldens above.
+  EXPECT_EQ(from_restore.fleet.latency->served, 1030521u);
+  EXPECT_EQ(from_restore.fleet.latency->timeouts, 947u);
+  EXPECT_EQ(from_restore.nodes[1].sim.latency->timeouts, 577u);
 }
 
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {

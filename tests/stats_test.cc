@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
+
+#include "common/binary_io.h"
 
 namespace spes {
 namespace {
@@ -105,6 +108,151 @@ TEST(StatsTest, FitLineDegenerateInputs) {
   EXPECT_DOUBLE_EQ(FitLine({1.0}, {2.0}).slope, 0.0);
   // Vertical data: sxx == 0.
   EXPECT_DOUBLE_EQ(FitLine({2.0, 2.0}, {1.0, 3.0}).slope, 0.0);
+}
+
+TEST(StatsTest, QuantileMatchesPercentile) {
+  std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), Percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(std::vector<int64_t>{1, 2, 3, 4, 5}, 0.1),
+                   Percentile(std::vector<int64_t>{1, 2, 3, 4, 5}, 10.0));
+}
+
+TEST(StatsTest, QuantileEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Quantile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(std::vector<double>{7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile(std::vector<double>{7.0}, 1.0), 7.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  FixedBucketHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValueAllQuantiles) {
+  FixedBucketHistogram h;
+  h.Record(42);
+  EXPECT_EQ(h.TotalCount(), 1u);
+  EXPECT_EQ(h.Min(), 42u);
+  EXPECT_EQ(h.Max(), 42u);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.ValueAtQuantile(q), 42u) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below kSubBuckets land in unit buckets: quantiles are exact.
+  FixedBucketHistogram h;
+  for (uint64_t v = 0; v < FixedBucketHistogram::kSubBuckets; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 15u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 31u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Sum(), 31u * 32u / 2u);
+}
+
+TEST(HistogramTest, DuplicateValues) {
+  FixedBucketHistogram h;
+  h.RecordMany(1000, 99);
+  h.Record(5000);
+  EXPECT_EQ(h.TotalCount(), 100u);
+  // 99% of mass sits at 1000: p50/p95 land in its bucket (relative error
+  // bounded by the 1/32 sub-bucket width), p100 is the exact max.
+  const uint64_t p50 = h.ValueAtQuantile(0.5);
+  EXPECT_NEAR(static_cast<double>(p50), 1000.0, 1000.0 / 32.0 + 1.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), h.ValueAtQuantile(0.95));
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 5000u);
+}
+
+TEST(HistogramTest, QuantileRelativeErrorIsBounded) {
+  FixedBucketHistogram h;
+  for (uint64_t v = 1; v <= 100000; v += 7) h.Record(v);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double exact = q * 100000.0;
+    const double approx = static_cast<double>(h.ValueAtQuantile(q));
+    // Bucket relative width is 1/32; the stride adds a little slack.
+    EXPECT_NEAR(approx, exact, exact / 16.0 + 8.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeIsExact) {
+  FixedBucketHistogram a;
+  FixedBucketHistogram b;
+  FixedBucketHistogram whole;
+  for (uint64_t v = 0; v < 5000; ++v) {
+    ((v % 3 == 0) ? a : b).Record(v * 13);
+    whole.Record(v * 13);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a, whole);
+}
+
+TEST(HistogramTest, MergeWithEmpty) {
+  FixedBucketHistogram a;
+  a.Record(7);
+  FixedBucketHistogram empty;
+  FixedBucketHistogram merged = a;
+  merged.Merge(empty);
+  EXPECT_EQ(merged, a);
+  empty.Merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(HistogramTest, SerializeRoundTrip) {
+  FixedBucketHistogram h;
+  h.RecordMany(3, 4);
+  h.Record(123456789);
+  h.Record(0);
+  BinaryWriter w;
+  h.SerializeTo(&w);
+  const std::string bytes = w.Take();
+  BinaryReader r(bytes);
+  const Result<FixedBucketHistogram> parsed =
+      FixedBucketHistogram::ParseFrom(&r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.ValueOrDie(), h);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(HistogramTest, SerializeRoundTripEmpty) {
+  FixedBucketHistogram h;
+  BinaryWriter w;
+  h.SerializeTo(&w);
+  const std::string bytes = w.Take();
+  BinaryReader r(bytes);
+  const Result<FixedBucketHistogram> parsed =
+      FixedBucketHistogram::ParseFrom(&r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed.ValueOrDie(), h);
+}
+
+TEST(HistogramTest, ParseRejectsCorruptBytes) {
+  FixedBucketHistogram h;
+  h.RecordMany(100, 10);
+  BinaryWriter w;
+  h.SerializeTo(&w);
+  const std::string bytes = w.Take();
+  // Truncations at every prefix must fail loudly, never crash.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::string prefix = bytes.substr(0, len);
+    BinaryReader r(prefix);
+    const Result<FixedBucketHistogram> parsed =
+        FixedBucketHistogram::ParseFrom(&r);
+    if (parsed.ok()) {
+      // A shorter prefix can only parse if it is not a strict prefix of
+      // the canonical encoding — which varint framing rules out.
+      ADD_FAILURE() << "truncated prefix of length " << len << " parsed";
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
 }
 
 class PercentileMonotonicTest : public ::testing::TestWithParam<double> {};

@@ -132,7 +132,7 @@ def lint_r1(relpath, lines):
 # R2: no unordered-container iteration where output ordering matters
 # --------------------------------------------------------------------------
 
-R2_DIRS = re.compile(r"^src/(metrics|sim|cluster)/")
+R2_DIRS = re.compile(r"^src/(metrics|sim|cluster|latency)/")
 R2_PATTERN = re.compile(r"\bunordered_(map|set)\b")
 
 
@@ -152,9 +152,10 @@ def lint_r2(relpath, lines):
                         i + 1,
                         "R2",
                         "unordered container in an ordered-output layer "
-                        "(src/metrics, src/sim, src/cluster); iteration "
-                        "order feeds tables/goldens — use std::map/sorted "
-                        "vector, or justify with '// det-ok: <reason>'",
+                        "(src/metrics, src/sim, src/cluster, src/latency); "
+                        "iteration order feeds tables/goldens — use "
+                        "std::map/sorted vector, or justify with "
+                        "'// det-ok: <reason>'",
                     )
                 )
     return findings
@@ -349,6 +350,18 @@ SELF_TEST_TREE = {
     ),
     # R1: det-ok without a reason is itself a finding.
     "src/sim/bad_bare_detok.cc": ("int R() { return rand(); }  // det-ok:\n"),
+    # R1 covers the latency subsystem: service-time sampling must flow
+    # through the seeded per-request keys, never ambient randomness.
+    "src/latency/bad_unseeded_sample.cc": (
+        "#include <random>\n"
+        "double SampleMs() { std::random_device rd; return rd(); }\n"
+    ),
+    # R2 covers src/latency/ too: queue/histogram state feeds pinned
+    # goldens, so iteration order must be deterministic.
+    "src/latency/bad_unordered.cc": (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, double> finish_times;\n"
+    ),
     # R2: unordered container in an ordered-output layer.
     "src/metrics/bad_unordered.cc": (
         "#include <unordered_map>\n"
@@ -413,7 +426,9 @@ SELF_TEST_TREE = {
 SELF_TEST_EXPECTED = [
     ("R1", "src/sim/bad_clock.cc"),
     ("R1", "src/sim/bad_bare_detok.cc"),
+    ("R1", "src/latency/bad_unseeded_sample.cc"),
     ("R2", "src/metrics/bad_unordered.cc"),
+    ("R2", "src/latency/bad_unordered.cc"),
     ("R3", "src/policies/bad_name.cc"),
     ("R3", "src/policies/bad_silent.cc"),
     ("R4", "src/core/bad_header.h"),
