@@ -23,6 +23,7 @@
 #include "latency/latency.h"
 #include "metrics/slo.h"
 #include "runner/suite_runner.h"
+#include "sim/observers.h"
 #include "sim/scenario.h"
 #include "trace/transform.h"
 
@@ -60,13 +61,18 @@ struct SweepRun {
   double wall_seconds = 0.0;
 };
 
-SweepRun RunSweep(const std::vector<ScenarioSpec>& specs, int num_threads) {
+SweepRun RunSweep(const std::vector<ScenarioSpec>& specs, int num_threads,
+                  SimObserver* progress = nullptr) {
   SuiteRunnerOptions runner_options;
   runner_options.num_threads = num_threads;
   SuiteRunner runner(runner_options);
+  std::vector<ScenarioSpec> jobs = specs;
+  if (progress != nullptr) {
+    for (ScenarioSpec& job : jobs) job.observers.push_back(progress);
+  }
   const auto start = std::chrono::steady_clock::now();
   SweepRun run;
-  run.results = runner.Run(specs);
+  run.results = runner.Run(jobs);
   run.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -138,7 +144,13 @@ int main(int argc, char** argv) {
   SuiteRunner probe({bench::DefaultBenchThreads(), nullptr});
   const int parallel_threads = probe.EffectiveThreads(specs.size());
 
-  const SweepRun serial = RunSweep(specs, 1);
+  // Progress heartbeats (rate + ETA) ride the serial sweep only — one job
+  // at a time, so the lines never interleave. `enabled` silences them
+  // entirely under machine-readable output; the 2s wall throttle keeps
+  // fast cells from spamming, and stderr keeps stdout pipeable.
+  ProgressObserver progress(6 * 60, stderr, /*min_wall_seconds=*/2.0,
+                            /*enabled=*/!bench::MachineReadable(format));
+  const SweepRun serial = RunSweep(specs, 1, &progress);
   const SweepRun parallel = RunSweep(specs, parallel_threads);
   if (!bench::MachineReadable(format)) {
     std::printf("sweep: %zu latency cells | serial %.2fs | %d threads %.2fs "

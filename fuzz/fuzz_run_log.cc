@@ -1,0 +1,45 @@
+// Fuzzes the run-log stack (obs/run_log.h): the hardened one-line JSON
+// parser and the JSONL run-log reader. Run logs round-trip through disk,
+// so both parsers are untrusted-input surfaces. Properties checked
+// beyond "no crash":
+//   * Every parse failure carries a non-empty, line-numbered message.
+//   * A successfully parsed log has a valid schema and internally
+//     consistent record counts.
+//   * Re-rendering the parsed spans as Chrome trace JSON never crashes
+//     and itself parses as a single JSON document.
+
+#include <string>
+
+#include "fuzz/fuzz_common.h"
+#include "obs/run_log.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  // The single-document JSON parser must be total over arbitrary bytes.
+  const spes::Result<spes::JsonValue> json = spes::ParseJson(text);
+  if (!json.ok()) {
+    FUZZ_ASSERT(!json.status().message().empty());
+  }
+
+  const spes::Result<spes::ParsedRunLog> parsed = spes::ParseRunLog(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.status().message().empty());
+    return 0;
+  }
+
+  const spes::ParsedRunLog& log = parsed.ValueOrDie();
+  FUZZ_ASSERT(log.schema == spes::kRunLogSchemaVersion);
+  FUZZ_ASSERT(log.num_events >= 1);  // at least the run_start header
+  FUZZ_ASSERT(log.spans.size() <= log.num_events);
+  FUZZ_ASSERT(log.heartbeats.size() <= log.num_events);
+
+  // The Perfetto export is pure rendering: total over parsed spans, and
+  // its output must be one well-formed JSON document.
+  const std::string trace = spes::ChromeTraceJson(log.spans);
+  const spes::Result<spes::JsonValue> trace_json = spes::ParseJson(trace);
+  FUZZ_ASSERT(trace_json.ok());
+  FUZZ_ASSERT(trace_json.ValueOrDie().kind ==
+              spes::JsonValue::Kind::kObject);
+  return 0;
+}

@@ -1,11 +1,12 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
-#include <chrono>
 #include <string>
 #include <utility>
 
 #include "common/binary_io.h"
+#include "obs/clock.h"
+#include "obs/recorder.h"
 
 namespace spes {
 
@@ -308,7 +309,12 @@ Result<ClusterSession> ClusterSession::CreateImpl(
           "' requires the full realized trace, but a streamed source only "
           "materializes the train prefix; run it over an in-memory Trace");
     }
-    node.policy->Train(training, options.train_minutes);
+    {
+      const ScopedSpan span(options.recorder, "train", options.recorder_slot,
+                            static_cast<int>(session.nodes_.size()),
+                            node.policy->name());
+      node.policy->Train(training, options.train_minutes);
+    }
     node.mem = MemSet(n);
     node.accounts.assign(n, FunctionAccount{});
     node.last_used.assign(n, -1);
@@ -414,6 +420,11 @@ void ClusterSession::EnforceCapacity(Node* node, int t) {
 void ClusterSession::EnsureStarted() {
   if (started_) return;
   started_ = true;
+  if (options_.recorder != nullptr) {
+    simulate_span_ = options_.recorder->BeginSpan(
+        "simulate", options_.recorder_slot, 0,
+        std::to_string(nodes_.size()) + "-node cluster");
+  }
   StreamInfo info;
   info.train_minutes = options_.train_minutes;
   info.start_minute = start_;
@@ -546,12 +557,11 @@ Status ClusterSession::StepLocked() {
       }
     }
 
-    // 3. Policy step (timed for the RQ2 overhead measurement).
-    const auto start = std::chrono::steady_clock::now();
+    // 3. Policy step (timed for the RQ2 overhead measurement; the
+    // monotonic clock lives in obs/clock so the linter can confine it).
+    const double start = MonotonicSeconds();
     node.policy->OnMinute(t, node.arrivals, &node.mem);
-    const auto stop = std::chrono::steady_clock::now();
-    node.overhead_seconds +=
-        std::chrono::duration<double>(stop - start).count();
+    node.overhead_seconds += MonotonicSeconds() - start;
 
     if (options_.pin_executing_functions) {
       for (const Invocation& inv : node.arrivals) node.mem.Add(inv.function);
@@ -592,6 +602,29 @@ Status ClusterSession::StepLocked() {
       if (node.latency != nullptr) view.latency = &node.latency->live();
       for (SimObserver* observer : observers_) {
         if (!observer->OnMinute(view)) stop_requested = true;
+      }
+    }
+
+    if (options_.recorder != nullptr) {
+      // Strided per-node heartbeat on simulated-minute boundaries: the
+      // sampled counters are a pure function of sim state, so recorded
+      // and unrecorded runs stay bitwise-identical.
+      const int stride = options_.recorder->heartbeat_minute_stride();
+      if ((t + 1 - start_) % stride == 0 || t + 1 == end_) {
+        RunRecorder::Heartbeat heartbeat;
+        heartbeat.slot = options_.recorder_slot;
+        heartbeat.lane = static_cast<int>(k);
+        heartbeat.minute = t;
+        heartbeat.invocations = node.totals.invocations;
+        heartbeat.cold_starts = node.totals.cold_starts;
+        heartbeat.loaded_instance_minutes =
+            node.totals.loaded_instance_minutes;
+        heartbeat.wasted_memory_minutes = node.totals.wasted_memory_minutes;
+        heartbeat.loaded_instances = static_cast<uint32_t>(node.mem.Count());
+        if (node.latency != nullptr) {
+          heartbeat.queue_depth = node.latency->live().queue_depth;
+        }
+        options_.recorder->EmitHeartbeat(heartbeat);
       }
     }
   }
@@ -648,6 +681,15 @@ Result<ClusterOutcome> ClusterSession::Finish() {
   const Status run = RunUntil(end_);
   if (!run.ok() && run.code() != StatusCode::kCancelled) return run;
   finished_ = true;
+  if (options_.recorder != nullptr) {
+    options_.recorder->EndSpan(simulate_span_);
+    simulate_span_ = 0;
+    options_.recorder->DecoderEvent(options_.recorder_slot,
+                                    decoder_.blocks_decoded(),
+                                    decoder_.invocations_decoded());
+  }
+  const ScopedSpan finish_span(options_.recorder, "finish",
+                               options_.recorder_slot, 0);
 
   const size_t n = source_->num_functions();
   const std::string policy_name = nodes_[0].policy->name();
@@ -776,6 +818,10 @@ Result<ClusterCheckpoint> ClusterSession::Checkpoint() const {
     SPES_ASSIGN_OR_RETURN(out.policy_state, node.policy->SaveState());
     if (node.latency != nullptr) out.latency_state = node.latency->SaveState();
     checkpoint.nodes.push_back(std::move(out));
+  }
+  if (options_.recorder != nullptr) {
+    options_.recorder->CheckpointEvent("save", options_.recorder_slot,
+                                       static_cast<uint64_t>(cursor_));
   }
   return checkpoint;
 }
@@ -926,6 +972,10 @@ Status ClusterSession::Restore(const ClusterCheckpoint& checkpoint) {
   cursor_ = checkpoint.cursor;
   stopped_ = checkpoint.stopped;
   reroutes_ = checkpoint.reroutes;
+  if (options_.recorder != nullptr) {
+    options_.recorder->CheckpointEvent("restore", options_.recorder_slot,
+                                       static_cast<uint64_t>(cursor_));
+  }
   event_index_ = static_cast<size_t>(checkpoint.event_index);
   assignment_ = checkpoint.assignment;
   return Status::OK();

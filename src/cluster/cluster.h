@@ -358,6 +358,10 @@ class ClusterSession {
   /// Per-request sampling keys shared by every node's latency lane; null
   /// when the latency subsystem is disabled.
   std::shared_ptr<const std::vector<uint64_t>> latency_hashes_;
+
+  /// Open "simulate" span token when SimOptions.recorder is set; closed
+  /// by Finish(). Observability only — never feeds sim state.
+  uint64_t simulate_span_ = 0;
 };
 
 }  // namespace spes

@@ -1,0 +1,23 @@
+// The one sanctioned monotonic wall-clock in the library.
+//
+// Every wall-clock read in src/ flows through MonotonicSeconds() so the
+// invariant linter (tools/lint_invariants.py R1) can confine
+// std::chrono::steady_clock to this translation unit. Wall-clock values
+// are *observability only*: they feed overhead metrics, span traces and
+// progress heartbeats, and must never influence simulation state — the
+// seed-99 goldens pin that contract bitwise.
+
+#ifndef SPES_OBS_CLOCK_H_
+#define SPES_OBS_CLOCK_H_
+
+namespace spes {
+
+/// \brief Seconds on a process-local monotonic clock.
+///
+/// The epoch is unspecified (steady_clock's); only differences are
+/// meaningful. Thread-safe, lock-free, never decreases.
+double MonotonicSeconds();
+
+}  // namespace spes
+
+#endif  // SPES_OBS_CLOCK_H_

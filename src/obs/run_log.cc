@@ -1,0 +1,574 @@
+#include "obs/run_log.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.h"
+
+namespace spes {
+namespace {
+
+/// Nesting bound for the JSON parser: run-log lines are depth ~2, so a
+/// deeply nested document is hostile input, not a real log.
+constexpr int kMaxJsonDepth = 64;
+
+/// Formats a double for JSON output without locale dependence.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
+/// Recursive-descent JSON parser over raw bytes. Total: any input
+/// yields a value or a Status with the failing byte offset.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    // SPES_RETURN_NOT_OK works here: Result<JsonValue> converts
+    // implicitly from a non-OK Status.
+    SPES_RETURN_NOT_OK(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument(what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxJsonDepth) return Fail("JSON nested too deeply");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        return ParseLiteral("true", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = true;
+        });
+      case 'f':
+        return ParseLiteral("false", [out] {
+          out->kind = JsonValue::Kind::kBool;
+          out->bool_value = false;
+        });
+      case 'n':
+        return ParseLiteral("null",
+                            [out] { out->kind = JsonValue::Kind::kNull; });
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  template <typename Commit>
+  Status ParseLiteral(const char* word, Commit commit) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Fail("invalid literal");
+    }
+    pos_ += len;
+    commit();
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a JSON value");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(value)) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    SPES_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Fail("unterminated string");
+      const unsigned char c =
+          static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return Status::OK();
+      if (c < 0x20) return Fail("raw control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          SPES_RETURN_NOT_OK(ParseHex4(&code));
+          // Combine a surrogate pair when the low half follows; a lone
+          // surrogate is encoded as-is (never crashes on hostile input).
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+              text_[pos_ + 1] == 'u') {
+            const size_t mark = pos_;
+            pos_ += 2;
+            unsigned low = 0;
+            SPES_RETURN_NOT_OK(ParseHex4(&low));
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos_ = mark;  // not a pair; leave the next escape alone
+            }
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Fail("invalid escape");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    SPES_RETURN_NOT_OK(Expect('{'));
+    out->kind = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SPES_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      SPES_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      SPES_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      out->object_items.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      SPES_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    SPES_RETURN_NOT_OK(Expect('['));
+    out->kind = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue item;
+      SPES_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      out->array_items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      SPES_RETURN_NOT_OK(Expect(','));
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Typed field access over a parsed event line ---------------------------
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("run log line " + std::to_string(line_no) +
+                                 ": " + what);
+}
+
+Result<std::string> GetString(const JsonValue& obj, const char* key,
+                              size_t line_no) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    return LineError(line_no,
+                     std::string("missing string field '") + key + "'");
+  }
+  return v->string_value;
+}
+
+Result<double> GetNumber(const JsonValue& obj, const char* key,
+                         size_t line_no) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    return LineError(line_no,
+                     std::string("missing numeric field '") + key + "'");
+  }
+  return v->number_value;
+}
+
+Result<int> GetInt(const JsonValue& obj, const char* key, size_t line_no) {
+  SPES_ASSIGN_OR_RETURN(const double value, GetNumber(obj, key, line_no));
+  if (value < -2147483648.0 || value > 2147483647.0 ||
+      value != std::floor(value)) {
+    return LineError(line_no,
+                     std::string("field '") + key + "' is not an int");
+  }
+  return static_cast<int>(value);
+}
+
+Result<uint64_t> GetUint64(const JsonValue& obj, const char* key,
+                           size_t line_no) {
+  SPES_ASSIGN_OR_RETURN(const double value, GetNumber(obj, key, line_no));
+  if (value < 0 || value != std::floor(value)) {
+    return LineError(line_no, std::string("field '") + key +
+                                  "' is not a non-negative integer");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+// Optional variants: absent ⇒ fallback, present-but-wrong-type ⇒ error.
+Result<int> GetIntOr(const JsonValue& obj, const char* key, int fallback,
+                     size_t line_no) {
+  if (obj.Find(key) == nullptr) return fallback;
+  return GetInt(obj, key, line_no);
+}
+
+Result<std::string> GetStringOr(const JsonValue& obj, const char* key,
+                                const std::string& fallback,
+                                size_t line_no) {
+  if (obj.Find(key) == nullptr) return fallback;
+  return GetString(obj, key, line_no);
+}
+
+Result<uint64_t> GetUint64Or(const JsonValue& obj, const char* key,
+                             uint64_t fallback, size_t line_no) {
+  if (obj.Find(key) == nullptr) return fallback;
+  return GetUint64(obj, key, line_no);
+}
+
+Status ApplyEvent(const JsonValue& obj, const std::string& kind,
+                  size_t line_no, ParsedRunLog* out) {
+  if (kind == "span") {
+    SpanRecord span;
+    SPES_ASSIGN_OR_RETURN(span.name, GetString(obj, "name", line_no));
+    SPES_ASSIGN_OR_RETURN(span.detail,
+                          GetStringOr(obj, "detail", "", line_no));
+    SPES_ASSIGN_OR_RETURN(span.slot, GetIntOr(obj, "slot", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(span.lane, GetIntOr(obj, "lane", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(span.t, GetNumber(obj, "t", line_no));
+    SPES_ASSIGN_OR_RETURN(span.dur, GetNumber(obj, "dur", line_no));
+    out->spans.push_back(std::move(span));
+  } else if (kind == "heartbeat") {
+    HeartbeatRecord hb;
+    SPES_ASSIGN_OR_RETURN(hb.slot, GetIntOr(obj, "slot", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(hb.lane, GetIntOr(obj, "lane", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(hb.minute, GetInt(obj, "minute", line_no));
+    SPES_ASSIGN_OR_RETURN(hb.invocations,
+                          GetUint64(obj, "invocations", line_no));
+    SPES_ASSIGN_OR_RETURN(hb.cold_starts,
+                          GetUint64(obj, "cold_starts", line_no));
+    SPES_ASSIGN_OR_RETURN(
+        hb.loaded_instance_minutes,
+        GetUint64Or(obj, "loaded_instance_minutes", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(
+        hb.wasted_memory_minutes,
+        GetUint64Or(obj, "wasted_memory_minutes", 0, line_no));
+    SPES_ASSIGN_OR_RETURN(const uint64_t loaded,
+                          GetUint64Or(obj, "loaded", 0, line_no));
+    hb.loaded_instances = static_cast<uint32_t>(loaded);
+    SPES_ASSIGN_OR_RETURN(const uint64_t depth,
+                          GetUint64Or(obj, "queue_depth", 0, line_no));
+    hb.queue_depth = static_cast<uint32_t>(depth);
+    SPES_ASSIGN_OR_RETURN(hb.t, GetNumber(obj, "t", line_no));
+    out->heartbeats.push_back(hb);
+  } else if (kind == "cache") {
+    SPES_ASSIGN_OR_RETURN(const std::string op,
+                          GetString(obj, "op", line_no));
+    if (op == "hit") {
+      ++out->cache.hits;
+    } else if (op == "miss") {
+      ++out->cache.misses;
+    } else if (op == "pack") {
+      ++out->cache.packs;
+    } else {
+      return LineError(line_no, "unknown cache op '" + op + "'");
+    }
+  } else if (kind == "decoder") {
+    SPES_ASSIGN_OR_RETURN(const uint64_t blocks,
+                          GetUint64(obj, "blocks", line_no));
+    SPES_ASSIGN_OR_RETURN(const uint64_t invocations,
+                          GetUint64(obj, "invocations", line_no));
+    out->decoder.blocks += blocks;
+    out->decoder.invocations += invocations;
+  } else if (kind == "checkpoint") {
+    SPES_ASSIGN_OR_RETURN(const std::string op,
+                          GetString(obj, "op", line_no));
+    if (op == "save") {
+      ++out->checkpoint_saves;
+    } else if (op == "restore") {
+      ++out->checkpoint_restores;
+    } else {
+      return LineError(line_no, "unknown checkpoint op '" + op + "'");
+    }
+  } else if (kind == "config") {
+    SPES_ASSIGN_OR_RETURN(const std::string key,
+                          GetString(obj, "key", line_no));
+    SPES_ASSIGN_OR_RETURN(const std::string value,
+                          GetString(obj, "value", line_no));
+    out->config.emplace_back(key, value);
+  } else if (kind == "run_end") {
+    SPES_ASSIGN_OR_RETURN(out->duration_seconds,
+                          GetNumber(obj, "duration_seconds", line_no));
+    out->saw_run_end = true;
+  }
+  // Unknown kinds are skipped: newer writers may add events this
+  // reader does not know, and that must not break analysis.
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+FileLogSink::FileLogSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+}
+
+FileLogSink::~FileLogSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileLogSink::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void FileLogSink::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  for (const auto& [k, v] : object_items) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<ParsedRunLog> ParseRunLog(const std::string& text) {
+  ParsedRunLog log;
+  size_t line_no = 0;
+  size_t pos = 0;
+  bool saw_header = false;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+
+    const Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      return LineError(line_no, parsed.status().message());
+    }
+    const JsonValue& obj = parsed.ValueOrDie();
+    if (obj.kind != JsonValue::Kind::kObject) {
+      return LineError(line_no, "event is not a JSON object");
+    }
+    SPES_ASSIGN_OR_RETURN(const std::string kind,
+                          GetString(obj, "ev", line_no));
+    if (!saw_header) {
+      if (kind != "run_start") {
+        return LineError(line_no, "first event must be run_start, got '" +
+                                      kind + "'");
+      }
+      SPES_ASSIGN_OR_RETURN(const int schema,
+                            GetInt(obj, "schema", line_no));
+      if (schema != kRunLogSchemaVersion) {
+        return LineError(
+            line_no, "unsupported schema version " + std::to_string(schema) +
+                         " (this reader speaks " +
+                         std::to_string(kRunLogSchemaVersion) + ")");
+      }
+      log.schema = schema;
+      SPES_ASSIGN_OR_RETURN(log.label,
+                            GetStringOr(obj, "label", "", line_no));
+      saw_header = true;
+    } else if (kind == "run_start") {
+      return LineError(line_no, "duplicate run_start");
+    } else {
+      SPES_RETURN_NOT_OK(ApplyEvent(obj, kind, line_no, &log));
+    }
+    ++log.num_events;
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument(
+        "run log is empty: expected a run_start header line");
+  }
+  return log;
+}
+
+Result<ParsedRunLog> ReadRunLogFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open run log '" + path + "'");
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    text.append(buf, n);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::IOError("error reading run log '" + path + "'");
+  }
+  return ParseRunLog(text);
+}
+
+std::string ChromeTraceJson(const std::vector<SpanRecord>& spans) {
+  // One Perfetto track per (slot, lane): a logical-index tid keeps the
+  // view identical at any thread count.
+  const auto track_id = [](const SpanRecord& span) {
+    return span.slot * 1024 + span.lane;
+  };
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  // Track-name metadata, in first-appearance order.
+  std::vector<int> seen_tracks;
+  for (const SpanRecord& span : spans) {
+    const int tid = track_id(span);
+    bool known = false;
+    for (const int t : seen_tracks) {
+      if (t == tid) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    seen_tracks.push_back(tid);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+           JsonEscape("slot " + std::to_string(span.slot) + " / lane " +
+                      std::to_string(span.lane)) +
+           "}}";
+  }
+
+  for (const SpanRecord& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":" +
+           std::to_string(track_id(span)) +
+           ",\"ts\":" + JsonNumber(span.t * 1e6) +
+           ",\"dur\":" + JsonNumber(span.dur * 1e6) +
+           ",\"name\":" + JsonEscape(span.name);
+    if (!span.detail.empty()) {
+      out += ",\"args\":{\"detail\":" + JsonEscape(span.detail) + "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace spes

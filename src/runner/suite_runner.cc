@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "sim/scenario.h"
 #include "sim/stream.h"
 
@@ -19,10 +20,15 @@ namespace {
 /// per-node breakdown in JobResult::cluster. Shared by the pooled worker
 /// and the lockstep path so both produce bitwise-identical results.
 void RunClusterJob(const Trace& workload, const ScenarioSpec& spec,
+                   int recorder_slot,
                    const std::vector<SimObserver*>& observers,
                    JobResult* result) {
+  // The spec's options drive the session; only the observability slot is
+  // stamped per job so recorded events identify their slot.
+  SimOptions options = spec.options;
+  options.recorder_slot = recorder_slot;
   Result<ClusterSession> session = ClusterSession::Create(
-      workload, *spec.cluster, spec.policy, spec.options);
+      workload, *spec.cluster, spec.policy, options);
   if (!session.ok()) {
     result->status = session.status();
     return;
@@ -112,11 +118,17 @@ std::vector<JobResult> SuiteRunner::Run(const Trace& trace,
     SuiteJob& job = jobs[slot];
     JobResult& result = results[slot];
     result.label = job.label;
+    // Observability: every event this job emits carries its slot index —
+    // a logical id, so recorded traces are identical at any thread count.
+    job.options.recorder_slot = static_cast<int>(slot);
+    const ScopedSpan job_span(job.options.recorder, "job",
+                              static_cast<int>(slot), 0, job.label);
     if (!job.precondition.ok()) {
       result.status = std::move(job.precondition);
     } else if (job.cluster_scenario != nullptr) {
       const Trace& workload = job.trace ? *job.trace : trace;
-      RunClusterJob(workload, *job.cluster_scenario, job.observers, &result);
+      RunClusterJob(workload, *job.cluster_scenario,
+                    static_cast<int>(slot), job.observers, &result);
     } else if (!job.factory) {
       result.status = Status::InvalidArgument("job has no policy factory");
     } else {
@@ -290,8 +302,8 @@ std::vector<JobResult> SuiteRunner::RunLockstep(
   }
 
   for (size_t slot : cluster_slots) {
-    RunClusterJob(trace, *cluster_specs[slot], specs[slot].observers,
-                  &results[slot]);
+    RunClusterJob(trace, *cluster_specs[slot], static_cast<int>(slot),
+                  specs[slot].observers, &results[slot]);
     report(slot);
   }
 
@@ -299,8 +311,12 @@ std::vector<JobResult> SuiteRunner::RunLockstep(
     std::vector<Policy*> lanes;
     lanes.reserve(group.size());
     for (size_t slot : group) lanes.push_back(policies[slot].get());
+    // Recorded events from a shared lockstep stream carry the group
+    // leader's slot; lanes keep each member apart.
+    SimOptions group_options = specs[group[0]].options;
+    group_options.recorder_slot = static_cast<int>(group[0]);
     Result<SimStream> created =
-        SimStream::Create(trace, std::move(lanes), specs[group[0]].options);
+        SimStream::Create(trace, std::move(lanes), group_options);
     if (created.ok()) {
       SimStream& stream = created.ValueOrDie();
       std::vector<std::unique_ptr<LaneScopedObserver>> scoped;
@@ -341,6 +357,14 @@ std::vector<JobResult> SuiteRunner::Run(
   // — it is cached and ordering-sensitive — while the simulations fan
   // out; the shared_ptr overrides keep every trace alive for the run.
   TraceCache cache;
+  // The batch cache reports hit/miss/realize to the first recorder any
+  // spec carries (a batch shares at most one run log in practice).
+  for (const ScenarioSpec& spec : specs) {
+    if (spec.options.recorder != nullptr) {
+      cache.set_recorder(spec.options.recorder);
+      break;
+    }
+  }
   std::vector<SuiteJob> jobs;
   jobs.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) {

@@ -37,7 +37,14 @@ std::span<const Invocation> ArrivalDecoder::Decode(int t) {
 Status ArrivalDecoder::DecodeBlock(int block_start) {
   block_start_ = block_start;
   block_end_ = std::min(block_start + block_minutes_, source_->num_minutes());
-  return source_->FillArrivals(block_start_, block_end_, &buckets_);
+  SPES_RETURN_NOT_OK(
+      source_->FillArrivals(block_start_, block_end_, &buckets_));
+  ++blocks_decoded_;
+  const size_t minutes = static_cast<size_t>(block_end_ - block_start_);
+  for (size_t i = 0; i < minutes; ++i) {
+    invocations_decoded_ += buckets_[i].size();
+  }
+  return Status::OK();
 }
 
 void LaneColumns::Reset(size_t num_functions) {

@@ -76,6 +76,16 @@ class ArrivalDecoder {
   /// \brief OK until a source read/decode fails; sticky thereafter.
   [[nodiscard]] const Status& status() const { return status_; }
 
+  /// \name Work counters (observability only — never feed sim state).
+  /// Blocks transposed and arrival records bucketed since construction;
+  /// seeks that re-decode a block count again, mirroring real work done.
+  /// @{
+  [[nodiscard]] uint64_t blocks_decoded() const { return blocks_decoded_; }
+  [[nodiscard]] uint64_t invocations_decoded() const {
+    return invocations_decoded_;
+  }
+  /// @}
+
  private:
   Status DecodeBlock(int block_start);
 
@@ -87,6 +97,8 @@ class ArrivalDecoder {
   int block_minutes_ = kDefaultBlockMinutes;
   int block_start_ = 0;
   int block_end_ = 0;  ///< decoded minutes are [block_start_, block_end_)
+  uint64_t blocks_decoded_ = 0;
+  uint64_t invocations_decoded_ = 0;
   /// buckets_[i] = arrivals of block minute block_start_ + i, ascending by
   /// function id. Bucket capacity persists across blocks, so after the
   /// first block the transpose reads the trace once and appends without

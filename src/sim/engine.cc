@@ -26,6 +26,11 @@ Status ValidateSimOptions(const SimOptions& options) {
   if (options.latency.has_value()) {
     SPES_RETURN_NOT_OK(ValidateLatencySpec(*options.latency));
   }
+  if (options.recorder_slot < 0) {
+    return Status::InvalidArgument(
+        "SimOptions.recorder_slot (=" +
+        std::to_string(options.recorder_slot) + ") must be non-negative");
+  }
   return Status::OK();
 }
 

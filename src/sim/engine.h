@@ -20,6 +20,8 @@
 
 namespace spes {
 
+class RunRecorder;  // obs/recorder.h
+
 /// \brief Engine knobs.
 struct SimOptions {
   /// First simulated minute; the policy trains on [0, train_minutes).
@@ -37,6 +39,16 @@ struct SimOptions {
   /// (the default) the latency path is never touched and runs are
   /// byte-identical to an engine without the subsystem.
   std::optional<LatencySpec> latency;
+  /// Opt-in observability (obs/recorder.h): when set, the engine emits
+  /// wall-clock spans, strided heartbeats and subsystem events to the
+  /// recorder. Strictly write-only — the recorder never feeds
+  /// simulation state, so recorded runs are bitwise-identical to
+  /// unrecorded ones (golden-pinned). Not owned; must outlive the run.
+  RunRecorder* recorder = nullptr;
+  /// Logical SuiteRunner job slot stamped into recorded events so
+  /// traces are stable at any thread count. Ignored when recorder is
+  /// null; must be non-negative.
+  int recorder_slot = 0;
 };
 
 /// \brief Trace-independent validation of the engine knobs: a negative

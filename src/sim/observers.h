@@ -68,12 +68,28 @@ class TimeSeriesObserver : public SimObserver {
 
 /// \brief Prints a single-line progress report every `every_minutes`
 /// simulated minutes (lane 0 only, so lockstep streams do not multiply
-/// the output). Intended for long interactive runs and examples.
+/// the output), with the live simulation rate (sim-minutes per wall
+/// second, from the obs/clock monotonic clock) and an ETA to the end of
+/// the window. Intended for long interactive runs and examples.
+///
+/// Two quieting knobs:
+///   * `min_wall_seconds` — on top of the minute stride, skip reports
+///     closer than this many wall seconds to the previous one (the final
+///     minute always reports), so a fast run prints a handful of lines
+///     instead of hundreds;
+///   * `enabled = false` — emit nothing at all. Machine-readable bench
+///     runs pass `!bench::MachineReadable(format)` here so progress
+///     chatter never lands in JSON/CSV output.
 class ProgressObserver : public SimObserver {
  public:
+  /// Clock hook returning monotonic seconds; injectable for
+  /// deterministic tests. Null means spes::MonotonicSeconds.
+  using ClockFn = double (*)();
+
   explicit ProgressObserver(int every_minutes = kMinutesPerDay,
-                            std::FILE* out = stdout)
-      : every_minutes_(every_minutes < 1 ? 1 : every_minutes), out_(out) {}
+                            std::FILE* out = stdout,
+                            double min_wall_seconds = 0.0,
+                            bool enabled = true, ClockFn clock = nullptr);
 
   void OnStreamStart(const StreamInfo& info) override;
   bool OnMinute(const MinuteView& view) override;
@@ -81,7 +97,12 @@ class ProgressObserver : public SimObserver {
  private:
   int every_minutes_;
   std::FILE* out_;
+  double min_wall_seconds_;
+  bool enabled_;
+  ClockFn clock_;
   StreamInfo info_;
+  double start_wall_ = 0.0;
+  double last_report_wall_ = 0.0;
 };
 
 }  // namespace spes

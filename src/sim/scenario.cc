@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/recorder.h"
 #include "trace/azure_csv.h"
 #include "trace/trace_file.h"
 
@@ -259,7 +260,11 @@ Result<ScenarioOutcome> RunScenario(const Trace& trace,
 Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec) {
   // Validate before realizing: a bad spec must not cost a trace build.
   SPES_RETURN_NOT_OK(ValidateScenarioSpec(spec));
+  ScopedSpan realize_span(spec.options.recorder, "realize",
+                          spec.options.recorder_slot, 0,
+                          TraceSpecKey(spec.trace));
   SPES_ASSIGN_OR_RETURN(const Trace trace, RealizeTrace(spec.trace));
+  realize_span.End();
   return RunValidated(trace, spec);
 }
 
@@ -315,12 +320,17 @@ Result<std::shared_ptr<const Trace>> TraceCache::Get(const TraceSpec& spec) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = by_key_.find(key);
-    if (it != by_key_.end()) return it->second;
+    if (it != by_key_.end()) {
+      if (recorder_ != nullptr) recorder_->CacheEvent("hit", key);
+      return it->second;
+    }
   }
+  if (recorder_ != nullptr) recorder_->CacheEvent("miss", key);
   // Realize outside the lock: trace builds are the expensive part and
   // distinct keys should not serialize on each other. A racing double
   // realization of the same key is benign (both are bitwise identical;
   // the first insert wins).
+  const ScopedSpan realize_span(recorder_, "realize", 0, 0, key);
   Trace trace;
   if (!pack_dir_.empty() && spec.source != TraceSpec::Source::kProvided) {
     // Disk tier: realize + pack once (or reuse a pack an earlier run left
@@ -355,6 +365,8 @@ Result<std::string> TraceCache::EnsurePacked(const TraceSpec& spec) {
   const std::string path =
       (std::filesystem::path(pack_dir_) / PackedFileName(key)).string();
   if (std::filesystem::exists(path, ec)) return path;
+  if (recorder_ != nullptr) recorder_->CacheEvent("pack", key);
+  const ScopedSpan pack_span(recorder_, "pack", 0, 0, key);
   SPES_ASSIGN_OR_RETURN(Trace trace, RealizeTrace(spec));
   // Write to a temp name and rename into place, so a concurrent reader
   // (another process sharing the directory) never sees a partial pack.

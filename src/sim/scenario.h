@@ -232,6 +232,13 @@ class TraceCache {
   /// \brief Number of distinct realized traces held in memory.
   [[nodiscard]] size_t size() const;
 
+  /// \brief Attaches an optional observability recorder: Get() emits
+  /// cache hit/miss events and realize spans, EnsurePacked() emits pack
+  /// events and pack spans. Pass nullptr to detach. The recorder must
+  /// outlive the cache's use; set it before sharing the cache across
+  /// threads (the pointer itself is unsynchronized).
+  void set_recorder(RunRecorder* recorder) { recorder_ = recorder; }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<const Trace>> by_key_;
@@ -239,6 +246,8 @@ class TraceCache {
   /// concurrent misses on one spec realize it exactly once.
   std::string pack_dir_;
   std::mutex pack_mu_;
+  /// Optional observability hook (obs/recorder.h); never feeds results.
+  RunRecorder* recorder_ = nullptr;
 };
 
 /// \brief A realized workload that many scenarios run against. Opening a

@@ -1,10 +1,11 @@
 #include "sim/stream.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "common/binary_io.h"
+#include "obs/clock.h"
+#include "obs/recorder.h"
 
 namespace spes {
 
@@ -92,6 +93,9 @@ Result<SimStream> SimStream::Create(const Trace& trace,
   const size_t n = trace.num_functions();
   stream.lanes_.reserve(policies.size());
   for (Policy* policy : policies) {
+    const ScopedSpan span(options.recorder, "train", options.recorder_slot,
+                          static_cast<int>(stream.lanes_.size()),
+                          policy->name());
     // In-memory streams train on the real full trace, so policies that
     // peek past the train window (the oracle) keep their exact behaviour.
     policy->Train(trace, options.train_minutes);
@@ -132,6 +136,9 @@ Result<SimStream> SimStream::Create(TraceSource& source,
   const size_t n = source.num_functions();
   stream.lanes_.reserve(policies.size());
   for (Policy* policy : policies) {
+    const ScopedSpan span(options.recorder, "train", options.recorder_slot,
+                          static_cast<int>(stream.lanes_.size()),
+                          policy->name());
     policy->Train(train_prefix, options.train_minutes);
     Lane lane;
     lane.policy = policy;
@@ -213,12 +220,11 @@ Status SimStream::StepLocked() {
       }
     }
 
-    // 3. Policy step (timed for the RQ2 overhead measurement).
-    const auto start = std::chrono::steady_clock::now();
+    // 3. Policy step (timed for the RQ2 overhead measurement; the
+    // monotonic clock lives in obs/clock so the linter can confine it).
+    const double start = MonotonicSeconds();
     lane.policy->OnMinute(t, arrivals_, &lane.mem);
-    const auto stop = std::chrono::steady_clock::now();
-    lane.overhead_seconds +=
-        std::chrono::duration<double>(stop - start).count();
+    lane.overhead_seconds += MonotonicSeconds() - start;
 
     if (options_.pin_executing_functions) {
       for (const Invocation& inv : arrivals_) lane.mem.Add(inv.function);
@@ -263,6 +269,30 @@ Status SimStream::StepLocked() {
         if (!observer->OnMinute(view)) stop_requested = true;
       }
     }
+
+    if (options_.recorder != nullptr) {
+      // Strided heartbeat: sampled on simulated-minute boundaries (plus
+      // the final minute), so the recorded counters are a pure function
+      // of sim state — wall-clock speed never changes what is sampled.
+      const int stride = options_.recorder->heartbeat_minute_stride();
+      if ((t + 1 - start_) % stride == 0 || t + 1 == end_) {
+        RunRecorder::Heartbeat heartbeat;
+        heartbeat.slot = options_.recorder_slot;
+        heartbeat.lane = static_cast<int>(lane_index);
+        heartbeat.minute = t;
+        heartbeat.invocations = lane.totals.invocations;
+        heartbeat.cold_starts = lane.totals.cold_starts;
+        heartbeat.loaded_instance_minutes =
+            lane.totals.loaded_instance_minutes;
+        heartbeat.wasted_memory_minutes =
+            lane.totals.wasted_memory_minutes;
+        heartbeat.loaded_instances = static_cast<uint32_t>(lane.mem.Count());
+        if (lane.latency != nullptr) {
+          heartbeat.queue_depth = lane.latency->live().queue_depth;
+        }
+        options_.recorder->EmitHeartbeat(heartbeat);
+      }
+    }
   }
 
   ++cursor_;
@@ -291,6 +321,13 @@ Status SimStream::Step() {
 void SimStream::EnsureStarted() {
   if (started_) return;
   started_ = true;
+  if (options_.recorder != nullptr) {
+    simulate_span_ = options_.recorder->BeginSpan(
+        "simulate", options_.recorder_slot, 0,
+        lanes_.size() == 1
+            ? lanes_[0].policy->name()
+            : std::to_string(lanes_.size()) + " lockstep lanes");
+  }
   StreamInfo info;
   info.train_minutes = options_.train_minutes;
   info.start_minute = start_;
@@ -338,6 +375,15 @@ Result<std::vector<SimulationOutcome>> SimStream::FinishAll() {
   const Status run = RunToEnd();
   if (!run.ok() && run.code() != StatusCode::kCancelled) return run;
   finished_ = true;
+  if (options_.recorder != nullptr) {
+    options_.recorder->EndSpan(simulate_span_);
+    simulate_span_ = 0;
+    options_.recorder->DecoderEvent(options_.recorder_slot,
+                                    decoder_.blocks_decoded(),
+                                    decoder_.invocations_decoded());
+  }
+  const ScopedSpan finish_span(options_.recorder, "finish",
+                               options_.recorder_slot, 0);
   std::vector<SimulationOutcome> outcomes;
   outcomes.reserve(lanes_.size());
   for (Lane& lane : lanes_) {
@@ -403,6 +449,10 @@ Result<SimCheckpoint> SimStream::Checkpoint() const {
     SPES_ASSIGN_OR_RETURN(out.policy_state, lane.policy->SaveState());
     if (lane.latency != nullptr) out.latency_state = lane.latency->SaveState();
     checkpoint.lanes.push_back(std::move(out));
+  }
+  if (options_.recorder != nullptr) {
+    options_.recorder->CheckpointEvent("save", options_.recorder_slot,
+                                       static_cast<uint64_t>(cursor_));
   }
   return checkpoint;
 }
@@ -511,6 +561,10 @@ Status SimStream::Restore(const SimCheckpoint& checkpoint) {
   }
   cursor_ = checkpoint.cursor;
   stopped_ = checkpoint.stopped;
+  if (options_.recorder != nullptr) {
+    options_.recorder->CheckpointEvent("restore", options_.recorder_slot,
+                                       static_cast<uint64_t>(cursor_));
+  }
   return Status::OK();
 }
 

@@ -238,6 +238,9 @@ class SimStream {
   std::shared_ptr<const std::vector<uint64_t>> latency_hashes_;
   /// Scratch: this minute's per-arrival cold flags (latency path only).
   std::vector<uint8_t> cold_flags_;
+  /// Open "simulate" span token when SimOptions.recorder is set; closed
+  /// by FinishAll(). Observability only — never feeds sim state.
+  uint64_t simulate_span_ = 0;
 };
 
 }  // namespace spes

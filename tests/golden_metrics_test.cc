@@ -11,14 +11,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <numeric>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "core/policy_registry.h"
 #include "core/spes_policy.h"
 #include "latency/latency.h"
+#include "obs/recorder.h"
+#include "obs/run_log.h"
 #include "policies/fixed_keepalive.h"
 #include "runner/suite_runner.h"
 #include "sim/engine.h"
@@ -711,6 +715,187 @@ TEST(GoldenMetricsTest, LatencyClusterCheckpointRestoreMatchesGoldens) {
   EXPECT_EQ(from_restore.fleet.latency->served, 1030521u);
   EXPECT_EQ(from_restore.fleet.latency->timeouts, 947u);
   EXPECT_EQ(from_restore.nodes[1].sim.latency->timeouts, 577u);
+}
+
+// ---------------------------------------------------------------------
+// Observability goldens: attaching a RunRecorder (obs/recorder.h) must
+// never perturb the simulation. Each shape of run — plain batch,
+// lockstep lanes, sharded cluster — is replayed with a recorder attached
+// and must stay bitwise identical to the recorder-free goldens above,
+// while the run log itself parses and samples the documented sim-minute
+// boundaries.
+// ---------------------------------------------------------------------
+
+TEST(GoldenMetricsTest, RecorderAttachedBatchRunMatchesGoldensBitwise) {
+  const Trace fleet = GoldenTrace();
+
+  StringLogSink sink;
+  RunRecorder::Options rec_options;
+  rec_options.label = "golden batch";
+  RunRecorder recorder(&sink, rec_options);
+  SimOptions options = GoldenOptions();
+  options.recorder = &recorder;
+
+  SpesPolicy recorded_policy;
+  const SimulationOutcome recorded =
+      Simulate(fleet, &recorded_policy, options).ValueOrDie();
+  recorder.Finish();
+
+  SpesPolicy plain_policy;
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&plain_policy), recorded);
+  EXPECT_EQ(recorded.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(recorded.memory_series), 212568u);
+
+  // The emitted log parses and has the documented shape: train +
+  // simulate + finish spans, and 2880 simulated minutes at the default
+  // 60-minute stride = 48 heartbeats whose final sample carries the
+  // full-run totals (heartbeats are pure functions of sim state).
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_EQ(log.label, "golden batch");
+  EXPECT_TRUE(log.saw_run_end);
+  ASSERT_EQ(log.spans.size(), 3u);
+  EXPECT_EQ(log.spans[0].name, "train");
+  EXPECT_EQ(log.spans[1].name, "simulate");
+  EXPECT_EQ(log.spans[2].name, "finish");
+  ASSERT_EQ(log.heartbeats.size(), 48u);
+  EXPECT_EQ(log.heartbeats.back().invocations, 505234u);
+  EXPECT_EQ(log.heartbeats.back().cold_starts, 631u);
+  EXPECT_EQ(log.heartbeats.back().loaded_instance_minutes, 212568u);
+  // Decoder counters tally decoded arrival records and 240-minute
+  // blocks (columnar.h), not raw invocation counts — pinned all the
+  // same: they are a pure function of the seed-99 workload.
+  EXPECT_EQ(log.decoder.blocks, 12u);
+  EXPECT_EQ(log.decoder.invocations, 132950u);
+}
+
+TEST(GoldenMetricsTest, RecorderAttachedLockstepLanesMatchGoldensBitwise) {
+  const Trace fleet = GoldenTrace();
+
+  StringLogSink sink;
+  RunRecorder recorder(&sink);
+  SimOptions options = GoldenOptions();
+  options.recorder = &recorder;
+
+  SpesPolicy spes;
+  FixedKeepAlivePolicy fixed(10);
+  SimStream stream =
+      SimStream::Create(fleet, {&spes, &fixed}, options).ValueOrDie();
+  const std::vector<SimulationOutcome> outcomes =
+      stream.FinishAll().ValueOrDie();
+  recorder.Finish();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  SpesPolicy spes_batch;
+  FixedKeepAlivePolicy fixed_batch(10);
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&spes_batch), outcomes[0]);
+  ExpectBitwiseIdenticalBehaviour(RunGoldenFleet(&fixed_batch), outcomes[1]);
+  EXPECT_EQ(outcomes[0].metrics.total_cold_starts, 631u);
+  EXPECT_EQ(outcomes[1].metrics.total_cold_starts, 1574u);
+
+  // Two lanes: one train span each, one shared simulate + finish span,
+  // and 48 heartbeats per lane tagged with the lane index.
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_EQ(log.spans.size(), 4u);
+  ASSERT_EQ(log.heartbeats.size(), 96u);
+  uint64_t lane_totals[2] = {0, 0};
+  for (const HeartbeatRecord& hb : log.heartbeats) {
+    ASSERT_TRUE(hb.lane == 0 || hb.lane == 1);
+    lane_totals[hb.lane] =
+        std::max<uint64_t>(lane_totals[hb.lane], hb.cold_starts);
+  }
+  EXPECT_EQ(lane_totals[0], 631u);
+  EXPECT_EQ(lane_totals[1], 1574u);
+}
+
+TEST(GoldenMetricsTest, RecorderAttachedFourNodeClusterMatchesGoldensBitwise) {
+  const Trace fleet = GoldenTrace();
+
+  const ScenarioOutcome plain =
+      RunScenario(fleet, GoldenClusterSpec(4)).ValueOrDie();
+
+  StringLogSink sink;
+  RunRecorder recorder(&sink);
+  ScenarioSpec spec = GoldenClusterSpec(4);
+  spec.options.recorder = &recorder;
+  const ScenarioOutcome recorded = RunScenario(fleet, spec).ValueOrDie();
+  recorder.Finish();
+
+  ExpectBitwiseIdenticalBehaviour(plain.outcome, recorded.outcome);
+  EXPECT_EQ(recorded.outcome.metrics.total_cold_starts, 1535u);
+  EXPECT_EQ(SeriesSum(recorded.outcome.memory_series), 706610u);
+  ASSERT_NE(recorded.cluster, nullptr);
+  ASSERT_EQ(recorded.cluster->nodes.size(), 4u);
+  const uint64_t node_cold_starts[] = {190u, 796u, 413u, 136u};
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(recorded.cluster->nodes[k].sim.metrics.total_cold_starts,
+              node_cold_starts[k])
+        << k;
+    ExpectBitwiseIdenticalBehaviour(plain.cluster->nodes[k].sim,
+                                    recorded.cluster->nodes[k].sim);
+  }
+
+  // Node heartbeats ride the lane field: every node reports, and each
+  // node's final sample matches its pinned per-node counters.
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_TRUE(log.saw_run_end);
+  EXPECT_GE(log.spans.size(), 1u);
+  uint64_t node_finals[4] = {0, 0, 0, 0};
+  for (const HeartbeatRecord& hb : log.heartbeats) {
+    ASSERT_GE(hb.lane, 0);
+    ASSERT_LT(hb.lane, 4);
+    node_finals[hb.lane] =
+        std::max<uint64_t>(node_finals[hb.lane], hb.cold_starts);
+  }
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(node_finals[k], node_cold_starts[k]) << k;
+  }
+}
+
+TEST(GoldenMetricsTest, RecorderAttachedCheckpointBytesMatchDisabledPath) {
+  // Checkpoint emission is observability only: the serialized bytes of a
+  // recorder-attached stream are byte-identical to the disabled path
+  // (modulo the wall-clock overhead field, which differs between any two
+  // runs by design), and resuming from them still lands on the goldens.
+  const Trace fleet = GoldenTrace();
+  const int midpoint = 3 * kMinutesPerDay;
+
+  SpesPolicy plain_policy;
+  SimStream plain =
+      SimStream::Create(fleet, &plain_policy, GoldenOptions()).ValueOrDie();
+  ASSERT_TRUE(plain.RunUntil(midpoint).ok());
+  SimCheckpoint plain_checkpoint = plain.Checkpoint().ValueOrDie();
+
+  StringLogSink sink;
+  RunRecorder recorder(&sink);
+  SimOptions options = GoldenOptions();
+  options.recorder = &recorder;
+  SpesPolicy recorded_policy;
+  SimStream recorded =
+      SimStream::Create(fleet, &recorded_policy, options).ValueOrDie();
+  ASSERT_TRUE(recorded.RunUntil(midpoint).ok());
+  SimCheckpoint recorded_checkpoint = recorded.Checkpoint().ValueOrDie();
+  const std::string recorded_bytes =
+      SerializeCheckpoint(recorded_checkpoint);
+
+  for (auto& lane : plain_checkpoint.lanes) lane.overhead_seconds = 0.0;
+  for (auto& lane : recorded_checkpoint.lanes) lane.overhead_seconds = 0.0;
+  EXPECT_EQ(SerializeCheckpoint(plain_checkpoint),
+            SerializeCheckpoint(recorded_checkpoint));
+
+  // Resume the recorded stream's checkpoint on a recorder-free stream.
+  SpesPolicy fresh;
+  SimStream resumed =
+      SimStream::Create(fleet, &fresh, GoldenOptions()).ValueOrDie();
+  ASSERT_TRUE(
+      resumed.Restore(ParseCheckpoint(recorded_bytes).ValueOrDie()).ok());
+  const SimulationOutcome outcome = resumed.Finish().ValueOrDie();
+  EXPECT_EQ(outcome.metrics.total_cold_starts, 631u);
+  EXPECT_EQ(SeriesSum(outcome.memory_series), 212568u);
+
+  ASSERT_TRUE(recorded.Finish().ok());
+  recorder.Finish();
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_EQ(log.checkpoint_saves, 1u);
 }
 
 TEST(GoldenMetricsTest, BothPoliciesSeeTheSameWorkload) {

@@ -1,0 +1,492 @@
+// Unit tests for the observability subsystem (src/obs): the hardened
+// JSON / run-log parsers over hostile input, the RunRecorder span and
+// event emitters under an injected deterministic clock, and the Chrome
+// trace export. The end-to-end golden contract (recorder-enabled runs
+// bitwise-identical to disabled) lives in golden_metrics_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/recorder.h"
+#include "obs/run_log.h"
+
+namespace spes {
+namespace {
+
+// ---------------------------------------------------------------------
+// Injected clock: RunRecorder::ClockFn is a plain function pointer, so
+// the fake advances through a file-static.
+// ---------------------------------------------------------------------
+
+double g_fake_now = 0.0;
+double FakeClock() { return g_fake_now; }
+
+RunRecorder::Options TestOptions(const std::string& label = "") {
+  RunRecorder::Options options;
+  options.label = label;
+  return options;
+}
+
+// ---------------------------------------------------------------------
+// JSON parser: hostile input
+// ---------------------------------------------------------------------
+
+TEST(JsonParserTest, ParsesScalarsObjectsAndArrays) {
+  const JsonValue v =
+      ParseJson(R"({"a":1.5,"b":"x","c":[true,false,null],"d":{}})")
+          .ValueOrDie();
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_DOUBLE_EQ(v.Find("a")->number_value, 1.5);
+  EXPECT_EQ(v.Find("b")->string_value, "x");
+  ASSERT_EQ(v.Find("c")->array_items.size(), 3u);
+  EXPECT_TRUE(v.Find("c")->array_items[0].bool_value);
+  EXPECT_EQ(v.Find("c")->array_items[2].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(v.Find("d")->kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, ObjectsPreserveMemberOrder) {
+  const JsonValue v =
+      ParseJson(R"({"z":1,"a":2,"m":3})").ValueOrDie();
+  ASSERT_EQ(v.object_items.size(), 3u);
+  EXPECT_EQ(v.object_items[0].first, "z");
+  EXPECT_EQ(v.object_items[1].first, "a");
+  EXPECT_EQ(v.object_items[2].first, "m");
+}
+
+TEST(JsonParserTest, DecodesEscapesAndSurrogatePairs) {
+  // \u00e9 decodes to é; \ud83d\ude00 is the surrogate pair for U+1F600.
+  const JsonValue v =
+      ParseJson(R"({"s":"a\"b\\c\nd\u00e9\ud83d\ude00"})").ValueOrDie();
+  EXPECT_EQ(v.Find("s")->string_value,
+            std::string("a\"b\\c\nd\xC3\xA9\xF0\x9F\x98\x80"));
+}
+
+TEST(JsonParserTest, LoneSurrogateDoesNotCrash) {
+  // A high surrogate with no low half is hostile but must parse (the
+  // code point is encoded as-is) — never a crash.
+  const Result<JsonValue> v = ParseJson(R"({"s":"\ud800x"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  const char* hostile[] = {
+      "",                        // empty
+      "{",                       // unterminated object
+      "[1,2",                    // unterminated array
+      "{\"a\":}",                // missing value
+      "{\"a\" 1}",               // missing colon
+      "{\"a\":1,}",              // trailing comma
+      "\"unterminated",          // unterminated string
+      "\"bad\\qescape\"",        // invalid escape
+      "\"tr\\u12\"",             // truncated \u
+      "1e999",                   // overflow
+      "nul",                     // truncated literal
+      "1 2",                     // trailing bytes
+      "{\"a\":1}x",              // trailing garbage
+      "\"raw\ncontrol\"",        // raw control char in string
+      "--5",                     // malformed number
+  };
+  for (const char* text : hostile) {
+    const Result<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(JsonParserTest, RejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  const Result<JsonValue> parsed = ParseJson(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("deep"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Run-log parser: structure and hostile input
+// ---------------------------------------------------------------------
+
+constexpr char kHeader[] = "{\"ev\":\"run_start\",\"schema\":1,\"t\":0}\n";
+
+TEST(RunLogParserTest, EmptyLogIsAnError) {
+  const Result<ParsedRunLog> parsed = ParseRunLog("");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("run_start"), std::string::npos);
+}
+
+TEST(RunLogParserTest, HeaderOnlyLogParses) {
+  const ParsedRunLog log = ParseRunLog(kHeader).ValueOrDie();
+  EXPECT_EQ(log.schema, kRunLogSchemaVersion);
+  EXPECT_EQ(log.num_events, 1u);
+  EXPECT_FALSE(log.saw_run_end);  // truncated, still analyzable
+}
+
+TEST(RunLogParserTest, RejectsBadSchemaVersionWithLineNumber) {
+  const Result<ParsedRunLog> parsed =
+      ParseRunLog("{\"ev\":\"run_start\",\"schema\":99,\"t\":0}\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("schema version 99"),
+            std::string::npos);
+}
+
+TEST(RunLogParserTest, RejectsMissingHeader) {
+  const Result<ParsedRunLog> parsed = ParseRunLog(
+      "{\"ev\":\"span\",\"t\":0,\"dur\":1,\"name\":\"train\"}\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("first event must be run_start"),
+            std::string::npos);
+}
+
+TEST(RunLogParserTest, RejectsDuplicateHeader) {
+  const Result<ParsedRunLog> parsed =
+      ParseRunLog(std::string(kHeader) + kHeader);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(RunLogParserTest, RejectsCorruptJsonLineWithLineNumber) {
+  const Result<ParsedRunLog> parsed =
+      ParseRunLog(std::string(kHeader) + "{not json at all}\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(RunLogParserTest, RejectsLineTruncatedMidJson) {
+  // A writer that died mid-line leaves malformed JSON — a hard error
+  // (the line number tells the operator where the log went bad).
+  const Result<ParsedRunLog> parsed = ParseRunLog(
+      std::string(kHeader) + "{\"ev\":\"heartbeat\",\"t\":0.1,\"minu");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(RunLogParserTest, RejectsWrongTypeAndBadOps) {
+  const char* hostile[] = {
+      // span with a non-string name
+      "{\"ev\":\"span\",\"t\":0,\"dur\":1,\"name\":5}",
+      // heartbeat with a negative counter
+      "{\"ev\":\"heartbeat\",\"t\":0,\"minute\":1,"
+      "\"invocations\":-3,\"cold_starts\":0}",
+      // heartbeat with a fractional minute
+      "{\"ev\":\"heartbeat\",\"t\":0,\"minute\":1.5,"
+      "\"invocations\":1,\"cold_starts\":0}",
+      // unknown cache / checkpoint ops
+      "{\"ev\":\"cache\",\"t\":0,\"op\":\"evict\",\"key\":\"k\"}",
+      "{\"ev\":\"checkpoint\",\"t\":0,\"op\":\"zap\",\"slot\":0,"
+      "\"cursor\":1}",
+      // event line that is a bare array, not an object
+      "[1,2,3]",
+      // event without an "ev" kind
+      "{\"t\":0.5}",
+  };
+  for (const char* line : hostile) {
+    const Result<ParsedRunLog> parsed =
+        ParseRunLog(std::string(kHeader) + line + "\n");
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+    EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+TEST(RunLogParserTest, SkipsUnknownEventKinds) {
+  const ParsedRunLog log =
+      ParseRunLog(std::string(kHeader) +
+                  "{\"ev\":\"mystery\",\"t\":0.5,\"payload\":[1,2]}\n")
+          .ValueOrDie();
+  EXPECT_EQ(log.num_events, 2u);
+  EXPECT_TRUE(log.spans.empty());
+}
+
+TEST(RunLogParserTest, BlankLinesAreTolerated) {
+  const ParsedRunLog log =
+      ParseRunLog(std::string(kHeader) + "\n" +
+                  "{\"ev\":\"cache\",\"t\":1,\"op\":\"hit\",\"key\":\"k\"}\n")
+          .ValueOrDie();
+  EXPECT_EQ(log.num_events, 2u);
+  EXPECT_EQ(log.cache.hits, 1u);
+}
+
+TEST(RunLogParserTest, AggregatesTypedEvents) {
+  const std::string text =
+      std::string(kHeader) +
+      "{\"ev\":\"config\",\"t\":0,\"key\":\"policy\",\"value\":\"spes\"}\n"
+      "{\"ev\":\"span\",\"t\":0.5,\"dur\":0.25,\"name\":\"train\","
+      "\"slot\":2,\"lane\":3,\"detail\":\"SPES\"}\n"
+      "{\"ev\":\"heartbeat\",\"t\":1,\"slot\":2,\"lane\":1,\"minute\":60,"
+      "\"invocations\":100,\"cold_starts\":5,"
+      "\"loaded_instance_minutes\":40,\"wasted_memory_minutes\":7,"
+      "\"loaded\":12,\"queue_depth\":4}\n"
+      "{\"ev\":\"cache\",\"t\":1,\"op\":\"hit\",\"key\":\"a\"}\n"
+      "{\"ev\":\"cache\",\"t\":1,\"op\":\"miss\",\"key\":\"b\"}\n"
+      "{\"ev\":\"cache\",\"t\":1,\"op\":\"pack\",\"key\":\"b\"}\n"
+      "{\"ev\":\"decoder\",\"t\":2,\"slot\":0,\"blocks\":3,"
+      "\"invocations\":999}\n"
+      "{\"ev\":\"checkpoint\",\"t\":2,\"op\":\"save\",\"slot\":0,"
+      "\"cursor\":120}\n"
+      "{\"ev\":\"checkpoint\",\"t\":2,\"op\":\"restore\",\"slot\":0,"
+      "\"cursor\":120}\n"
+      "{\"ev\":\"run_end\",\"t\":3,\"spans\":1,\"events\":10,"
+      "\"duration_seconds\":3.5}\n";
+  const ParsedRunLog log = ParseRunLog(text).ValueOrDie();
+
+  ASSERT_EQ(log.config.size(), 1u);
+  EXPECT_EQ(log.config[0].first, "policy");
+  EXPECT_EQ(log.config[0].second, "spes");
+
+  ASSERT_EQ(log.spans.size(), 1u);
+  EXPECT_EQ(log.spans[0].name, "train");
+  EXPECT_EQ(log.spans[0].detail, "SPES");
+  EXPECT_EQ(log.spans[0].slot, 2);
+  EXPECT_EQ(log.spans[0].lane, 3);
+  EXPECT_DOUBLE_EQ(log.spans[0].t, 0.5);
+  EXPECT_DOUBLE_EQ(log.spans[0].dur, 0.25);
+
+  ASSERT_EQ(log.heartbeats.size(), 1u);
+  const HeartbeatRecord& hb = log.heartbeats[0];
+  EXPECT_EQ(hb.minute, 60);
+  EXPECT_EQ(hb.invocations, 100u);
+  EXPECT_EQ(hb.cold_starts, 5u);
+  EXPECT_EQ(hb.loaded_instance_minutes, 40u);
+  EXPECT_EQ(hb.wasted_memory_minutes, 7u);
+  EXPECT_EQ(hb.loaded_instances, 12u);
+  EXPECT_EQ(hb.queue_depth, 4u);
+
+  EXPECT_EQ(log.cache.hits, 1u);
+  EXPECT_EQ(log.cache.misses, 1u);
+  EXPECT_EQ(log.cache.packs, 1u);
+  EXPECT_EQ(log.decoder.blocks, 3u);
+  EXPECT_EQ(log.decoder.invocations, 999u);
+  EXPECT_EQ(log.checkpoint_saves, 1u);
+  EXPECT_EQ(log.checkpoint_restores, 1u);
+  EXPECT_TRUE(log.saw_run_end);
+  EXPECT_DOUBLE_EQ(log.duration_seconds, 3.5);
+  EXPECT_EQ(log.num_events, 11u);
+}
+
+TEST(RunLogParserTest, OptionalFieldsDefaultWhenAbsent) {
+  const ParsedRunLog log =
+      ParseRunLog(std::string(kHeader) +
+                  "{\"ev\":\"heartbeat\",\"t\":1,\"minute\":5,"
+                  "\"invocations\":1,\"cold_starts\":0}\n")
+          .ValueOrDie();
+  ASSERT_EQ(log.heartbeats.size(), 1u);
+  EXPECT_EQ(log.heartbeats[0].slot, 0);
+  EXPECT_EQ(log.heartbeats[0].lane, 0);
+  EXPECT_EQ(log.heartbeats[0].queue_depth, 0u);
+}
+
+// ---------------------------------------------------------------------
+// RunRecorder under the fake clock
+// ---------------------------------------------------------------------
+
+TEST(RunRecorderTest, EmitsHeaderLabelAndRunEnd) {
+  g_fake_now = 10.0;
+  StringLogSink sink;
+  {
+    RunRecorder recorder(&sink, TestOptions("golden run"), &FakeClock);
+    g_fake_now = 12.5;
+    recorder.Finish();
+  }
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_EQ(log.schema, kRunLogSchemaVersion);
+  EXPECT_EQ(log.label, "golden run");
+  EXPECT_TRUE(log.saw_run_end);
+  EXPECT_DOUBLE_EQ(log.duration_seconds, 2.5);
+  EXPECT_EQ(log.num_events, 2u);
+}
+
+TEST(RunRecorderTest, SpanTimesComeFromTheInjectedClock) {
+  g_fake_now = 100.0;
+  StringLogSink sink;
+  RunRecorder recorder(&sink, TestOptions(), &FakeClock);
+  g_fake_now = 101.0;
+  const uint64_t outer = recorder.BeginSpan("simulate", 1, 2, "spes");
+  g_fake_now = 101.25;
+  const uint64_t inner = recorder.BeginSpan("finish", 1, 0);
+  g_fake_now = 101.75;
+  recorder.EndSpan(inner);
+  g_fake_now = 103.0;
+  recorder.EndSpan(outer);
+  recorder.Finish();
+
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  ASSERT_EQ(log.spans.size(), 2u);
+  // Spans close inner-first; timestamps are relative to construction.
+  EXPECT_EQ(log.spans[0].name, "finish");
+  EXPECT_DOUBLE_EQ(log.spans[0].t, 1.25);
+  EXPECT_DOUBLE_EQ(log.spans[0].dur, 0.5);
+  EXPECT_EQ(log.spans[1].name, "simulate");
+  EXPECT_EQ(log.spans[1].detail, "spes");
+  EXPECT_EQ(log.spans[1].slot, 1);
+  EXPECT_EQ(log.spans[1].lane, 2);
+  EXPECT_DOUBLE_EQ(log.spans[1].t, 1.0);
+  EXPECT_DOUBLE_EQ(log.spans[1].dur, 2.0);
+  // spans() snapshot matches what the log records.
+  EXPECT_EQ(recorder.spans(), log.spans);
+}
+
+TEST(RunRecorderTest, UnknownSpanTokensAreIgnored) {
+  g_fake_now = 0.0;
+  StringLogSink sink;
+  RunRecorder recorder(&sink, TestOptions(), &FakeClock);
+  recorder.EndSpan(12345);  // never opened
+  recorder.EndSpan(0);      // null token
+  recorder.Finish();
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_TRUE(log.spans.empty());
+}
+
+TEST(RunRecorderTest, EventsAfterFinishAreDropped) {
+  g_fake_now = 0.0;
+  StringLogSink sink;
+  RunRecorder recorder(&sink, TestOptions(), &FakeClock);
+  recorder.Finish();
+  recorder.Config("k", "v");
+  recorder.CacheEvent("hit", "k");
+  recorder.EmitHeartbeat({});
+  recorder.EndSpan(recorder.BeginSpan("late", 0, 0));
+  recorder.Finish();  // idempotent
+
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_EQ(log.num_events, 2u);  // run_start + run_end only
+  EXPECT_TRUE(log.config.empty());
+  EXPECT_EQ(log.cache.hits, 0u);
+  EXPECT_TRUE(log.heartbeats.empty());
+}
+
+TEST(RunRecorderTest, HeartbeatStrideIsClampedToOne) {
+  RunRecorder::Options options;
+  options.heartbeat_minute_stride = -5;
+  StringLogSink sink;
+  RunRecorder recorder(&sink, options, &FakeClock);
+  EXPECT_EQ(recorder.heartbeat_minute_stride(), 1);
+}
+
+TEST(RunRecorderTest, ScopedSpanClosesOnDestructionAndIsMoveSafe) {
+  g_fake_now = 0.0;
+  StringLogSink sink;
+  RunRecorder recorder(&sink, TestOptions(), &FakeClock);
+  {
+    ScopedSpan null_span(nullptr, "noop", 0, 0);  // branch-free no-op
+    ScopedSpan span(&recorder, "train", 0, 1, "spes");
+    g_fake_now = 1.0;
+    ScopedSpan moved = std::move(span);
+    moved.End();
+    moved.End();  // idempotent
+    ScopedSpan assigned;
+    assigned = ScopedSpan(&recorder, "pack", 0, 0);
+    g_fake_now = 2.0;
+  }  // `assigned` closes here
+  recorder.Finish();
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  ASSERT_EQ(log.spans.size(), 2u);
+  EXPECT_EQ(log.spans[0].name, "train");
+  EXPECT_DOUBLE_EQ(log.spans[0].dur, 1.0);
+  EXPECT_EQ(log.spans[1].name, "pack");
+  EXPECT_DOUBLE_EQ(log.spans[1].t, 1.0);
+  EXPECT_DOUBLE_EQ(log.spans[1].dur, 1.0);
+}
+
+TEST(RunRecorderTest, DestructorFinishesTheLog) {
+  StringLogSink sink;
+  { RunRecorder recorder(&sink, TestOptions(), &FakeClock); }
+  const ParsedRunLog log = ParseRunLog(sink.contents()).ValueOrDie();
+  EXPECT_TRUE(log.saw_run_end);
+}
+
+// ---------------------------------------------------------------------
+// File sink and file reader
+// ---------------------------------------------------------------------
+
+TEST(FileLogSinkTest, RoundTripsThroughDisk) {
+  const std::string path =
+      testing::TempDir() + "/obs_test_roundtrip.jsonl";
+  {
+    FileLogSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    g_fake_now = 0.0;
+    RunRecorder recorder(&sink, TestOptions("disk"), &FakeClock);
+    recorder.CacheEvent("miss", "gen{seed=99}");
+    recorder.Finish();
+  }
+  const ParsedRunLog log = ReadRunLogFile(path).ValueOrDie();
+  EXPECT_EQ(log.label, "disk");
+  EXPECT_EQ(log.cache.misses, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(FileLogSinkTest, UnopenablePathFailsSoftly) {
+  FileLogSink sink("/nonexistent-dir-xyz/run.jsonl");
+  EXPECT_FALSE(sink.ok());
+  sink.WriteLine("{}");  // dropped, not a crash
+  sink.Flush();
+}
+
+TEST(ReadRunLogFileTest, MissingFileIsAnIOError) {
+  const Result<ParsedRunLog> parsed =
+      ReadRunLogFile("/nonexistent-dir-xyz/run.jsonl");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------
+
+TEST(ChromeTraceTest, ExportsTracksAndCompleteEvents) {
+  std::vector<SpanRecord> spans;
+  spans.push_back({"train", "spes", 0, 1, 0.5, 0.25});
+  spans.push_back({"simulate", "", 2, 3, 1.0, 2.0});
+  spans.push_back({"finish", "", 0, 1, 3.0, 0.125});  // track repeats
+
+  const std::string json = ChromeTraceJson(spans);
+  const JsonValue v = ParseJson(json).ValueOrDie();
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.Find("displayTimeUnit")->string_value, "ms");
+
+  const JsonValue* events = v.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // 2 distinct (slot, lane) tracks -> 2 metadata events + 3 spans.
+  ASSERT_EQ(events->array_items.size(), 5u);
+
+  const JsonValue& meta = events->array_items[0];
+  EXPECT_EQ(meta.Find("ph")->string_value, "M");
+  EXPECT_DOUBLE_EQ(meta.Find("tid")->number_value, 0 * 1024 + 1);
+  EXPECT_EQ(meta.Find("args")->Find("name")->string_value,
+            "slot 0 / lane 1");
+  EXPECT_DOUBLE_EQ(events->array_items[1].Find("tid")->number_value,
+                   2 * 1024 + 3);
+
+  const JsonValue& x = events->array_items[2];
+  EXPECT_EQ(x.Find("ph")->string_value, "X");
+  EXPECT_EQ(x.Find("name")->string_value, "train");
+  EXPECT_DOUBLE_EQ(x.Find("ts")->number_value, 0.5e6);   // microseconds
+  EXPECT_DOUBLE_EQ(x.Find("dur")->number_value, 0.25e6);
+  EXPECT_EQ(x.Find("args")->Find("detail")->string_value, "spes");
+  // Detail-less spans omit args entirely.
+  EXPECT_EQ(events->array_items[3].Find("args"), nullptr);
+}
+
+TEST(ChromeTraceTest, EmptySpanListIsAValidDocument) {
+  const JsonValue v = ParseJson(ChromeTraceJson({})).ValueOrDie();
+  EXPECT_TRUE(v.Find("traceEvents")->array_items.empty());
+}
+
+// ---------------------------------------------------------------------
+// Monotonic clock sanity
+// ---------------------------------------------------------------------
+
+TEST(ClockTest, MonotonicSecondsNeverGoesBackwards) {
+  const double a = MonotonicSeconds();
+  const double b = MonotonicSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace spes

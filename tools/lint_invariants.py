@@ -8,13 +8,20 @@ docs/correctness.md):
   R1 seeded-rng-only   No std::random_device / rand() / srand() / time() /
                        std::chrono::system_clock outside src/common/rng.*
                        and bench timing code (bench/). All stochastic
-                       behaviour must flow through spes::Rng.
+                       behaviour must flow through spes::Rng. The monotonic
+                       clock (std::chrono::steady_clock) is likewise
+                       confined: only src/obs/clock.{h,cc} (the library's
+                       single wall-time read, see obs/clock.h), bench/,
+                       and the standalone fuzz driver's timeout loop may
+                       touch it — everything else calls
+                       spes::MonotonicSeconds().
   R2 ordered-iteration No iteration over (or, conservatively, any mention
                        of) std::unordered_map / std::unordered_set in files
-                       under src/metrics, src/sim or src/cluster: these
-                       layers emit ordered output (tables, series, goldens)
-                       and unordered iteration order is not deterministic
-                       across standard libraries.
+                       under src/metrics, src/sim, src/cluster, src/latency
+                       or src/obs: these layers emit ordered output
+                       (tables, series, goldens, run logs) and unordered
+                       iteration order is not deterministic across
+                       standard libraries.
   R3 registry-name     Every policy registration unit (a src/policies/*.cc
                        that references PolicyRegistry) must self-register
                        exactly one canonical name equal to its file stem
@@ -101,30 +108,50 @@ R1_PATTERNS = [
 
 R1_ALLOWED = re.compile(r"^(src/common/rng\.(h|cc)|bench/)")
 
+# The monotonic clock has its own, tighter confinement: the library reads
+# it exactly once, in src/obs/clock.{h,cc} (everything else goes through
+# spes::MonotonicSeconds so instrumentation stays greppable and
+# mockable). bench/ times sweeps directly; the standalone fuzz driver
+# uses it for its smoke-run timeout.
+R1_STEADY = re.compile(r"std::chrono::steady_clock")
+R1_STEADY_ALLOWED = re.compile(
+    r"^(src/obs/clock\.(h|cc)|src/common/rng\.(h|cc)|bench/"
+    r"|fuzz/standalone_driver\.cc)"
+)
+
 
 def lint_r1(relpath, lines):
-    if R1_ALLOWED.match(relpath):
+    base_allowed = bool(R1_ALLOWED.match(relpath))
+    steady_allowed = bool(R1_STEADY_ALLOWED.match(relpath))
+    if base_allowed and steady_allowed:
         return []
     findings = []
     for i, line in enumerate(lines):
-        code = line.split("//", 1)[0] if "det-ok" not in line else line
-        for pattern, label in R1_PATTERNS:
-            if pattern.search(code.split("//", 1)[0]):
-                allowed, extra = _allowlisted(lines, i)
-                if extra:
-                    findings.append(Finding(relpath, extra[0], "R1", extra[1]))
-                if not allowed:
-                    findings.append(
-                        Finding(
-                            relpath,
-                            i + 1,
-                            "R1",
-                            f"{label} outside src/common/rng.* / bench timing "
-                            "code; route randomness through spes::Rng "
-                            "(suppress with '// det-ok: <reason>')",
-                        )
+        code = line.split("//", 1)[0]
+        hit = None
+        if not base_allowed:
+            for pattern, label in R1_PATTERNS:
+                if pattern.search(code):
+                    hit = (
+                        f"{label} outside src/common/rng.* / bench timing "
+                        "code; route randomness through spes::Rng "
+                        "(suppress with '// det-ok: <reason>')"
                     )
-                break
+                    break
+        if hit is None and not steady_allowed and R1_STEADY.search(code):
+            hit = (
+                "std::chrono::steady_clock outside src/obs/clock.* / bench "
+                "timing code; read wall time through "
+                "spes::MonotonicSeconds() from obs/clock.h "
+                "(suppress with '// det-ok: <reason>')"
+            )
+        if hit is None:
+            continue
+        allowed, extra = _allowlisted(lines, i)
+        if extra:
+            findings.append(Finding(relpath, extra[0], "R1", extra[1]))
+        if not allowed:
+            findings.append(Finding(relpath, i + 1, "R1", hit))
     return findings
 
 
@@ -132,7 +159,7 @@ def lint_r1(relpath, lines):
 # R2: no unordered-container iteration where output ordering matters
 # --------------------------------------------------------------------------
 
-R2_DIRS = re.compile(r"^src/(metrics|sim|cluster|latency)/")
+R2_DIRS = re.compile(r"^src/(metrics|sim|cluster|latency|obs)/")
 R2_PATTERN = re.compile(r"\bunordered_(map|set)\b")
 
 
@@ -152,10 +179,10 @@ def lint_r2(relpath, lines):
                         i + 1,
                         "R2",
                         "unordered container in an ordered-output layer "
-                        "(src/metrics, src/sim, src/cluster, src/latency); "
-                        "iteration order feeds tables/goldens — use "
-                        "std::map/sorted vector, or justify with "
-                        "'// det-ok: <reason>'",
+                        "(src/metrics, src/sim, src/cluster, src/latency, "
+                        "src/obs); iteration order feeds tables/goldens/"
+                        "run logs — use std::map/sorted vector, or justify "
+                        "with '// det-ok: <reason>'",
                     )
                 )
     return findings
@@ -350,6 +377,32 @@ SELF_TEST_TREE = {
     ),
     # R1: det-ok without a reason is itself a finding.
     "src/sim/bad_bare_detok.cc": ("int R() { return rand(); }  // det-ok:\n"),
+    # R1: the monotonic clock is confined to src/obs/clock.{h,cc} — a
+    # steady_clock read anywhere else in src/obs (or src/sim) still fires.
+    "src/obs/bad_clock.cc": (
+        "#include <chrono>\n"
+        "double Now() {\n"
+        "  return std::chrono::duration<double>(\n"
+        "      std::chrono::steady_clock::now().time_since_epoch()).count();\n"
+        "}\n"
+    ),
+    "src/sim/bad_steady.cc": (
+        "#include <chrono>\n"
+        "auto T() { return std::chrono::steady_clock::now(); }\n"
+    ),
+    # R1 (negative): the sanctioned clock translation unit itself, plus a
+    # steady_clock mentioned only in a comment elsewhere.
+    "src/obs/clock.cc": (
+        "#include <chrono>\n"
+        "double MonotonicSeconds() {\n"
+        "  return std::chrono::duration<double>(\n"
+        "      std::chrono::steady_clock::now().time_since_epoch()).count();\n"
+        "}\n"
+    ),
+    "src/obs/ok_clock_comment.cc": (
+        "// std::chrono::steady_clock mentioned in a comment is fine\n"
+        "int NotAClock() { return 0; }\n"
+    ),
     # R1 covers the latency subsystem: service-time sampling must flow
     # through the seeded per-request keys, never ambient randomness.
     "src/latency/bad_unseeded_sample.cc": (
@@ -366,6 +419,12 @@ SELF_TEST_TREE = {
     "src/metrics/bad_unordered.cc": (
         "#include <unordered_map>\n"
         "std::unordered_map<int, int> counters;\n"
+    ),
+    # R2 covers src/obs/ too: run-log objects and report tables iterate
+    # members in insertion order, so parsed state must stay ordered.
+    "src/obs/bad_unordered.cc": (
+        "#include <unordered_set>\n"
+        "std::unordered_set<int> seen_events;\n"
     ),
     # R2 (negative): justified use is allowed.
     "src/cluster/ok_unordered.cc": (
@@ -427,8 +486,11 @@ SELF_TEST_EXPECTED = [
     ("R1", "src/sim/bad_clock.cc"),
     ("R1", "src/sim/bad_bare_detok.cc"),
     ("R1", "src/latency/bad_unseeded_sample.cc"),
+    ("R1", "src/obs/bad_clock.cc"),
+    ("R1", "src/sim/bad_steady.cc"),
     ("R2", "src/metrics/bad_unordered.cc"),
     ("R2", "src/latency/bad_unordered.cc"),
+    ("R2", "src/obs/bad_unordered.cc"),
     ("R3", "src/policies/bad_name.cc"),
     ("R3", "src/policies/bad_silent.cc"),
     ("R4", "src/core/bad_header.h"),
@@ -438,6 +500,8 @@ SELF_TEST_EXPECTED = [
 SELF_TEST_CLEAN = [
     "bench/ok_timer.cc",
     "src/sim/ok_justified.cc",
+    "src/obs/clock.cc",
+    "src/obs/ok_clock_comment.cc",
     "src/cluster/ok_unordered.cc",
     "src/policies/ok_datastructure.cc",
     "src/core/ok_header.h",

@@ -1,0 +1,337 @@
+// spes_report: analyze a schema-versioned JSONL run log (obs/run_log.h)
+// recorded by a RunRecorder-instrumented simulation.
+//
+// Usage:
+//   spes_report --log=FILE [--format=table|csv|json] [--perfetto=FILE]
+//
+//   --log=FILE        the run log to analyze (required)
+//   --format=FMT      table (default, human), csv, or json
+//   --perfetto=FILE   additionally export the spans as Chrome
+//                     trace-event JSON, loadable in Perfetto
+//                     (ui.perfetto.dev) or chrome://tracing
+//
+// Sections:
+//   run summary    label, schema, duration, event count, truncation
+//   config         key/value pairs echoed from the recorder
+//   phases         wall time aggregated per span name (realize, pack,
+//                  train, simulate, finish, job, ...)
+//   throughput     per (slot, lane): simulated-minutes/second and cold
+//                  rate derived from heartbeats
+//   queue / SLO    per (slot, lane): loaded-instance and latency queue
+//                  pressure derived from heartbeats
+//   activity       trace-cache hits/misses/packs, decoder blocks,
+//                  checkpoint saves/restores
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/run_log.h"
+
+namespace {
+
+using namespace spes;
+
+struct Args {
+  std::string log;
+  std::string format = "table";
+  std::string perfetto;
+};
+
+bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(prefix.size());
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --log=FILE [--format=table|csv|json]\n"
+               "       [--perfetto=FILE]\n",
+               argv0);
+  return 2;
+}
+
+// ---------------------------------------------------------------------------
+// Section emission: one titled table per section, rendered per --format.
+// In json mode the sections accumulate into a single object printed at
+// the end, so the output is one parseable document.
+// ---------------------------------------------------------------------------
+
+struct Report {
+  std::string format;
+  std::vector<std::pair<std::string, std::string>> json_sections;
+
+  void Emit(const std::string& key, const std::string& title,
+            const Table& table) {
+    if (format == "json") {
+      json_sections.emplace_back(key, table.ToJson());
+    } else if (format == "csv") {
+      std::printf("# %s\n%s\n", title.c_str(), table.ToCsv().c_str());
+    } else {
+      std::printf("== %s ==\n%s\n", title.c_str(),
+                  table.ToString().c_str());
+    }
+  }
+
+  void FinishJson() {
+    if (format != "json") return;
+    std::string out = "{";
+    for (size_t i = 0; i < json_sections.size(); ++i) {
+      if (i > 0) out += ",";
+      out += JsonEscape(json_sections[i].first) + ":" +
+             json_sections[i].second;
+    }
+    out += "}";
+    std::printf("%s\n", out.c_str());
+  }
+};
+
+std::string U64(uint64_t v) { return std::to_string(v); }
+
+// ---------------------------------------------------------------------------
+// Phase table: wall time aggregated per span name, ordered by first
+// appearance (the parse preserves log order, so nesting reads top-down).
+// ---------------------------------------------------------------------------
+
+Table BuildPhaseTable(const ParsedRunLog& log) {
+  struct PhaseAgg {
+    std::string name;
+    uint64_t count = 0;
+    double total = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  std::vector<PhaseAgg> phases;
+  double wall = log.duration_seconds;
+  for (const SpanRecord& span : log.spans) {
+    wall = std::max(wall, span.t + span.dur);
+    PhaseAgg* agg = nullptr;
+    for (PhaseAgg& p : phases) {
+      if (p.name == span.name) {
+        agg = &p;
+        break;
+      }
+    }
+    if (agg == nullptr) {
+      phases.push_back({span.name, 0, 0.0, span.dur, span.dur});
+      agg = &phases.back();
+    }
+    agg->count += 1;
+    agg->total += span.dur;
+    agg->min = std::min(agg->min, span.dur);
+    agg->max = std::max(agg->max, span.dur);
+  }
+  Table table({"phase", "spans", "total (s)", "mean (s)", "max (s)",
+               "share", ""});
+  for (const PhaseAgg& p : phases) {
+    const double share = wall > 0.0 ? p.total / wall : 0.0;
+    table.AddRow({p.name, U64(p.count), FormatDouble(p.total, 3),
+                  FormatDouble(p.total / static_cast<double>(p.count), 4),
+                  FormatDouble(p.max, 3), FormatPercent(share, 1),
+                  AsciiBar(std::min(share, 1.0), 20)});
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat-derived tables. Heartbeats are cumulative per (slot, lane),
+// so the last one carries the lane's final counters and the first/last
+// pair prices its simulation rate.
+// ---------------------------------------------------------------------------
+
+struct LaneSeries {
+  int slot = 0;
+  int lane = 0;
+  std::vector<const HeartbeatRecord*> beats;  ///< in log order
+};
+
+std::vector<LaneSeries> GroupByLane(const ParsedRunLog& log) {
+  std::vector<LaneSeries> lanes;
+  for (const HeartbeatRecord& hb : log.heartbeats) {
+    LaneSeries* series = nullptr;
+    for (LaneSeries& s : lanes) {
+      if (s.slot == hb.slot && s.lane == hb.lane) {
+        series = &s;
+        break;
+      }
+    }
+    if (series == nullptr) {
+      lanes.push_back({hb.slot, hb.lane, {}});
+      series = &lanes.back();
+    }
+    series->beats.push_back(&hb);
+  }
+  return lanes;
+}
+
+Table BuildThroughputTable(const std::vector<LaneSeries>& lanes) {
+  Table table({"slot", "lane", "minutes", "wall (s)", "sim-min/s",
+               "invocations", "cold starts", "cold/10k inv"});
+  for (const LaneSeries& series : lanes) {
+    const HeartbeatRecord& first = *series.beats.front();
+    const HeartbeatRecord& last = *series.beats.back();
+    const int minutes = last.minute - first.minute;
+    const double wall = last.t - first.t;
+    const double rate = wall > 0.0 ? minutes / wall : 0.0;
+    const double cold_rate =
+        last.invocations > 0
+            ? 1e4 * static_cast<double>(last.cold_starts) /
+                  static_cast<double>(last.invocations)
+            : 0.0;
+    table.AddRow({std::to_string(series.slot), std::to_string(series.lane),
+                  std::to_string(minutes), FormatDouble(wall, 3),
+                  rate > 0.0 ? FormatDouble(rate, 0) : "--",
+                  U64(last.invocations), U64(last.cold_starts),
+                  FormatDouble(cold_rate, 2)});
+  }
+  return table;
+}
+
+Table BuildQueueTable(const std::vector<LaneSeries>& lanes) {
+  Table table({"slot", "lane", "beats", "peak loaded", "peak queue",
+               "mean queue", "wasted mem-min", "waste ratio"});
+  for (const LaneSeries& series : lanes) {
+    uint32_t peak_loaded = 0;
+    uint32_t peak_queue = 0;
+    double queue_sum = 0.0;
+    for (const HeartbeatRecord* hb : series.beats) {
+      peak_loaded = std::max(peak_loaded, hb->loaded_instances);
+      peak_queue = std::max(peak_queue, hb->queue_depth);
+      queue_sum += hb->queue_depth;
+    }
+    const HeartbeatRecord& last = *series.beats.back();
+    const double waste =
+        last.loaded_instance_minutes > 0
+            ? static_cast<double>(last.wasted_memory_minutes) /
+                  static_cast<double>(last.loaded_instance_minutes)
+            : 0.0;
+    table.AddRow({std::to_string(series.slot), std::to_string(series.lane),
+                  std::to_string(series.beats.size()),
+                  std::to_string(peak_loaded), std::to_string(peak_queue),
+                  FormatDouble(queue_sum /
+                                   static_cast<double>(series.beats.size()),
+                               2),
+                  U64(last.wasted_memory_minutes), FormatPercent(waste, 1)});
+  }
+  return table;
+}
+
+int Run(const Args& args) {
+  auto parsed = ReadRunLogFile(args.log);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "spes_report: %s\n",
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const ParsedRunLog log = std::move(parsed).ValueOrDie();
+
+  Report report;
+  report.format = args.format;
+
+  Table summary({"field", "value"});
+  summary.AddRow({"log", args.log});
+  summary.AddRow({"label", log.label.empty() ? "(unlabeled)" : log.label});
+  summary.AddRow({"schema", std::to_string(log.schema)});
+  summary.AddRow({"events", std::to_string(log.num_events)});
+  summary.AddRow({"spans", std::to_string(log.spans.size())});
+  summary.AddRow({"heartbeats", std::to_string(log.heartbeats.size())});
+  summary.AddRow({"duration (s)", log.saw_run_end
+                                      ? FormatDouble(log.duration_seconds, 3)
+                                      : "-- (log truncated: no run_end)"});
+  report.Emit("summary", "run summary", summary);
+
+  if (!log.config.empty()) {
+    Table config({"key", "value"});
+    for (const auto& [key, value] : log.config) config.AddRow({key, value});
+    report.Emit("config", "config", config);
+  }
+
+  if (!log.spans.empty()) {
+    report.Emit("phases", "phases (wall time by span name)",
+                BuildPhaseTable(log));
+  }
+
+  const std::vector<LaneSeries> lanes = GroupByLane(log);
+  if (!lanes.empty()) {
+    report.Emit("throughput", "throughput (from heartbeats)",
+                BuildThroughputTable(lanes));
+    report.Emit("queues", "memory / queue pressure (from heartbeats)",
+                BuildQueueTable(lanes));
+  }
+
+  Table activity({"counter", "value"});
+  activity.AddRow({"trace-cache hits", U64(log.cache.hits)});
+  activity.AddRow({"trace-cache misses", U64(log.cache.misses)});
+  const uint64_t lookups = log.cache.hits + log.cache.misses;
+  activity.AddRow(
+      {"trace-cache hit rate",
+       lookups > 0
+           ? FormatPercent(static_cast<double>(log.cache.hits) /
+                               static_cast<double>(lookups),
+                           1)
+           : "--"});
+  activity.AddRow({"trace-cache packs", U64(log.cache.packs)});
+  activity.AddRow({"decoder blocks", U64(log.decoder.blocks)});
+  activity.AddRow({"decoder invocations", U64(log.decoder.invocations)});
+  activity.AddRow({"checkpoint saves", U64(log.checkpoint_saves)});
+  activity.AddRow({"checkpoint restores", U64(log.checkpoint_restores)});
+  report.Emit("activity", "cache / decoder / checkpoint activity", activity);
+
+  report.FinishJson();
+
+  if (!args.perfetto.empty()) {
+    const std::string trace = ChromeTraceJson(log.spans);
+    std::FILE* out = std::fopen(args.perfetto.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "spes_report: cannot open '%s'\n",
+                   args.perfetto.c_str());
+      return 1;
+    }
+    const size_t written = std::fwrite(trace.data(), 1, trace.size(), out);
+    const bool closed = std::fclose(out) == 0;
+    if (written != trace.size() || !closed) {
+      std::fprintf(stderr, "spes_report: short write to '%s'\n",
+                   args.perfetto.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote Perfetto trace: %s (%zu spans)\n",
+                 args.perfetto.c_str(), log.spans.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (ParseFlag(arg, "log", &value)) {
+      args.log = value;
+    } else if (ParseFlag(arg, "format", &value)) {
+      args.format = value;
+    } else if (ParseFlag(arg, "perfetto", &value)) {
+      args.perfetto = value;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (args.log.empty()) {
+    std::fprintf(stderr, "--log is required\n");
+    return Usage(argv[0]);
+  }
+  if (args.format != "table" && args.format != "csv" &&
+      args.format != "json") {
+    std::fprintf(stderr, "unknown --format '%s'\n", args.format.c_str());
+    return Usage(argv[0]);
+  }
+  return Run(args);
+}

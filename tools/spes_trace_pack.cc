@@ -27,6 +27,9 @@
 //   --policy=SPEC              policy for --simulate (default "spes")
 //   --train-days=N             train window for --simulate (default
 //                              days - 2)
+//   --run-log=FILE             record the --simulate run as a schema-
+//                              versioned JSONL run log (obs/run_log.h);
+//                              analyze it with spes_report
 //
 // Every run prints size/ratio stats; on Linux the peak RSS (VmHWM) is
 // reported so out-of-core claims are checkable.
@@ -36,9 +39,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/recorder.h"
+#include "obs/run_log.h"
 #include "sim/scenario.h"
 #include "trace/azure_csv.h"
 #include "trace/generator.h"
@@ -62,6 +68,7 @@ struct Args {
   bool simulate = false;
   std::string policy = "spes";
   int train_days = -1;
+  std::string run_log;
 };
 
 bool ParseFlag(const std::string& arg, const char* name, std::string* out) {
@@ -77,7 +84,7 @@ int Usage(const char* argv0) {
                "       [--functions=N] [--days=N] [--seed=N]\n"
                "       [--rare-fraction=F] [--no-compress]\n"
                "       [--block-minutes=N] [--verify] [--simulate]\n"
-               "       [--policy=SPEC] [--train-days=N]\n",
+               "       [--policy=SPEC] [--train-days=N] [--run-log=FILE]\n",
                argv0);
   return 2;
 }
@@ -168,7 +175,7 @@ int VerifyPacked(const std::string& path) {
 }
 
 int SimulatePacked(const std::string& path, const std::string& policy,
-                   int train_days) {
+                   int train_days, const std::string& run_log_path) {
   auto opened = OpenTraceFile(path);
   if (!opened.ok()) {
     std::fprintf(stderr, "simulate: %s\n",
@@ -187,7 +194,32 @@ int SimulatePacked(const std::string& path, const std::string& policy,
   spec.policy = std::move(parsed).ValueOrDie();
   spec.options.train_minutes = train_days * kMinutesPerDay;
 
+  // Opt-in observability: stream a JSONL run log next to the simulation.
+  // The recorder is write-only, so the printed metrics are bitwise
+  // identical with or without --run-log.
+  std::unique_ptr<FileLogSink> sink;
+  std::unique_ptr<RunRecorder> recorder;
+  if (!run_log_path.empty()) {
+    sink = std::make_unique<FileLogSink>(run_log_path);
+    if (!sink->ok()) {
+      std::fprintf(stderr, "simulate: cannot open run log '%s'\n",
+                   run_log_path.c_str());
+      return 1;
+    }
+    RunRecorder::Options rec_options;
+    rec_options.label = "spes_trace_pack --simulate " + path;
+    recorder = std::make_unique<RunRecorder>(sink.get(), rec_options);
+    recorder->Config("policy", policy);
+    recorder->Config("train_days", std::to_string(train_days));
+    recorder->Config("trace_file", path);
+    spec.options.recorder = recorder.get();
+  }
+
   auto run = RunScenarioStreamed(*source, spec);
+  if (recorder != nullptr) {
+    recorder->Finish();
+    if (run.ok()) std::printf("run log: %s\n", run_log_path.c_str());
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "simulate: %s\n", run.status().message().c_str());
     return 1;
@@ -277,7 +309,8 @@ int Run(const Args& args) {
   if (args.simulate) {
     const int train_days =
         args.train_days > 0 ? args.train_days : std::max(args.days - 2, 1);
-    const int rc = SimulatePacked(args.out, args.policy, train_days);
+    const int rc =
+        SimulatePacked(args.out, args.policy, train_days, args.run_log);
     if (rc != 0) return rc;
   }
 
@@ -316,6 +349,8 @@ int main(int argc, char** argv) {
       args.policy = value;
     } else if (ParseFlag(arg, "train-days", &value)) {
       args.train_days = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "run-log", &value)) {
+      args.run_log = value;
     } else if (arg == "--no-compress") {
       args.compress = false;
     } else if (arg == "--verify") {
